@@ -1,0 +1,31 @@
+//! # fleche-baseline
+//!
+//! The comparison system of the Fleche (EuroSys '22) reproduction: a
+//! HugeCTR-Inference-like **static per-table GPU embedding cache**,
+//! reimplemented from the paper's description (§2.2) on the same
+//! substrate as Fleche itself so the two differ only along the design
+//! axes under study:
+//!
+//! * one fixed-size cache table per embedding table, all sized at the same
+//!   proportion of their corpus ([`TableCache`]);
+//! * one *coupled* index+copy query kernel per cache table, each on its
+//!   own stream ([`PerTableCacheSystem`]);
+//! * per-table sampled LRU; missing IDs fetched through the CPU-DRAM
+//!   layer, per table.
+//!
+//! An optional cudaGraph mode replays all per-table kernels from one
+//! captured graph, reproducing the paper's §2.2 ablation. The crate also
+//! implements the *reduction cache* ([`ReductionCache`]) — the alternative
+//! design the paper discusses and rejects in §5 — as a measurable
+//! ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reduction;
+pub mod system;
+pub mod table_cache;
+
+pub use reduction::{ReductionCache, ReductionStats};
+pub use system::{BaselineConfig, PerTableCacheSystem};
+pub use table_cache::{TableCache, TableLookup};

@@ -1,0 +1,202 @@
+//! Criterion micro-benchmarks over the substrate data structures:
+//! slab-hash operations, pool alloc/free, flat-key encoding, fusion-plan
+//! construction, dedup, and power-law sampling. These measure real host
+//! wall-clock (not simulated time) and guard against structural
+//! regressions in the hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fleche_coding::{FixedLenCodec, FlatKeyCodec, SizeAwareCodec};
+use fleche_core::{FusionMember, FusionPlan};
+use fleche_gpu::KernelWork;
+use fleche_index::{ClassSpec, EpochManager, Loc, SlabHash, SlabPool};
+use fleche_store::Deduped;
+use fleche_workload::{spec, PowerLaw, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_slab_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab_hash");
+    for &n in &[1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = SlabHash::for_capacity(n);
+                for k in 0..n as u64 {
+                    h.insert(
+                        k + 1,
+                        Loc::Hbm {
+                            class: 0,
+                            slot: k as u32,
+                        }
+                        .pack(),
+                        0,
+                    );
+                }
+                black_box(h.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lookup_hit", n), &n, |b, &n| {
+            let mut h = SlabHash::for_capacity(n);
+            for k in 0..n as u64 {
+                h.insert(
+                    k + 1,
+                    Loc::Hbm {
+                        class: 0,
+                        slot: k as u32,
+                    }
+                    .pack(),
+                    0,
+                );
+            }
+            b.iter(|| {
+                let mut found = 0u64;
+                for k in 0..n as u64 {
+                    if h.lookup(k + 1, Some(1)).0.is_some() {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("pool/alloc_write_free_32d", |b| {
+        let mut pool = SlabPool::new(&[ClassSpec {
+            dim: 32,
+            slots: 4_096,
+        }]);
+        let value = vec![1.0f32; 32];
+        b.iter(|| {
+            let (slot, _) = pool.alloc(0).expect("room");
+            pool.write(0, slot, &value).expect("live");
+            pool.free(0, slot).expect("live");
+            black_box(slot)
+        });
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let ds = spec::avazu();
+    let corpora: Vec<u64> = ds.tables.iter().map(|t| t.corpus).collect();
+    let fixed = FixedLenCodec::new(32, 8, corpora.clone());
+    let aware = SizeAwareCodec::new(32, &corpora);
+    let mut g = c.benchmark_group("codec_encode");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("fixed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= fixed.encode((i % 22) as u16, i % 1000).0;
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("size_aware", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= aware.encode((i % 22) as u16, i % 1000).0;
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fusion_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion_plan");
+    for &n in &[8usize, 64] {
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            let members: Vec<FusionMember> = (0..n)
+                .map(|i| FusionMember {
+                    threads: 32 * (i as u32 + 1),
+                    block_size: 128,
+                    grid_sync: false,
+                    work: KernelWork::streaming(1 << 12),
+                })
+                .collect();
+            b.iter(|| black_box(FusionPlan::build("bench", &members).expect("legal")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let ds = spec::criteo_kaggle();
+    let mut gen = TraceGenerator::new(&ds);
+    let batch = gen.next_batch(1024);
+    let mut g = c.benchmark_group("dedup");
+    g.throughput(Throughput::Elements(batch.total_ids() as u64));
+    g.bench_function("from_batch_1024", |b| {
+        b.iter(|| black_box(Deduped::from_batch(&batch).unique_len()));
+    });
+    g.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    c.bench_function("epoch/retire_advance_reclaim_64", |b| {
+        b.iter(|| {
+            let mut m = EpochManager::new();
+            for i in 0..64u32 {
+                m.retire(i);
+            }
+            m.advance();
+            let mut n = 0;
+            m.try_reclaim(|_| n += 1);
+            black_box(n)
+        });
+    });
+    c.bench_function("epoch/pin_unpin", |b| {
+        let mut m = EpochManager::<u32>::new();
+        b.iter(|| {
+            let g = m.pin();
+            m.unpin(g);
+        });
+    });
+}
+
+fn bench_tiered_store(c: &mut Criterion) {
+    use fleche_gpu::DramSpec;
+    use fleche_store::{RemoteSpec, TieredStore};
+    let ds = fleche_workload::spec::synthetic(4, 50_000, 16, -1.2);
+    c.bench_function("tiered_store/query_batch_512", |b| {
+        let mut s = TieredStore::new(&ds, DramSpec::xeon_6252(), RemoteSpec::datacenter(), 0.2);
+        let keys: Vec<(u16, u64)> = (0..512)
+            .map(|i| ((i % 4) as u16, (i * 37) % 50_000))
+            .collect();
+        b.iter(|| black_box(s.query_batch(&keys).0.len()));
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let p = PowerLaw::new(1_000_000, -1.2, 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("power_law");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("sample_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc ^= p.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slab_hash,
+    bench_pool,
+    bench_codecs,
+    bench_fusion_plan,
+    bench_dedup,
+    bench_epoch,
+    bench_tiered_store,
+    bench_zipf
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of whole batch queries through both cache systems
+//! (host wall-clock of the functional work + simulator bookkeeping). One
+//! group per system, parameterized by batch size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fleche_baseline::{BaselineConfig, PerTableCacheSystem};
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::CpuStore;
+use fleche_workload::{spec, TraceGenerator};
+
+fn bench_systems(c: &mut Criterion) {
+    let ds = spec::synthetic(16, 20_000, 32, -1.2);
+    let mut g = c.benchmark_group("query_batch");
+    for &batch_size in &[128usize, 1024] {
+        g.throughput(Throughput::Elements(batch_size as u64));
+        g.bench_with_input(
+            BenchmarkId::new("fleche", batch_size),
+            &batch_size,
+            |b, &bs| {
+                let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+                let mut sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+                let mut gpu = Gpu::new(DeviceSpec::t4());
+                let mut gen = TraceGenerator::new(&ds);
+                for _ in 0..8 {
+                    sys.query_batch(&mut gpu, &gen.next_batch(bs));
+                }
+                b.iter(|| {
+                    let batch = gen.next_batch(bs);
+                    black_box(sys.query_batch(&mut gpu, &batch).stats.hits)
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("baseline", batch_size),
+            &batch_size,
+            |b, &bs| {
+                let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+                let mut sys = PerTableCacheSystem::new(
+                    &ds,
+                    store,
+                    BaselineConfig {
+                        cache_fraction: 0.05,
+                        ..BaselineConfig::default()
+                    },
+                );
+                let mut gpu = Gpu::new(DeviceSpec::t4());
+                let mut gen = TraceGenerator::new(&ds);
+                for _ in 0..8 {
+                    sys.query_batch(&mut gpu, &gen.next_batch(bs));
+                }
+                b.iter(|| {
+                    let batch = gen.next_batch(bs);
+                    black_box(sys.query_batch(&mut gpu, &batch).stats.hits)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Runs every experiment binary in sequence (passing `--quick` through)
+//! and prints a completion summary. `cargo run --release -p fleche-bench
+//! --bin all_experiments -- --quick` gives a fast full pass.
+//!
+//! Binaries are invoked as child processes so each keeps its own clean
+//! simulated device and its stdout sections stay ordered.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2_datasets",
+    "workload_report",
+    "fig03_motivation_hitrate",
+    "fig04_kernel_maintenance",
+    "fig09_throughput",
+    "fig10_latency",
+    "fig10_served_load",
+    "fig11_cache_sizes",
+    "fig12_hit_rate",
+    "fig13_auc_coding",
+    "fig14_kernel_fusion",
+    "fig15_workflow",
+    "fig16_breakdown",
+    "fig17_skewness",
+    "fig18_dimension",
+    "fig19_table_count",
+    "fig20_mlp",
+    "ablation_admission",
+    "ablation_oracle",
+    "ablation_reduction_cache",
+    "ablation_giant_model",
+    "ablation_multi_gpu",
+    "ablation_index_backend",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================ {exp} ================\n");
+        let mut cmd = Command::new(bin_dir.join(exp));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to start: {e} (build with `cargo build --release -p fleche-bench --bins` first)");
+                failed.push(*exp);
+            }
+        }
+    }
+    println!("\n================ summary ================");
+    println!(
+        "{} experiments, {} failed{}",
+        EXPERIMENTS.len(),
+        failed.len(),
+        if failed.is_empty() {
+            String::new()
+        } else {
+            format!(": {failed:?}")
+        }
+    );
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 10 companion: throughput vs latency measured the way a loaded
+//! server experiences it — open-loop Poisson arrivals, dynamic batching,
+//! queueing-inclusive per-request latency. Sweeping offered load traces
+//! the hockey-stick curve the paper's Exp #2 plots, for both systems.
+//!
+//! Run: `cargo run --release -p fleche-bench --bin fig10_served_load [--quick]`
+
+use fleche_baseline::{BaselineConfig, PerTableCacheSystem};
+use fleche_bench::{concat_dim, fmt_ns, fmt_tput, print_header, quick_mode, TextTable};
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_model::{serve, DenseModel, InferenceEngine, ModelMode, ServedRun, ServerConfig};
+use fleche_store::CpuStore;
+use fleche_workload::{spec, TraceGenerator};
+
+fn run_fleche(load: f64, requests: usize) -> ServedRun {
+    let ds = spec::avazu();
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+    let dense = DenseModel::dcn_paper(concat_dim(&ds));
+    let mut eng = InferenceEngine::new(
+        Gpu::new(DeviceSpec::t4()),
+        sys,
+        dense,
+        ModelMode::EmbeddingOnly,
+        &ds,
+    );
+    let mut gen = TraceGenerator::new(&ds);
+    serve(
+        &mut eng,
+        &mut gen,
+        ModelMode::EmbeddingOnly,
+        &ServerConfig {
+            offered_load: load,
+            max_batch: 4096,
+            requests,
+            warmup_requests: requests,
+        },
+    )
+}
+
+fn run_baseline(load: f64, requests: usize) -> ServedRun {
+    let ds = spec::avazu();
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let sys = PerTableCacheSystem::new(
+        &ds,
+        store,
+        BaselineConfig {
+            cache_fraction: 0.05,
+            ..BaselineConfig::default()
+        },
+    );
+    let dense = DenseModel::dcn_paper(concat_dim(&ds));
+    let mut eng = InferenceEngine::new(
+        Gpu::new(DeviceSpec::t4()),
+        sys,
+        dense,
+        ModelMode::EmbeddingOnly,
+        &ds,
+    );
+    let mut gen = TraceGenerator::new(&ds);
+    serve(
+        &mut eng,
+        &mut gen,
+        ModelMode::EmbeddingOnly,
+        &ServerConfig {
+            offered_load: load,
+            max_batch: 4096,
+            requests,
+            warmup_requests: requests,
+        },
+    )
+}
+
+fn main() {
+    print_header("Fig 10 companion: served load vs queueing-inclusive latency (Avazu-like, 5%)");
+    let requests = if quick_mode() { 20_000 } else { 60_000 };
+    let loads = [
+        200_000.0,
+        500_000.0,
+        1_000_000.0,
+        2_000_000.0,
+        4_000_000.0,
+        8_000_000.0,
+    ];
+    for (name, runner) in [
+        ("HugeCTR", run_baseline as fn(f64, usize) -> ServedRun),
+        ("Fleche", run_fleche as fn(f64, usize) -> ServedRun),
+    ] {
+        println!("--- {name} ---");
+        let mut t = TextTable::new(&["offered", "achieved", "median", "p99", "mean batch", "util"]);
+        for &load in &loads {
+            let r = runner(load, requests);
+            t.row(&[
+                fmt_tput(load),
+                fmt_tput(r.achieved),
+                fmt_ns(r.latency.median()),
+                fmt_ns(r.latency.p99()),
+                format!("{:.0}", r.mean_batch),
+                format!("{:.0}%", r.utilization * 100.0),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("expected: both curves are flat until their capacity knee, then the");
+    println!("p99 explodes; Fleche's knee sits at a several-times-higher offered");
+    println!("load — the paper's \"more candidates within the same SLA\" argument.");
+}

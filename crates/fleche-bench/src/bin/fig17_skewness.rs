@@ -1,0 +1,47 @@
+//! Figure 17 / Exp #9: impact of embedding popularity skewness — the
+//! power-law alpha swept from -0.5 to -2.0 on the synthetic workload
+//! (40 tables x 0.25M features, dim 32), at 10% and 5% cache.
+//!
+//! Run: `cargo run --release -p fleche-bench --bin fig17_skewness [--quick]`
+
+use fleche_bench::{fmt_ns, print_header, quick_mode, scaled_batches, SystemKind, TextTable};
+use fleche_gpu::Ns;
+use fleche_model::ModelMode;
+use fleche_workload::{spec, TraceGenerator};
+
+fn latency(kind: SystemKind, alpha: f64, fraction: f64, bs: usize) -> Ns {
+    let ds = spec::synthetic(40, 250_000, 32, alpha);
+    let mut eng = fleche_bench::build_engine(kind, &ds, fraction, ModelMode::EmbeddingOnly);
+    let mut gen = TraceGenerator::new(&ds);
+    let (warm, meas) = scaled_batches(bs);
+    eng.warmup(&mut gen, warm, bs);
+    eng.measure(&mut gen, meas, bs).embedding.mean()
+}
+
+fn main() {
+    print_header("Fig 17 (Exp #9): impact of embedding skewness (synthetic, batch 1024)");
+    let alphas: Vec<f64> = if quick_mode() {
+        vec![-0.5, -1.2, -2.0]
+    } else {
+        vec![-0.5, -0.8, -1.0, -1.2, -1.5, -2.0]
+    };
+    let bs = 1024;
+    for fraction in [0.10, 0.05] {
+        println!("--- cache size {:.0}% ---", fraction * 100.0);
+        let mut t = TextTable::new(&["alpha", "HugeCTR", "Fleche", "speedup"]);
+        for &alpha in &alphas {
+            let base = latency(SystemKind::Baseline, alpha, fraction, bs);
+            let fl = latency(SystemKind::FlecheFull, alpha, fraction, bs);
+            t.row(&[
+                format!("{alpha:.1}"),
+                fmt_ns(base),
+                fmt_ns(fl),
+                format!("{:.2}x", base.as_ns() / fl.as_ns()),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("paper: 1.4-2.8x across the sweep; low skew raises both systems' latency");
+    println!("(hit rate falls) but favors Fleche more — the unified index absorbs the");
+    println!("extra DRAM indexing at low hit rates.");
+}

@@ -1,0 +1,370 @@
+//! # fleche-bench
+//!
+//! Experiment harnesses for the Fleche (EuroSys '22) reproduction. Each
+//! `src/bin/figNN_*.rs` binary regenerates one table or figure of the
+//! paper (see DESIGN.md for the full index); this library holds the
+//! plumbing they share: system construction, warm-up/measure loops, and
+//! plain-text table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fleche_baseline::{BaselineConfig, PerTableCacheSystem};
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
+use fleche_model::{DenseModel, InferenceEngine, MeasuredRun, ModelMode};
+use fleche_store::CpuStore;
+use fleche_workload::{DatasetSpec, TraceGenerator};
+
+/// The batch sizes the paper sweeps (32..8192).
+pub const PAPER_BATCH_SIZES: [usize; 9] = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// A reduced sweep for quick runs (`--quick`).
+pub const QUICK_BATCH_SIZES: [usize; 4] = [32, 256, 2048, 8192];
+
+/// Standard warm-up batches before measurement.
+pub const WARMUP_BATCHES: usize = 24;
+/// Standard measured batches.
+pub const MEASURE_BATCHES: usize = 16;
+
+/// Returns true when `--quick` was passed (smaller sweeps, same shapes).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The batch sweep honoring `--quick`.
+pub fn batch_sizes() -> Vec<usize> {
+    if quick_mode() {
+        QUICK_BATCH_SIZES.to_vec()
+    } else {
+        PAPER_BATCH_SIZES.to_vec()
+    }
+}
+
+/// The three evaluation datasets with their paper cache fractions.
+pub fn paper_datasets() -> Vec<(DatasetSpec, f64)> {
+    vec![
+        (fleche_workload::spec::avazu(), 0.05),
+        (fleche_workload::spec::criteo_kaggle(), 0.05),
+        (fleche_workload::spec::criteo_tb(), 0.005),
+    ]
+}
+
+/// Which system variant to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemKind {
+    /// HugeCTR-like static per-table cache.
+    Baseline,
+    /// Flat cache only (per-table kernels, coupled).
+    FlecheFlatCacheOnly,
+    /// Flat cache + fused (coupled) kernel.
+    FlecheFused,
+    /// Full workflow minus the unified index.
+    FlecheNoUnified,
+    /// Full Fleche.
+    FlecheFull,
+}
+
+impl SystemKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Baseline => "HugeCTR",
+            SystemKind::FlecheFlatCacheOnly => "+FC",
+            SystemKind::FlecheFused => "+Fusion",
+            SystemKind::FlecheNoUnified => "Fleche w/o UI",
+            SystemKind::FlecheFull => "Fleche",
+        }
+    }
+}
+
+/// Builds a fresh engine of `kind` over `spec` with `fraction` cache.
+pub fn build_engine(
+    kind: SystemKind,
+    spec: &DatasetSpec,
+    fraction: f64,
+    mode: ModelMode,
+) -> Box<dyn MeasurableEngine> {
+    let gpu = Gpu::new(DeviceSpec::t4());
+    let store = CpuStore::new(spec, DramSpec::xeon_6252());
+    let dense = DenseModel::dcn_paper(concat_dim(spec));
+    match kind {
+        SystemKind::Baseline => {
+            let sys = PerTableCacheSystem::new(
+                spec,
+                store,
+                BaselineConfig {
+                    cache_fraction: fraction,
+                    ..BaselineConfig::default()
+                },
+            );
+            Box::new(InferenceEngine::new(gpu, sys, dense, mode, spec))
+        }
+        SystemKind::FlecheFlatCacheOnly => {
+            let sys = FlecheSystem::new(spec, store, FlecheConfig::flat_cache_only(fraction));
+            Box::new(InferenceEngine::new(gpu, sys, dense, mode, spec))
+        }
+        SystemKind::FlecheFused => {
+            let sys = FlecheSystem::new(spec, store, FlecheConfig::with_fusion(fraction));
+            Box::new(InferenceEngine::new(gpu, sys, dense, mode, spec))
+        }
+        SystemKind::FlecheNoUnified => {
+            let sys = FlecheSystem::new(spec, store, FlecheConfig::without_unified_index(fraction));
+            Box::new(InferenceEngine::new(gpu, sys, dense, mode, spec))
+        }
+        SystemKind::FlecheFull => {
+            let sys = FlecheSystem::new(spec, store, FlecheConfig::full(fraction));
+            Box::new(InferenceEngine::new(gpu, sys, dense, mode, spec))
+        }
+    }
+}
+
+/// Concatenated pooled-embedding width of a dataset.
+pub fn concat_dim(spec: &DatasetSpec) -> u32 {
+    spec.tables.iter().map(|t| t.dim).sum()
+}
+
+/// Object-safe facade over `InferenceEngine<S>` so harnesses can hold
+/// heterogeneous systems uniformly.
+pub trait MeasurableEngine {
+    /// Warm the cache.
+    fn warmup(&mut self, gen: &mut TraceGenerator, batches: usize, batch_size: usize);
+    /// Measure throughput/latency over `batches`.
+    fn measure(
+        &mut self,
+        gen: &mut TraceGenerator,
+        batches: usize,
+        batch_size: usize,
+    ) -> MeasuredRun;
+    /// One batch, returning `(embedding, dense, total)` wall times and the
+    /// phase breakdown.
+    fn run_one(
+        &mut self,
+        gen: &mut TraceGenerator,
+        batch_size: usize,
+    ) -> (Ns, Ns, Ns, fleche_store::api::BatchStats);
+    /// Lifetime cache statistics.
+    fn lifetime(&self) -> fleche_store::api::LifetimeStats;
+}
+
+impl<S: fleche_store::api::EmbeddingCacheSystem> MeasurableEngine for InferenceEngine<S> {
+    fn warmup(&mut self, gen: &mut TraceGenerator, batches: usize, batch_size: usize) {
+        InferenceEngine::warmup(self, gen, batches, batch_size);
+    }
+
+    fn measure(
+        &mut self,
+        gen: &mut TraceGenerator,
+        batches: usize,
+        batch_size: usize,
+    ) -> MeasuredRun {
+        InferenceEngine::measure(self, gen, batches, batch_size)
+    }
+
+    fn run_one(
+        &mut self,
+        gen: &mut TraceGenerator,
+        batch_size: usize,
+    ) -> (Ns, Ns, Ns, fleche_store::api::BatchStats) {
+        let b = gen.next_batch(batch_size);
+        let t = self.run_batch(&b);
+        (t.embedding, t.dense, t.total, t.stats)
+    }
+
+    fn lifetime(&self) -> fleche_store::api::LifetimeStats {
+        self.system().lifetime_stats()
+    }
+}
+
+/// Warm + measure one configuration; returns the measured run.
+pub fn run_workload(
+    kind: SystemKind,
+    spec: &DatasetSpec,
+    fraction: f64,
+    mode: ModelMode,
+    batch_size: usize,
+) -> MeasuredRun {
+    let mut engine = build_engine(kind, spec, fraction, mode);
+    let mut gen = TraceGenerator::new(spec);
+    let (warm, meas) = scaled_batches(batch_size);
+    engine.warmup(&mut gen, warm, batch_size);
+    engine.measure(&mut gen, meas, batch_size)
+}
+
+/// Scales warm-up/measure batch counts down for huge batches so harness
+/// runtime stays bounded while total sample counts stay comparable.
+pub fn scaled_batches(batch_size: usize) -> (usize, usize) {
+    let scale = (batch_size / 1024).clamp(1, 2);
+    (
+        (WARMUP_BATCHES / scale).max(12),
+        (MEASURE_BATCHES / scale).max(8),
+    )
+}
+
+/// Plain-text table writer: pads columns, prints a header rule.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a simulated duration compactly.
+pub fn fmt_ns(t: Ns) -> String {
+    format!("{t}")
+}
+
+/// Formats a throughput figure.
+pub fn fmt_tput(t: f64) -> String {
+    if t >= 1e6 {
+        format!("{:.2}M/s", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.1}K/s", t / 1e3)
+    } else {
+        format!("{t:.0}/s")
+    }
+}
+
+/// Prints the standard harness header (platform constants = Table 1).
+pub fn print_header(experiment: &str) {
+    let t4 = DeviceSpec::t4();
+    let dram = DramSpec::xeon_6252();
+    println!("== {experiment} ==");
+    println!(
+        "platform: {} ({} GB/s HBM) + {} ({} GB/s DRAM)  [simulated]",
+        t4.name,
+        t4.hbm_bandwidth.as_gbps(),
+        dram.name,
+        dram.bandwidth.as_gbps()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "metric"]);
+        t.row(&["1".into(), "22".into()]);
+        t.row(&["333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("metric"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn text_table_checks_width() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let mut t = TextTable::new(&["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| x | y |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_tput(2_500_000.0), "2.50M/s");
+        assert_eq!(fmt_tput(1_500.0), "1.5K/s");
+        assert_eq!(fmt_tput(12.0), "12/s");
+    }
+
+    #[test]
+    fn scaled_batches_bounded() {
+        let (w, m) = scaled_batches(32);
+        assert_eq!((w, m), (WARMUP_BATCHES, MEASURE_BATCHES));
+        let (w, m) = scaled_batches(8192);
+        assert!(w >= 12 && m >= 8);
+        assert!(w < WARMUP_BATCHES);
+    }
+
+    #[test]
+    fn build_every_system_kind() {
+        let ds = fleche_workload::spec::synthetic(4, 500, 8, -1.2);
+        for kind in [
+            SystemKind::Baseline,
+            SystemKind::FlecheFlatCacheOnly,
+            SystemKind::FlecheFused,
+            SystemKind::FlecheNoUnified,
+            SystemKind::FlecheFull,
+        ] {
+            let mut e = build_engine(kind, &ds, 0.1, ModelMode::EmbeddingOnly);
+            let mut gen = TraceGenerator::new(&ds);
+            let (emb, _, total, stats) = e.run_one(&mut gen, 16);
+            assert!(emb > Ns::ZERO, "{}", kind.label());
+            assert!(total >= emb);
+            assert_eq!(
+                stats.hits + stats.unified_hits + stats.misses,
+                stats.unique_keys
+            );
+        }
+    }
+}

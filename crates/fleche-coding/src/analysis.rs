@@ -1,0 +1,142 @@
+//! Collision analysis over concrete traces.
+//!
+//! The AUC experiment needs collision *behaviour*, but harnesses and tests
+//! also want collision *statistics*: how many accesses land on a flat key
+//! shared with a different feature, per codec and key width.
+
+use crate::codec::{FlatKey, FlatKeyCodec};
+use std::collections::HashMap;
+
+/// Collision census over a set of observed `(table, feature)` accesses.
+#[derive(Debug, Default, Clone)]
+pub struct CollisionReport {
+    /// Distinct `(table, feature)` pairs observed.
+    pub distinct_features: usize,
+    /// Distinct flat keys they encode to.
+    pub distinct_keys: usize,
+    /// Number of features whose flat key is shared with at least one other
+    /// feature.
+    pub colliding_features: usize,
+    /// Accesses (weighted by frequency) that hit a shared key.
+    pub colliding_accesses: u64,
+    /// Total accesses.
+    pub total_accesses: u64,
+}
+
+impl CollisionReport {
+    /// Fraction of distinct features that collide.
+    pub fn feature_collision_rate(&self) -> f64 {
+        if self.distinct_features == 0 {
+            0.0
+        } else {
+            self.colliding_features as f64 / self.distinct_features as f64
+        }
+    }
+
+    /// Fraction of accesses that hit a shared key.
+    pub fn access_collision_rate(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.colliding_accesses as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+/// Measures collisions of `codec` over weighted accesses
+/// (`(table, feature) -> count`).
+pub fn measure_collisions(
+    codec: &dyn FlatKeyCodec,
+    accesses: &HashMap<(u16, u64), u64>,
+) -> CollisionReport {
+    let mut by_key: HashMap<FlatKey, Vec<((u16, u64), u64)>> = HashMap::new();
+    for (&(t, f), &count) in accesses {
+        by_key
+            .entry(codec.encode(t, f))
+            .or_default()
+            .push(((t, f), count));
+    }
+    let mut report = CollisionReport {
+        distinct_features: accesses.len(),
+        distinct_keys: by_key.len(),
+        ..CollisionReport::default()
+    };
+    for members in by_key.values() {
+        let key_total: u64 = members.iter().map(|&(_, c)| c).sum();
+        report.total_accesses += key_total;
+        if members.len() > 1 {
+            report.colliding_features += members.len();
+            report.colliding_accesses += key_total;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FixedLenCodec;
+    use crate::size_aware::SizeAwareCodec;
+
+    fn accesses(corpora: &[u64], per_table: u64) -> HashMap<(u16, u64), u64> {
+        let mut m = HashMap::new();
+        for (t, &c) in corpora.iter().enumerate() {
+            for f in 0..per_table.min(c) {
+                m.insert((t as u16, f), f + 1);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn lossless_codec_reports_no_collisions() {
+        let corpora = vec![100u64, 200, 300];
+        let codec = SizeAwareCodec::new(24, &corpora);
+        let r = measure_collisions(&codec, &accesses(&corpora, 100));
+        assert_eq!(r.colliding_features, 0);
+        assert_eq!(r.feature_collision_rate(), 0.0);
+        assert_eq!(r.access_collision_rate(), 0.0);
+        assert_eq!(r.distinct_keys, r.distinct_features);
+    }
+
+    #[test]
+    fn tight_fixed_codec_collides_and_size_aware_collides_less() {
+        // One huge table dominates; fixed coding wastes bits on the tiny
+        // tables' prefixes.
+        let corpora = vec![8u64, 8, 8, 1 << 14];
+        let acc = accesses(&corpora, 1 << 14);
+        let fixed = FixedLenCodec::new(15, 2, corpora.clone());
+        let aware = SizeAwareCodec::new(15, &corpora);
+        let rf = measure_collisions(&fixed, &acc);
+        let ra = measure_collisions(&aware, &acc);
+        assert!(rf.feature_collision_rate() > 0.3);
+        assert!(
+            ra.feature_collision_rate() < rf.feature_collision_rate(),
+            "size-aware {} must beat fixed {}",
+            ra.feature_collision_rate(),
+            rf.feature_collision_rate()
+        );
+    }
+
+    #[test]
+    fn empty_accesses() {
+        let codec = SizeAwareCodec::new(16, &[10]);
+        let r = measure_collisions(&codec, &HashMap::new());
+        assert_eq!(r.total_accesses, 0);
+        assert_eq!(r.access_collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn weighted_access_rates() {
+        // Two features forced onto one key: all their accesses collide.
+        let corpora = vec![1u64 << 10];
+        let codec = SizeAwareCodec::new(4, &corpora); // 16 slots for 1024
+        let mut acc = HashMap::new();
+        for f in 0..64u64 {
+            acc.insert((0u16, f), 10);
+        }
+        let r = measure_collisions(&codec, &acc);
+        assert!(r.access_collision_rate() > 0.8);
+        assert_eq!(r.total_accesses, 640);
+    }
+}

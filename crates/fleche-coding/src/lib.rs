@@ -1,0 +1,26 @@
+//! # fleche-coding
+//!
+//! Flat-key re-encoding for the Fleche (EuroSys '22) reproduction.
+//!
+//! Flat cache unifies all embedding tables behind one backend by
+//! re-encoding `(table, feature)` pairs into flat keys:
+//!
+//! * [`FixedLenCodec`] — the Kraken-style baseline: the same table-ID bit
+//!   budget for every table, features hashed into the remainder.
+//! * [`SizeAwareCodec`] — the paper's contribution: a prefix-free
+//!   variable-length code assigning short prefixes (more feature bits) to
+//!   large tables, with a proportional shared overflow region when the key
+//!   width cannot cover the corpus mix.
+//! * [`measure_collisions`] — concrete collision censuses over traces,
+//!   feeding the AUC-vs-bits experiment (paper Fig. 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod codec;
+pub mod size_aware;
+
+pub use analysis::{measure_collisions, CollisionReport};
+pub use codec::{FixedLenCodec, FlatKey, FlatKeyCodec, TableCode};
+pub use size_aware::SizeAwareCodec;

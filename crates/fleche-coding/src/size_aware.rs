@@ -1,0 +1,419 @@
+//! Size-aware variable-length coding (the paper's §3.1 encoding).
+//!
+//! Tables get *variable-length* table-ID prefixes forming a prefix-free
+//! binary code: a short prefix leaves many feature bits (for the
+//! billion-user table), a long prefix suffices for a table of a few dozen
+//! cities. The paper's construction — sort tables ascending by corpus
+//! size, give each the longest prefix whose remaining feature bits still
+//! cover its corpus, and prohibit any future prefix extending an assigned
+//! one — is exactly the allocation of a prefix-free code, implemented here
+//! with a buddy-style free-prefix pool.
+//!
+//! When the Kraft budget runs out (total bits too small for the corpus
+//! mix), the remaining tables fall back to a *shared overflow region*
+//! split proportionally to their corpus sizes, which introduces
+//! intra-table collisions — matching the paper's fallback.
+
+use crate::codec::{FlatKeyCodec, TableCode};
+
+/// A free prefix in the allocation pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FreeCode {
+    /// Right-aligned prefix bits.
+    prefix: u64,
+    /// Prefix length in bits (0 = the whole space).
+    len: u32,
+}
+
+/// Allocator over the binary prefix trie.
+#[derive(Debug)]
+struct PrefixPool {
+    free: Vec<FreeCode>,
+}
+
+impl PrefixPool {
+    fn new() -> PrefixPool {
+        PrefixPool {
+            free: vec![FreeCode { prefix: 0, len: 0 }],
+        }
+    }
+
+    /// Allocates a prefix of exactly `len` bits, splitting a shorter free
+    /// prefix if needed (buddy-style: each split frees the sibling).
+    fn alloc(&mut self, len: u32) -> Option<FreeCode> {
+        // Best fit: the longest free prefix not exceeding the request.
+        let (pos, _) = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.len <= len)
+            .max_by_key(|(_, f)| f.len)?;
+        let mut cur = self.free.swap_remove(pos);
+        while cur.len < len {
+            // Split: keep the 0-extension, free the 1-extension sibling.
+            self.free.push(FreeCode {
+                prefix: (cur.prefix << 1) | 1,
+                len: cur.len + 1,
+            });
+            cur = FreeCode {
+                prefix: cur.prefix << 1,
+                len: cur.len + 1,
+            };
+        }
+        Some(cur)
+    }
+}
+
+/// The size-aware codec.
+///
+/// ```
+/// use fleche_coding::{FlatKeyCodec, SizeAwareCodec};
+///
+/// // A tiny city table and a huge user table share a 20-bit key space:
+/// // the user table gets a short prefix (many feature bits), the city
+/// // table a long one.
+/// let codec = SizeAwareCodec::new(20, &[64, 500_000]);
+/// assert!(codec.table_code(0).prefix_bits > codec.table_code(1).prefix_bits);
+/// assert!(codec.table_code(1).lossless);
+/// // Lossless keys decode back to (table, feature).
+/// let key = codec.encode(1, 123_456);
+/// assert_eq!(codec.decode(key), Some((1, 123_456)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SizeAwareCodec {
+    total_bits: u32,
+    tables: Vec<TableCode>,
+}
+
+/// Feature bits needed for a lossless identity mapping of a dense corpus
+/// `[0, corpus)`.
+fn bits_for(corpus: u64) -> u32 {
+    if corpus <= 1 {
+        0
+    } else {
+        64 - (corpus - 1).leading_zeros()
+    }
+}
+
+impl SizeAwareCodec {
+    /// Builds a codec for tables with the given corpus sizes in
+    /// `total_bits`-wide keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bits` is outside `1..=63` or `corpora` is empty.
+    pub fn new(total_bits: u32, corpora: &[u64]) -> SizeAwareCodec {
+        assert!((1..=63).contains(&total_bits), "total bits must be 1..=63");
+        assert!(!corpora.is_empty(), "need at least one table");
+
+        // Sort ascending by corpus; smallest tables claim the longest
+        // prefixes first, exactly as the paper describes.
+        let mut order: Vec<usize> = (0..corpora.len()).collect();
+        order.sort_by_key(|&i| corpora[i]);
+
+        // Attempt 1: the whole key space, every table lossless.
+        if let Some(tables) = Self::try_dedicated(total_bits, corpora, &order, None) {
+            return SizeAwareCodec { total_bits, tables };
+        }
+
+        // Overcommitted: reserve half the key space (the paper's "reserve
+        // several bits") as the shared overflow region, then give dedicated
+        // lossless prefixes to whatever still fits in the other half. The
+        // reservation matters: without it, small tables' (power-of-two
+        // rounded) dedicated spaces can starve the region that the largest
+        // tables — carrying most of the traffic — must share.
+        let mut pool = PrefixPool {
+            free: vec![FreeCode { prefix: 0, len: 1 }],
+        };
+        let region = FreeCode { prefix: 1, len: 1 };
+        let mut assigned: Vec<Option<TableCode>> = vec![None; corpora.len()];
+        let mut overflow: Vec<usize> = Vec::new();
+        for &i in &order {
+            let feature_bits = bits_for(corpora[i]).min(total_bits);
+            let want_prefix = total_bits - feature_bits;
+            let fits = want_prefix >= 1 && (1u64 << feature_bits) >= corpora[i];
+            match (fits, pool.alloc(want_prefix.max(1))) {
+                (true, Some(f)) => {
+                    assigned[i] = Some(TableCode {
+                        prefix: f.prefix,
+                        prefix_bits: f.len,
+                        feature_bits,
+                        offset: 0,
+                        feature_space: 1u64 << feature_bits,
+                        lossless: true,
+                    });
+                }
+                _ => overflow.push(i),
+            }
+        }
+        Self::assign_overflow(total_bits, corpora, &overflow, region, &mut assigned);
+
+        SizeAwareCodec {
+            total_bits,
+            tables: assigned
+                .into_iter()
+                .map(|c| c.expect("every table assigned"))
+                .collect(),
+        }
+    }
+
+    /// Attempts a fully dedicated, fully lossless allocation over the whole
+    /// key space (`restrict` unused hook for future partial-space trials).
+    fn try_dedicated(
+        total_bits: u32,
+        corpora: &[u64],
+        order: &[usize],
+        restrict: Option<FreeCode>,
+    ) -> Option<Vec<TableCode>> {
+        let mut pool = PrefixPool::new();
+        if let Some(r) = restrict {
+            pool.free = vec![r];
+        }
+        let mut assigned: Vec<Option<TableCode>> = vec![None; corpora.len()];
+        for &i in order {
+            let feature_bits = bits_for(corpora[i]).min(total_bits);
+            if (1u64 << feature_bits) < corpora[i] {
+                return None; // cannot be lossless even alone
+            }
+            let want_prefix = total_bits - feature_bits;
+            if want_prefix == 0 && corpora.len() > 1 {
+                return None; // one table would consume the entire space
+            }
+            let f = pool.alloc(want_prefix)?;
+            assigned[i] = Some(TableCode {
+                prefix: f.prefix,
+                prefix_bits: f.len,
+                feature_bits,
+                offset: 0,
+                feature_space: 1u64 << feature_bits,
+                lossless: true,
+            });
+        }
+        Some(assigned.into_iter().map(|c| c.expect("assigned")).collect())
+    }
+
+    /// Shared overflow region: the given free prefix, its slot space split
+    /// into disjoint slices proportional to corpus sizes.
+    fn assign_overflow(
+        total_bits: u32,
+        corpora: &[u64],
+        overflow: &[usize],
+        region: FreeCode,
+        assigned: &mut [Option<TableCode>],
+    ) {
+        if overflow.is_empty() {
+            return;
+        }
+        let region_feature_bits = total_bits - region.len;
+        let region_space = 1u64 << region_feature_bits;
+        assert!(
+            region_space >= overflow.len() as u64,
+            "key space too small: {} overflow tables, {region_space} slots",
+            overflow.len()
+        );
+        let total_corpus: u64 = overflow.iter().map(|&i| corpora[i]).sum();
+        let mut cursor = 0u64;
+        for (k, &i) in overflow.iter().enumerate() {
+            let remaining_tables = (overflow.len() - k) as u64;
+            let remaining_space = region_space - cursor;
+            let share = if k + 1 == overflow.len() {
+                remaining_space
+            } else {
+                // Proportional share, clamped so every later table still
+                // gets at least one slot.
+                let prop = (corpora[i] as u128 * region_space as u128 / total_corpus as u128).max(1)
+                    as u64;
+                prop.min(remaining_space - (remaining_tables - 1))
+            };
+            assigned[i] = Some(TableCode {
+                prefix: region.prefix,
+                prefix_bits: region.len,
+                feature_bits: region_feature_bits,
+                offset: cursor,
+                feature_space: share,
+                lossless: share >= corpora[i],
+            });
+            cursor += share;
+        }
+        debug_assert!(cursor <= region_space);
+    }
+}
+
+impl FlatKeyCodec for SizeAwareCodec {
+    fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn table_code(&self, table: u16) -> TableCode {
+        self.tables[table as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FlatKey;
+    use std::collections::HashSet;
+
+    #[test]
+    fn small_tables_get_long_prefixes() {
+        // 16-bit keys; corpora: tiny, small, huge.
+        let c = SizeAwareCodec::new(16, &[8, 256, 30_000]);
+        let huge = c.table_code(2);
+        let tiny = c.table_code(0);
+        assert!(huge.feature_bits > tiny.feature_bits);
+        assert!(huge.lossless);
+        assert!(tiny.lossless);
+    }
+
+    #[test]
+    fn codes_are_prefix_free_and_keys_disjoint() {
+        let corpora = [10u64, 100, 1_000, 10_000, 100_000];
+        let c = SizeAwareCodec::new(20, &corpora);
+        // Exhaustively encode every feature of every table: no cross-table
+        // collisions may occur when all tables are lossless.
+        let mut seen: HashSet<u64> = HashSet::new();
+        for (t, &corpus) in corpora.iter().enumerate() {
+            let tc = c.table_code(t as u16);
+            assert!(tc.lossless, "table {t} should fit losslessly");
+            for f in 0..corpus {
+                let FlatKey(k) = c.encode(t as u16, f);
+                assert!(k < 1 << 20);
+                assert!(seen.insert(k), "cross-table collision on key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn beats_fixed_length_on_heterogeneous_corpora() {
+        use crate::codec::FixedLenCodec;
+        // 3 tiny tables + 1 huge; 22-bit keys. Fixed 2-bit prefix leaves 20
+        // feature bits: the huge table (2^21 corpus) collides. Size-aware
+        // gives the huge table a short prefix: lossless.
+        let corpora = vec![16u64, 16, 16, 1 << 21];
+        let fixed = FixedLenCodec::new(22, 2, corpora.clone());
+        let aware = SizeAwareCodec::new(22, &corpora);
+        assert!(!fixed.table_code(3).lossless);
+        assert!(aware.table_code(3).lossless);
+        let f_coll = fixed.intra_table_collision_fraction(3, corpora[3]);
+        let a_coll = aware.intra_table_collision_fraction(3, corpora[3]);
+        assert!(f_coll > 0.5);
+        assert_eq!(a_coll, 0.0);
+    }
+
+    #[test]
+    fn overflow_fallback_splits_proportionally() {
+        // Impossible budget: three tables of 2^20 corpus in 10-bit keys.
+        let corpora = [1u64 << 20, 1 << 20, 1 << 20];
+        let c = SizeAwareCodec::new(10, &corpora);
+        let mut total_space = 0u64;
+        for t in 0..3u16 {
+            let tc = c.table_code(t);
+            assert!(!tc.lossless);
+            assert!(tc.feature_space >= 1);
+            total_space += tc.feature_space;
+            for f in 0..1000u64 {
+                let FlatKey(k) = c.encode(t, f);
+                assert!(k < 1 << 10, "key {k} overflows 10 bits");
+            }
+            assert!(c.intra_table_collision_fraction(t, corpora[t as usize]) > 0.9);
+        }
+        assert!(total_space <= 1 << 10);
+        // Roughly equal corpora get roughly equal slices.
+        let spaces: Vec<u64> = (0..3).map(|t| c.table_code(t).feature_space).collect();
+        let max = *spaces.iter().max().expect("non-empty");
+        let min = *spaces.iter().min().expect("non-empty");
+        assert!(max <= min * 2, "slices {spaces:?} not proportional");
+    }
+
+    #[test]
+    fn overflow_slices_are_disjoint() {
+        let corpora = [4u64, 1 << 12, 1 << 12, 1 << 13];
+        let c = SizeAwareCodec::new(8, &corpora);
+        // Collect the concrete key ranges of overflow tables and check
+        // they never overlap by sampling encodes.
+        let mut owner: std::collections::HashMap<u64, u16> = std::collections::HashMap::new();
+        for t in 0..corpora.len() as u16 {
+            let tc = c.table_code(t);
+            if tc.lossless {
+                continue;
+            }
+            for f in 0..2000u64 {
+                let FlatKey(k) = c.encode(t, f);
+                if let Some(&other) = owner.get(&k) {
+                    assert_eq!(other, t, "tables {other} and {t} share key {k}");
+                } else {
+                    owner.insert(k, t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_key_fits_total_bits() {
+        let corpora = [100u64, 5_000, 77, 1 << 16, 12];
+        let c = SizeAwareCodec::new(18, &corpora);
+        for (t, &corpus) in corpora.iter().enumerate() {
+            for f in (0..corpus).step_by(97) {
+                assert!(c.encode(t as u16, f).0 < 1 << 18);
+            }
+        }
+    }
+
+    #[test]
+    fn single_table_uses_whole_space() {
+        let c = SizeAwareCodec::new(16, &[40_000]);
+        let tc = c.table_code(0);
+        assert_eq!(tc.prefix_bits, 0);
+        assert_eq!(tc.feature_bits, 16);
+        assert!(tc.lossless);
+    }
+
+    #[test]
+    fn realistic_mix_is_all_lossless_with_enough_bits() {
+        // Avazu-like heterogeneous corpora: with a generous key width,
+        // every table fits.
+        let ds = fleche_workload::spec::avazu();
+        let corpora: Vec<u64> = ds.tables.iter().map(|t| t.corpus).collect();
+        let c = SizeAwareCodec::new(30, &corpora);
+        for t in 0..corpora.len() as u16 {
+            assert!(c.table_code(t).lossless, "table {t} lossy at 30 bits");
+        }
+    }
+
+    #[test]
+    fn tighter_bits_degrade_gracefully() {
+        let ds = fleche_workload::spec::avazu();
+        let corpora: Vec<u64> = ds.tables.iter().map(|t| t.corpus).collect();
+        let lossy_count = |bits: u32| {
+            let c = SizeAwareCodec::new(bits, &corpora);
+            (0..corpora.len() as u16)
+                .filter(|&t| !c.table_code(t).lossless)
+                .count()
+        };
+        // Fewer bits can only make more tables lossy.
+        assert!(lossy_count(16) >= lossy_count(20));
+        assert!(lossy_count(20) >= lossy_count(26));
+    }
+
+    #[test]
+    fn bits_for_math() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1 << 20), 20);
+        assert_eq!(bits_for((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "total bits")]
+    fn zero_bits_rejected() {
+        let _ = SizeAwareCodec::new(0, &[10]);
+    }
+}

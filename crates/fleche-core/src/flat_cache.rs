@@ -1,0 +1,676 @@
+//! The flat cache (paper §3.1).
+//!
+//! One global cache backend for all embedding tables: a key-value-separated
+//! structure with a single GPU-resident slab-hash index mapping *flat keys*
+//! to locations in a pre-allocated slab memory pool (one size class per
+//! embedding dimension). Per-slot timestamps implement approximate LRU and
+//! double as versions; a probability admission filter keeps one-hit
+//! wonders out; watermark-triggered eviction scans reclaim cold entries
+//! through epoch-based grace periods so in-flight decoupled copy kernels
+//! never read freed slots; and (optionally) index entries may hold tagged
+//! CPU-DRAM pointers — the unified index.
+
+use fleche_coding::FlatKey;
+use fleche_index::{
+    ClassSpec, EpochGuard, EpochManager, GpuIndex, IndexInsert, Loc, MegaKv, PackedLoc, ProbeStats,
+    SlabHash, SlabPool,
+};
+use fleche_workload::DatasetSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Device bytes one unified-index (DRAM pointer) entry costs: its share of
+/// a slab (key + loc + stamp).
+pub const UNIFIED_ENTRY_BYTES: u64 = 20;
+
+/// Result of one key lookup against the flat cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CacheAnswer {
+    /// Value resident in HBM at this pool location.
+    Hit {
+        /// Pool size class.
+        class: u16,
+        /// Slot within the class.
+        slot: u32,
+    },
+    /// Location known (tagged DRAM pointer): CPU indexing can be skipped.
+    UnifiedHit,
+    /// Unknown key: full CPU-DRAM query needed.
+    Miss,
+}
+
+/// Which GPU index structure backs the flat cache (the paper: "an
+/// arbitrary existing GPU hash index (e.g., MegaKV, SlabHash)").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IndexBackend {
+    /// Chained warp-wide slabs (the paper's implementation choice).
+    #[default]
+    SlabHash,
+    /// Bucketed cuckoo with two bounded probes per lookup.
+    MegaKv,
+}
+
+/// Eviction/admission configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatCacheConfig {
+    /// Utilization above which an eviction pass triggers.
+    pub evict_high_watermark: f64,
+    /// Eviction target utilization.
+    pub evict_low_watermark: f64,
+    /// Probability that a missed embedding is admitted (the paper's
+    /// probability-based filter: features seen fewer than `1/p` times tend
+    /// to bypass the cache).
+    pub admission_probability: f64,
+    /// GPU index structure to use.
+    pub index: IndexBackend,
+}
+
+impl Default for FlatCacheConfig {
+    fn default() -> FlatCacheConfig {
+        FlatCacheConfig {
+            evict_high_watermark: 0.95,
+            evict_low_watermark: 0.85,
+            admission_probability: 0.5,
+            index: IndexBackend::SlabHash,
+        }
+    }
+}
+
+/// The flat cache.
+pub struct FlatCache {
+    index: Box<dyn GpuIndex>,
+    pool: SlabPool,
+    epochs: EpochManager<(u16, u32)>,
+    config: FlatCacheConfig,
+    /// Pool class per table (tables of equal dim share a class).
+    class_of_table: Vec<u16>,
+    /// Dim per table.
+    dim_of_table: Vec<u32>,
+    /// Number of unified-index entries currently stored.
+    unified_count: u64,
+    /// Capacity target for unified entries (set by the tuner).
+    unified_target: u64,
+    rng: StdRng,
+    evict_passes: u64,
+}
+
+impl FlatCache {
+    /// Builds a flat cache with `cache_bytes` of value capacity for the
+    /// dataset's tables, partitioned into size classes by dimension
+    /// (proportional to each dimension's share of total table bytes).
+    pub fn new(spec: &DatasetSpec, cache_bytes: u64, config: FlatCacheConfig) -> FlatCache {
+        // Distinct dims, and byte share per dim.
+        let mut dims: Vec<u32> = spec.tables.iter().map(|t| t.dim).collect();
+        dims.sort_unstable();
+        dims.dedup();
+        let total_bytes: u64 = spec.total_param_bytes().max(1);
+        let classes: Vec<ClassSpec> = dims
+            .iter()
+            .map(|&dim| {
+                let dim_bytes: u64 = spec
+                    .tables
+                    .iter()
+                    .filter(|t| t.dim == dim)
+                    .map(|t| t.param_bytes())
+                    .sum();
+                let share = dim_bytes as f64 / total_bytes as f64;
+                let bytes = (cache_bytes as f64 * share) as u64;
+                ClassSpec {
+                    dim,
+                    slots: ((bytes / (dim as u64 * 4)).max(1)) as u32,
+                }
+            })
+            .collect();
+        let pool = SlabPool::new(&classes);
+        let expected_entries: u64 = classes.iter().map(|c| c.slots as u64).sum();
+        let class_of_table = spec
+            .tables
+            .iter()
+            .map(|t| {
+                dims.iter()
+                    .position(|&d| d == t.dim)
+                    .expect("dim registered above") as u16
+            })
+            .collect();
+        let index: Box<dyn GpuIndex> = match config.index {
+            IndexBackend::SlabHash => Box::new(SlabHash::for_capacity(expected_entries as usize)),
+            // Cuckoo tables need headroom beyond the value-slot count for
+            // the unified-index pointers they may also hold.
+            IndexBackend::MegaKv => Box::new(MegaKv::for_capacity(
+                (expected_entries as usize).saturating_mul(2),
+            )),
+        };
+        FlatCache {
+            index,
+            pool,
+            epochs: EpochManager::new(),
+            config,
+            class_of_table,
+            dim_of_table: spec.tables.iter().map(|t| t.dim).collect(),
+            unified_count: 0,
+            unified_target: 0,
+            rng: StdRng::seed_from_u64(spec.seed ^ 0xF1EC_4E00),
+            evict_passes: 0,
+        }
+    }
+
+    /// Pool size class of `table`.
+    pub fn class_of(&self, table: u16) -> u16 {
+        self.class_of_table[table as usize]
+    }
+
+    /// Embedding dimension of `table`.
+    pub fn dim_of(&self, table: u16) -> u32 {
+        self.dim_of_table[table as usize]
+    }
+
+    /// Live index entries (cached values + unified pointers).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Unified-index entries currently held.
+    pub fn unified_count(&self) -> u64 {
+        self.unified_count
+    }
+
+    /// Sets the unified-index capacity target (from the tuner). A target
+    /// below the current count takes effect at the next eviction pass.
+    pub fn set_unified_target(&mut self, target: u64) {
+        self.unified_target = target;
+    }
+
+    /// The current unified-index capacity target.
+    pub fn unified_target(&self) -> u64 {
+        self.unified_target
+    }
+
+    /// Eviction passes run so far.
+    pub fn evict_passes(&self) -> u64 {
+        self.evict_passes
+    }
+
+    /// Bucket chains in the GPU index (for lock-contention modeling of the
+    /// coupled query kernel).
+    pub fn bucket_count(&self) -> usize {
+        self.index.bucket_count()
+    }
+
+    /// Device bytes of the whole structure (index + pool).
+    pub fn device_bytes(&self) -> u64 {
+        self.index.device_bytes() + self.pool.capacity_bytes()
+    }
+
+    /// Pool utilization including the displacement pressure of unified
+    /// entries (their index slabs occupy memory that could hold values).
+    pub fn effective_utilization(&self) -> f64 {
+        let cap = self.pool.capacity_bytes().max(1);
+        (self.pool.allocated_bytes() + self.unified_count * UNIFIED_ENTRY_BYTES) as f64 / cap as f64
+    }
+
+    /// Looks up one flat key, bumping its LRU stamp to `stamp`.
+    pub fn lookup(&mut self, key: FlatKey, stamp: u32) -> (CacheAnswer, ProbeStats) {
+        let (found, stats) = self.index.lookup(key.0, Some(stamp));
+        let answer = match found.map(PackedLoc::unpack) {
+            Some(Loc::Hbm { class, slot }) => CacheAnswer::Hit { class, slot },
+            Some(Loc::Dram { .. }) => CacheAnswer::UnifiedHit,
+            None => CacheAnswer::Miss,
+        };
+        (answer, stats)
+    }
+
+    /// Reads the embedding behind a [`CacheAnswer::Hit`]. Valid during the
+    /// epoch grace period even if concurrently retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of bounds (an internal bug).
+    pub fn read_hit(&self, class: u16, slot: u32) -> &[f32] {
+        self.pool
+            .read_during_grace(class, slot)
+            .expect("hit location must be in bounds")
+    }
+
+    /// Rolls the admission filter for one missed key.
+    pub fn admit(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.config.admission_probability
+    }
+
+    /// Inserts an embedding for `(table, feature)` under flat key `key`.
+    /// Returns `None` (plus stats) if the pool class is full even after an
+    /// eviction attempt — the key simply bypasses the cache this round.
+    pub fn insert_value(
+        &mut self,
+        table: u16,
+        key: FlatKey,
+        value: &[f32],
+        stamp: u32,
+    ) -> (Option<(u16, u32)>, ProbeStats) {
+        let class = self.class_of(table);
+        let mut stats = ProbeStats::new();
+        // If the key is already present (collision or re-insert), refresh
+        // in place when it holds an HBM slot.
+        if let Some(loc) = self.index.peek(key.0) {
+            if let Loc::Hbm { class: c, slot } = loc.unpack() {
+                if self.pool.write(c, slot, value).is_ok() {
+                    let (_, s) = self.index.insert(key.0, loc, stamp);
+                    stats.merge(&s);
+                    return (Some((c, slot)), stats);
+                }
+            } else {
+                // Upgrade a unified pointer to a cached value: fall through
+                // to allocation; the index insert below overwrites it.
+                self.unified_count = self.unified_count.saturating_sub(1);
+            }
+        }
+        let slot = match self.pool.alloc(class) {
+            Ok((slot, s)) => {
+                stats.merge(&s);
+                slot
+            }
+            Err(_) => return (None, stats),
+        };
+        let s = self
+            .pool
+            .write(class, slot, value)
+            .expect("freshly allocated slot");
+        stats.merge(&s);
+        let (outcome, s2) = self
+            .index
+            .insert(key.0, Loc::Hbm { class, slot }.pack(), stamp);
+        stats.merge(&s2);
+        match outcome {
+            IndexInsert::Displaced { victim } => {
+                // A cuckoo kick-out pushed a resident entry off the index:
+                // treat its storage like an eviction.
+                self.release_displaced(victim);
+            }
+            IndexInsert::Rejected => {
+                // The index could not place the key: undo the allocation
+                // and report a bypass.
+                self.pool.free(class, slot).expect("just allocated");
+                return (None, stats);
+            }
+            IndexInsert::Inserted | IndexInsert::Updated { .. } => {}
+        }
+        (Some((class, slot)), stats)
+    }
+
+    /// Retires the storage of an entry the index displaced on its own
+    /// (cuckoo kick-out overflow).
+    fn release_displaced(&mut self, victim: fleche_index::ScanEntry) {
+        match victim.loc.unpack() {
+            Loc::Hbm { class, slot } => self.epochs.retire((class, slot)),
+            Loc::Dram { .. } => {
+                self.unified_count = self.unified_count.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Inserts a unified-index entry (tagged DRAM pointer) for a key whose
+    /// value stays in DRAM. No-ops when at the capacity target or the key
+    /// already exists.
+    pub fn insert_dram_ptr(
+        &mut self,
+        table: u16,
+        feature: u64,
+        key: FlatKey,
+        stamp: u32,
+    ) -> ProbeStats {
+        if self.unified_count >= self.unified_target || self.index.peek(key.0).is_some() {
+            return ProbeStats::new();
+        }
+        let (outcome, stats) = self
+            .index
+            .insert(key.0, Loc::Dram { table, feature }.pack(), stamp);
+        match outcome {
+            IndexInsert::Rejected => return stats,
+            IndexInsert::Displaced { victim } => self.release_displaced(victim),
+            IndexInsert::Inserted | IndexInsert::Updated { .. } => {}
+        }
+        self.unified_count += 1;
+        stats
+    }
+
+    /// Removes a unified-index entry whose DRAM location has become stale
+    /// (the CPU-DRAM layer evicted the embedding in giant-model mode).
+    /// Returns true when a pointer was actually removed; cached values are
+    /// left untouched.
+    pub fn invalidate_dram_ptr(&mut self, key: FlatKey) -> bool {
+        match self.index.peek(key.0).map(PackedLoc::unpack) {
+            Some(Loc::Dram { .. }) => {
+                self.index.remove(key.0);
+                self.unified_count = self.unified_count.saturating_sub(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when utilization exceeds the high watermark and an eviction
+    /// pass should run.
+    pub fn needs_eviction(&self) -> bool {
+        self.effective_utilization() > self.config.evict_high_watermark
+    }
+
+    /// Runs [`FlatCache::evict_pass_with`] without pointer conversion.
+    pub fn evict_pass(&mut self) -> ProbeStats {
+        self.evict_pass_with(|_| None)
+    }
+
+    /// Runs one eviction pass: a full index scan, evicting coldest entries
+    /// (smallest stamp first) until utilization falls to the low
+    /// watermark; unified entries over target are dropped likewise.
+    /// Evicted value slots are *retired*, not freed — reclamation happens
+    /// in [`FlatCache::end_batch`] once no reader epoch can still see them.
+    ///
+    /// `decode` recovers `(table, feature)` from a flat key; when it
+    /// succeeds and the unified index has room, the evicted entry is
+    /// *converted* into a tagged DRAM pointer instead of removed — the
+    /// paper's "replacing the cache of cold embeddings with CPU-DRAM
+    /// pointers". Evicted-but-located keys are exactly the warm band most
+    /// likely to miss again, which is what makes the unified index earn
+    /// its memory.
+    ///
+    /// Returns scan instrumentation (the cost of the scan kernel).
+    pub fn evict_pass_with(&mut self, decode: impl Fn(u64) -> Option<(u16, u64)>) -> ProbeStats {
+        self.evict_passes += 1;
+        let (mut entries, mut stats) = self.index.scan();
+        entries.sort_unstable_by_key(|e| e.stamp);
+        let cap = self.pool.capacity_bytes().max(1) as f64;
+        let target_bytes = (self.config.evict_low_watermark * cap) as u64;
+        // Retired slots stay allocated until the grace period ends, so
+        // track the *projected* footprint as we evict.
+        let mut projected = self.pool.allocated_bytes() + self.unified_count * UNIFIED_ENTRY_BYTES;
+        let mut unified_seen = 0u64;
+        for e in entries {
+            match e.loc.unpack() {
+                Loc::Hbm { class, slot } => {
+                    if projected <= target_bytes {
+                        continue;
+                    }
+                    let bytes = self.pool.dim_of(class).unwrap_or(0) as u64 * 4;
+                    if self.unified_count < self.unified_target {
+                        if let Some((table, feature)) = decode(e.key) {
+                            // Convert: keep the key, swap its location for
+                            // a DRAM pointer, retire only the value slot.
+                            let (outcome, s) = self.index.insert(
+                                e.key,
+                                Loc::Dram { table, feature }.pack(),
+                                e.stamp,
+                            );
+                            debug_assert!(
+                                matches!(outcome, IndexInsert::Updated { .. }),
+                                "converting an existing entry is an update"
+                            );
+                            stats.merge(&s);
+                            self.epochs.retire((class, slot));
+                            self.unified_count += 1;
+                            projected = projected.saturating_sub(bytes);
+                            projected += UNIFIED_ENTRY_BYTES;
+                            continue;
+                        }
+                    }
+                    let (_, s) = self.index.remove(e.key);
+                    stats.merge(&s);
+                    self.epochs.retire((class, slot));
+                    projected = projected.saturating_sub(bytes);
+                }
+                Loc::Dram { .. } => {
+                    unified_seen += 1;
+                    if unified_seen > self.unified_target {
+                        let (_, s) = self.index.remove(e.key);
+                        stats.merge(&s);
+                        self.unified_count = self.unified_count.saturating_sub(1);
+                        projected = projected.saturating_sub(UNIFIED_ENTRY_BYTES);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Registers an in-flight reader (a launched decoupled copy kernel
+    /// holding pool addresses).
+    pub fn pin_reader(&mut self) -> EpochGuard {
+        self.epochs.pin()
+    }
+
+    /// Releases a reader (its kernel completed).
+    pub fn release_reader(&mut self, guard: EpochGuard) {
+        self.epochs.unpin(guard);
+    }
+
+    /// Ends a batch: advances the epoch and physically frees every retired
+    /// slot no live reader can reach. Returns how many slots were freed.
+    pub fn end_batch(&mut self) -> usize {
+        self.epochs.advance();
+        let pool = &mut self.pool;
+        self.epochs.try_reclaim(|(class, slot)| {
+            pool.free(class, slot)
+                .expect("retired slot was live when retired");
+        })
+    }
+
+    /// Scan-kernel streaming bytes (for pricing the eviction pass).
+    pub fn scan_bytes(&self) -> u64 {
+        self.index.device_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleche_coding::{FlatKeyCodec, SizeAwareCodec};
+    use fleche_workload::spec;
+
+    fn mk() -> (FlatCache, SizeAwareCodec, DatasetSpec) {
+        let ds = spec::synthetic(4, 1_000, 8, -1.2);
+        let corpora: Vec<u64> = ds.tables.iter().map(|t| t.corpus).collect();
+        let codec = SizeAwareCodec::new(24, &corpora);
+        let cache = FlatCache::new(&ds, 8 * 4 * 200, FlatCacheConfig::default());
+        (cache, codec, ds)
+    }
+
+    fn val(tag: f32) -> Vec<f32> {
+        (0..8).map(|i| tag + i as f32).collect()
+    }
+
+    #[test]
+    fn insert_lookup_read_cycle() {
+        let (mut c, codec, _) = mk();
+        let k = codec.encode(1, 7);
+        let (loc, _) = c.insert_value(1, k, &val(3.0), 1);
+        let (class, slot) = loc.expect("pool has room");
+        let (ans, stats) = c.lookup(k, 2);
+        assert_eq!(ans, CacheAnswer::Hit { class, slot });
+        assert_eq!(stats.hits, 1);
+        assert_eq!(c.read_hit(class, slot), val(3.0).as_slice());
+    }
+
+    #[test]
+    fn tables_share_one_backend() {
+        let (mut c, codec, ds) = mk();
+        // Fill mostly from table 0; table 3 can still insert — capacity is
+        // global, not per table.
+        let mut inserted = 0;
+        for f in 0..150u64 {
+            if c.insert_value(0, codec.encode(0, f), &val(f as f32), 1)
+                .0
+                .is_some()
+            {
+                inserted += 1;
+            }
+        }
+        assert!(inserted > 100, "one table may consume most of the pool");
+        let k3 = codec.encode(3, 5);
+        let (loc, _) = c.insert_value(3, k3, &val(9.0), 2);
+        assert!(loc.is_some());
+        let _ = ds;
+    }
+
+    #[test]
+    fn miss_on_unknown_key() {
+        let (mut c, codec, _) = mk();
+        let (ans, stats) = c.lookup(codec.encode(2, 42), 1);
+        assert_eq!(ans, CacheAnswer::Miss);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn unified_entries_respect_target() {
+        let (mut c, codec, _) = mk();
+        assert_eq!(c.unified_count(), 0);
+        // Target 0: inserts are no-ops.
+        c.insert_dram_ptr(0, 1, codec.encode(0, 1), 1);
+        assert_eq!(c.unified_count(), 0);
+        c.set_unified_target(2);
+        c.insert_dram_ptr(0, 1, codec.encode(0, 1), 1);
+        c.insert_dram_ptr(0, 2, codec.encode(0, 2), 1);
+        c.insert_dram_ptr(0, 3, codec.encode(0, 3), 1);
+        assert_eq!(c.unified_count(), 2, "third exceeds target");
+        let (ans, _) = c.lookup(codec.encode(0, 1), 2);
+        assert_eq!(ans, CacheAnswer::UnifiedHit);
+    }
+
+    #[test]
+    fn unified_upgrades_to_value() {
+        let (mut c, codec, _) = mk();
+        c.set_unified_target(10);
+        let k = codec.encode(0, 7);
+        c.insert_dram_ptr(0, 7, k, 1);
+        assert_eq!(c.lookup(k, 2).0, CacheAnswer::UnifiedHit);
+        let (loc, _) = c.insert_value(0, k, &val(5.0), 3);
+        assert!(loc.is_some());
+        assert!(matches!(c.lookup(k, 4).0, CacheAnswer::Hit { .. }));
+        assert_eq!(c.unified_count(), 0, "pointer was upgraded");
+    }
+
+    #[test]
+    fn full_pool_bypasses_instead_of_failing() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut c = FlatCache::new(&ds, 8 * 4 * 4, FlatCacheConfig::default());
+        let codec = SizeAwareCodec::new(20, &[1_000]);
+        let mut ok = 0;
+        let mut bypass = 0;
+        for f in 0..10u64 {
+            match c.insert_value(0, codec.encode(0, f), &val(f as f32), 1).0 {
+                Some(_) => ok += 1,
+                None => bypass += 1,
+            }
+        }
+        assert_eq!(ok, 4);
+        assert_eq!(bypass, 6);
+    }
+
+    #[test]
+    fn eviction_frees_cold_entries_after_grace() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut c = FlatCache::new(
+            &ds,
+            8 * 4 * 10,
+            FlatCacheConfig {
+                evict_high_watermark: 0.8,
+                evict_low_watermark: 0.4,
+                admission_probability: 1.0,
+                index: IndexBackend::default(),
+            },
+        );
+        let codec = SizeAwareCodec::new(20, &[1_000]);
+        for f in 0..10u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32)
+                .0;
+        }
+        assert!(c.needs_eviction());
+        c.evict_pass();
+        // Slots retired but not yet reclaimed.
+        assert!(c.len() <= 10);
+        let freed = {
+            c.end_batch(); // advance epoch; retirement epoch == current-1
+            c.end_batch()
+        };
+        let _ = freed;
+        // After grace, utilization is at or below the low watermark.
+        assert!(
+            c.effective_utilization() <= 0.4 + 1e-9,
+            "utilization {}",
+            c.effective_utilization()
+        );
+        // The survivors are the hottest (largest stamps).
+        let (ans, _) = c.lookup(codec.encode(0, 9), 100);
+        assert!(matches!(ans, CacheAnswer::Hit { .. }));
+        let (ans, _) = c.lookup(codec.encode(0, 0), 100);
+        assert_eq!(ans, CacheAnswer::Miss);
+    }
+
+    #[test]
+    fn pinned_reader_delays_reclamation() {
+        let ds = spec::synthetic(1, 100, 8, -1.2);
+        let mut c = FlatCache::new(
+            &ds,
+            8 * 4 * 4,
+            FlatCacheConfig {
+                evict_high_watermark: 0.5,
+                evict_low_watermark: 0.1,
+                admission_probability: 1.0,
+                index: IndexBackend::default(),
+            },
+        );
+        let codec = SizeAwareCodec::new(20, &[100]);
+        let k = codec.encode(0, 1);
+        let (loc, _) = c.insert_value(0, k, &val(1.0), 1);
+        let (class, slot) = loc.expect("room");
+        let guard = c.pin_reader();
+        c.evict_pass();
+        c.end_batch();
+        c.end_batch();
+        // Reader still pinned: the retired slot must remain readable.
+        assert_eq!(c.read_hit(class, slot), val(1.0).as_slice());
+        c.release_reader(guard);
+        let freed = c.end_batch();
+        assert!(freed >= 1, "slot reclaimed after release");
+    }
+
+    #[test]
+    fn eviction_trims_unified_entries_over_target() {
+        let (mut c, codec, _) = mk();
+        c.set_unified_target(5);
+        for f in 0..5u64 {
+            c.insert_dram_ptr(0, f, codec.encode(0, f), f as u32);
+        }
+        assert_eq!(c.unified_count(), 5);
+        c.set_unified_target(2);
+        c.evict_pass();
+        assert_eq!(c.unified_count(), 2);
+    }
+
+    #[test]
+    fn admission_filter_is_probabilistic() {
+        let ds = spec::synthetic(1, 100, 8, -1.2);
+        let mut c = FlatCache::new(
+            &ds,
+            1 << 16,
+            FlatCacheConfig {
+                admission_probability: 0.3,
+                ..FlatCacheConfig::default()
+            },
+        );
+        let admitted = (0..10_000).filter(|_| c.admit()).count();
+        assert!((2_500..3_500).contains(&admitted), "admitted {admitted}");
+    }
+
+    #[test]
+    fn mixed_dims_get_separate_classes() {
+        let mut ds = spec::synthetic(2, 1_000, 16, -1.2);
+        ds.tables[1].dim = 64;
+        let c = FlatCache::new(&ds, 1 << 20, FlatCacheConfig::default());
+        assert_ne!(c.class_of(0), c.class_of(1));
+        assert_eq!(c.dim_of(0), 16);
+        assert_eq!(c.dim_of(1), 64);
+    }
+}

@@ -1,0 +1,283 @@
+//! Self-identified kernel fusion (paper §3.2).
+//!
+//! Instead of launching one cache-query kernel per table, Fleche launches
+//! a single kernel covering all of them. The host builds a prefix-sum
+//! `scan` array of per-kernel thread counts and an `Args Array` of the
+//! original kernels' arguments; each GPU thread binary-searches `scan` with
+//! its global thread id to identify which original kernel it belongs to,
+//! fetches that kernel's arguments from the args array (both cached in
+//! shared memory), and runs the original body.
+//!
+//! This module builds the fusion plan (the scan/args arrays), verifies the
+//! paper's two legality assumptions (uniform block size, no
+//! greater-than-block synchronization), and prices the fused kernel: the
+//! identification phase costs `ceil(log2(n))` shared-memory accesses per
+//! thread, and — because consecutive thread ids walk identical branch
+//! paths when per-kernel thread counts are warp-multiples — no divergence
+//! penalty applies.
+
+use fleche_gpu::{KernelDesc, KernelWork};
+
+/// Warp width used to round member thread counts (paper: rounding to warp
+/// multiples removes binary-search branch divergence).
+pub const WARP: u32 = 32;
+
+/// One member of a fusion: the kernel that *would* have been launched.
+#[derive(Clone, Debug)]
+pub struct FusionMember {
+    /// Thread count of the original kernel (will be rounded up to a warp
+    /// multiple).
+    pub threads: u32,
+    /// Block size of the original kernel; all members must agree.
+    pub block_size: u32,
+    /// True if the kernel needs synchronization wider than a block
+    /// (grid-level sync) — fusing such a kernel would hang.
+    pub grid_sync: bool,
+    /// Cost characterization of the original kernel body.
+    pub work: KernelWork,
+}
+
+/// Why a set of kernels cannot legally be fused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FusionError {
+    /// Members use different block sizes; the fused kernel could not honor
+    /// every member's block-synchronization semantics.
+    MixedBlockSizes,
+    /// A member requires greater-than-block synchronization, which would
+    /// deadlock inside a fused launch.
+    GridSyncMember,
+    /// Nothing to fuse.
+    Empty,
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::MixedBlockSizes => write!(f, "members have mixed block sizes"),
+            FusionError::GridSyncMember => write!(f, "a member requires grid-level sync"),
+            FusionError::Empty => write!(f, "no kernels to fuse"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// A validated fusion: the scan array plus the fused kernel description.
+///
+/// ```
+/// use fleche_core::{FusionMember, FusionPlan};
+/// use fleche_gpu::KernelWork;
+///
+/// // The paper's Figure 6: kernels of 960, 1920 and 640 threads fuse
+/// // into one 3520-thread launch.
+/// let members: Vec<FusionMember> = [960, 1920, 640]
+///     .map(|threads| FusionMember {
+///         threads,
+///         block_size: 128,
+///         grid_sync: false,
+///         work: KernelWork::streaming(1024),
+///     })
+///     .into_iter()
+///     .collect();
+/// let plan = FusionPlan::build("query", &members).unwrap();
+/// assert_eq!(plan.fused.threads, 3520);
+/// assert_eq!(plan.identify(2880), Some((2, 0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FusionPlan {
+    /// Prefix sums of (warp-rounded) member thread counts;
+    /// `scan[i]..scan[i+1]` is member `i`'s thread range. Length is
+    /// `members + 1`, `scan[0] == 0`.
+    pub scan: Vec<u32>,
+    /// The single kernel to launch in place of all members.
+    pub fused: KernelDesc,
+    /// Bytes of metadata (scan + args array) the host must push to the
+    /// device before launching.
+    pub metadata_bytes: u64,
+}
+
+/// Per-member argument record size on device: table id, key-list pointer,
+/// key count, output pointer, embedding dim (the paper's Args Array entry).
+pub const ARGS_ENTRY_BYTES: u64 = 8 * 4 + 8;
+
+impl FusionPlan {
+    /// Builds and validates a plan over `members`.
+    pub fn build(label: &'static str, members: &[FusionMember]) -> Result<FusionPlan, FusionError> {
+        if members.is_empty() {
+            return Err(FusionError::Empty);
+        }
+        let block = members[0].block_size;
+        if members.iter().any(|m| m.block_size != block) {
+            return Err(FusionError::MixedBlockSizes);
+        }
+        if members.iter().any(|m| m.grid_sync) {
+            return Err(FusionError::GridSyncMember);
+        }
+        let mut scan = Vec::with_capacity(members.len() + 1);
+        scan.push(0u32);
+        let mut total = 0u32;
+        let mut work = KernelWork::NOOP;
+        for m in members {
+            let rounded = m.threads.div_ceil(WARP).max(1) * WARP;
+            total = total
+                .checked_add(rounded)
+                .expect("fused thread count overflows u32");
+            scan.push(total);
+            work.merge_concurrent(&m.work);
+        }
+        // Identification phase: binary search over `scan` in shared memory
+        // plus one args-array fetch. With warp-multiple member sizes every
+        // warp walks one branch path, so this is the whole cost.
+        let ident_accesses = (members.len() as f64).log2().ceil() as u32 + 1;
+        work.shared_accesses += ident_accesses;
+
+        let metadata_bytes = (scan.len() as u64) * 4 + (members.len() as u64) * ARGS_ENTRY_BYTES;
+        let mut fused = KernelDesc::new(label, total, work);
+        fused.block_size = block;
+        Ok(FusionPlan {
+            scan,
+            fused,
+            metadata_bytes,
+        })
+    }
+
+    /// Number of fused members.
+    pub fn member_count(&self) -> usize {
+        self.scan.len() - 1
+    }
+
+    /// Recovers which member a global thread id belongs to and its local
+    /// thread id within that member — the identification phase each GPU
+    /// thread performs (binary search on the scan array).
+    ///
+    /// Returns `None` for thread ids beyond the fused launch.
+    pub fn identify(&self, tid: u32) -> Option<(usize, u32)> {
+        let total = *self.scan.last().expect("scan is non-empty");
+        if tid >= total {
+            return None;
+        }
+        // Largest index with scan[idx] <= tid.
+        let mut lo = 0usize;
+        let mut hi = self.scan.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.scan[mid] <= tid {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some((lo, tid - self.scan[lo]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(threads: u32) -> FusionMember {
+        FusionMember {
+            threads,
+            block_size: 128,
+            grid_sync: false,
+            work: KernelWork::streaming(threads as u64 * 64),
+        }
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Figure 6: members of 960, 1920, 640 threads fuse to 3520.
+        let plan =
+            FusionPlan::build("q", &[member(960), member(1920), member(640)]).expect("legal");
+        assert_eq!(plan.fused.threads, 3520);
+        assert_eq!(plan.scan, vec![0, 960, 2880, 3520]);
+        assert_eq!(plan.member_count(), 3);
+    }
+
+    #[test]
+    fn identification_matches_ranges() {
+        let plan =
+            FusionPlan::build("q", &[member(960), member(1920), member(640)]).expect("legal");
+        assert_eq!(plan.identify(0), Some((0, 0)));
+        assert_eq!(plan.identify(959), Some((0, 959)));
+        assert_eq!(plan.identify(960), Some((1, 0)));
+        assert_eq!(plan.identify(2879), Some((1, 1919)));
+        assert_eq!(plan.identify(2880), Some((2, 0)));
+        assert_eq!(plan.identify(3519), Some((2, 639)));
+        assert_eq!(plan.identify(3520), None);
+    }
+
+    #[test]
+    fn every_thread_identifies_consistently() {
+        let sizes = [64u32, 320, 32, 1024, 96];
+        let plan = FusionPlan::build("q", &sizes.map(member).as_slice()).expect("legal");
+        let mut counts = vec![0u32; sizes.len()];
+        for tid in 0..plan.fused.threads {
+            let (m, local) = plan.identify(tid).expect("in range");
+            assert_eq!(local, counts[m], "locals must be consecutive");
+            counts[m] += 1;
+        }
+        assert_eq!(counts.to_vec(), sizes.to_vec());
+    }
+
+    #[test]
+    fn thread_counts_round_to_warps() {
+        let plan = FusionPlan::build("q", &[member(1), member(33)]).expect("legal");
+        assert_eq!(plan.scan, vec![0, 32, 96]);
+        assert_eq!(plan.fused.threads, 96);
+    }
+
+    #[test]
+    fn traffic_sums_and_chains_max() {
+        let mut a = member(64);
+        a.work.dependent_rounds = 3;
+        let mut b = member(64);
+        b.work.dependent_rounds = 9;
+        let plan = FusionPlan::build("q", &[a, b]).expect("legal");
+        assert_eq!(plan.fused.work.global_bytes, 64 * 64 * 2);
+        assert_eq!(plan.fused.work.dependent_rounds, 9);
+        assert!(plan.fused.work.shared_accesses >= 1, "identification cost");
+    }
+
+    #[test]
+    fn legality_mixed_blocks_rejected() {
+        let mut b = member(64);
+        b.block_size = 256;
+        assert_eq!(
+            FusionPlan::build("q", &[member(64), b]).unwrap_err(),
+            FusionError::MixedBlockSizes
+        );
+    }
+
+    #[test]
+    fn legality_grid_sync_rejected() {
+        let mut b = member(64);
+        b.grid_sync = true;
+        assert_eq!(
+            FusionPlan::build("q", &[member(64), b]).unwrap_err(),
+            FusionError::GridSyncMember
+        );
+    }
+
+    #[test]
+    fn empty_fusion_rejected() {
+        assert_eq!(FusionPlan::build("q", &[]).unwrap_err(), FusionError::Empty);
+    }
+
+    #[test]
+    fn metadata_bytes_scale_with_members() {
+        let p1 = FusionPlan::build("q", &[member(64)]).expect("legal");
+        let p4 = FusionPlan::build("q", &[member(64), member(64), member(64), member(64)])
+            .expect("legal");
+        assert!(p4.metadata_bytes > p1.metadata_bytes);
+        assert_eq!(p4.metadata_bytes, 5 * 4 + 4 * ARGS_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn single_member_fusion_is_identity_plus_identification() {
+        let plan = FusionPlan::build("q", &[member(640)]).expect("legal");
+        assert_eq!(plan.fused.threads, 640);
+        assert_eq!(plan.member_count(), 1);
+        assert_eq!(plan.identify(100), Some((0, 100)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Multi-GPU flat cache — the extension the paper leaves as future work
+//! (§5, "Dealing with multi-GPU").
+//!
+//! Model parallelism over `G` devices: the flat-key space is partitioned
+//! by hash, each shard runs an independent [`FlecheSystem`] on its own
+//! simulated device, and a per-batch all-gather moves every shard's output
+//! rows to the device that runs the dense layers. Sharding removes the
+//! inter-GPU redundancy a replicated cache would have (G times the
+//! aggregate capacity) at the price of the gather and of per-shard kernel
+//! maintenance — exactly the trade the paper predicts, measurable here.
+
+use crate::system::{FlecheConfig, FlecheSystem};
+use fleche_coding::{FlatKeyCodec, SizeAwareCodec};
+use fleche_gpu::{BytesPerNs, DeviceSpec, DramSpec, Gpu, Ns};
+use fleche_store::api::{BatchStats, LifetimeStats};
+use fleche_store::CpuStore;
+use fleche_workload::{Batch, DatasetSpec};
+
+/// Interconnect cost model for the all-gather.
+#[derive(Clone, Debug)]
+pub struct InterconnectSpec {
+    /// Per-message fixed cost (launch + transport setup).
+    pub per_transfer: Ns,
+    /// Link bandwidth per direction.
+    pub bandwidth: BytesPerNs,
+}
+
+impl InterconnectSpec {
+    /// PCIe peer-to-peer (the T4 deployment the paper targets has no
+    /// NVLink).
+    pub fn pcie_p2p() -> InterconnectSpec {
+        InterconnectSpec {
+            per_transfer: Ns::from_us(8.0),
+            bandwidth: BytesPerNs::from_gbps(10.0),
+        }
+    }
+
+    /// An NVLink-class interconnect, for sensitivity checks.
+    pub fn nvlink_like() -> InterconnectSpec {
+        InterconnectSpec {
+            per_transfer: Ns::from_us(3.0),
+            bandwidth: BytesPerNs::from_gbps(250.0),
+        }
+    }
+}
+
+/// Timing of one sharded batch.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedTiming {
+    /// Slowest shard's embedding time (shards run in parallel).
+    pub shard_critical: Ns,
+    /// All-gather time moving remote shards' rows to the dense device.
+    pub gather: Ns,
+    /// `shard_critical + gather`.
+    pub total: Ns,
+}
+
+/// A model-parallel flat cache over multiple simulated GPUs.
+pub struct MultiGpuFleche {
+    shards: Vec<(Gpu, FlecheSystem)>,
+    codec: SizeAwareCodec,
+    interconnect: InterconnectSpec,
+    spec: DatasetSpec,
+    lifetime: LifetimeStats,
+}
+
+impl MultiGpuFleche {
+    /// Builds `gpus` shards, each holding `cache_fraction` of total table
+    /// bytes (so aggregate capacity scales with the device count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0`.
+    pub fn new(
+        spec: &DatasetSpec,
+        gpus: usize,
+        cache_fraction: f64,
+        config: FlecheConfig,
+        interconnect: InterconnectSpec,
+    ) -> MultiGpuFleche {
+        assert!(gpus > 0, "need at least one GPU");
+        let corpora: Vec<u64> = spec.tables.iter().map(|t| t.corpus).collect();
+        let codec = SizeAwareCodec::new(config.key_bits, &corpora);
+        let shards = (0..gpus)
+            .map(|_| {
+                let store = CpuStore::new(spec, DramSpec::xeon_6252());
+                let sys = FlecheSystem::new(
+                    spec,
+                    store,
+                    FlecheConfig {
+                        cache_fraction,
+                        ..config.clone()
+                    },
+                );
+                (Gpu::new(DeviceSpec::t4()), sys)
+            })
+            .collect();
+        MultiGpuFleche {
+            shards,
+            codec,
+            interconnect,
+            spec: spec.clone(),
+            lifetime: LifetimeStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns a `(table, feature)` pair (hash of its flat key).
+    pub fn shard_of(&self, table: u16, feature: u64) -> usize {
+        let k = self.codec.encode(table, feature).0;
+        (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize % self.shards.len()
+    }
+
+    /// Lifetime cache statistics aggregated over shards.
+    pub fn lifetime_stats(&self) -> LifetimeStats {
+        self.lifetime
+    }
+
+    /// Runs one batch: split by shard owner, query shards (in parallel —
+    /// the slowest one gates), all-gather the remote rows. Returns the
+    /// per-access rows in batch order plus timing.
+    pub fn query_batch(&mut self, batch: &Batch) -> (Vec<Vec<f32>>, ShardedTiming, BatchStats) {
+        let g = self.shards.len();
+        // Split the batch per shard, remembering where each access goes.
+        let mut shard_batches: Vec<Batch> = (0..g)
+            .map(|_| Batch {
+                samples: Vec::new(),
+                table_ids: vec![Vec::new(); self.spec.table_count()],
+            })
+            .collect();
+        // routing[k] = (shard, position within that shard's flattening).
+        let mut routing = Vec::with_capacity(batch.total_ids());
+        let mut counts = vec![vec![0usize; self.spec.table_count()]; g];
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                let s = self.shard_of(t as u16, id);
+                shard_batches[s].table_ids[t].push(id);
+                routing.push((s, t, counts[s][t]));
+                counts[s][t] += 1;
+            }
+        }
+
+        // Query every shard; each runs on its own device, so wall time is
+        // the max, not the sum.
+        let mut shard_rows: Vec<Vec<Vec<f32>>> = Vec::with_capacity(g);
+        let mut shard_times = Vec::with_capacity(g);
+        let mut agg = BatchStats::default();
+        for (s, (gpu, sys)) in self.shards.iter_mut().enumerate() {
+            use fleche_store::api::EmbeddingCacheSystem;
+            if shard_batches[s].total_ids() == 0 {
+                shard_rows.push(Vec::new());
+                shard_times.push(Ns::ZERO);
+                continue;
+            }
+            let t0 = gpu.now();
+            let out = sys.query_batch(gpu, &shard_batches[s]);
+            shard_times.push(gpu.now() - t0);
+            agg.unique_keys += out.stats.unique_keys;
+            agg.hits += out.stats.hits;
+            agg.unified_hits += out.stats.unified_hits;
+            agg.misses += out.stats.misses;
+            shard_rows.push(out.rows);
+        }
+        let shard_critical = shard_times.iter().copied().fold(Ns::ZERO, Ns::max);
+
+        // All-gather: every shard except the dense-layer host (shard 0)
+        // ships its output rows.
+        let mut gather = Ns::ZERO;
+        for s in 1..g {
+            let bytes: u64 = shard_rows[s].iter().map(|r| r.len() as u64 * 4).sum();
+            if bytes > 0 {
+                gather += self.interconnect.per_transfer
+                    + self.interconnect.bandwidth.transfer_time(bytes);
+            }
+        }
+
+        // Reassemble rows in original batch order. Each shard's rows are in
+        // its own flattening (table-major); per-(shard, table) cursors over
+        // prefix offsets recover positions.
+        let mut table_offset = vec![vec![0usize; self.spec.table_count()]; g];
+        for s in 0..g {
+            let mut off = 0usize;
+            for t in 0..self.spec.table_count() {
+                table_offset[s][t] = off;
+                off += shard_batches[s].table_ids[t].len();
+            }
+        }
+        let rows = routing
+            .iter()
+            .map(|&(s, t, pos)| shard_rows[s][table_offset[s][t] + pos].clone())
+            .collect();
+
+        agg.wall = shard_critical + gather;
+        self.lifetime.observe(&agg);
+        let timing = ShardedTiming {
+            shard_critical,
+            gather,
+            total: shard_critical + gather,
+        };
+        (rows, timing, agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleche_workload::{spec, TraceGenerator};
+
+    fn build(gpus: usize) -> (MultiGpuFleche, TraceGenerator, DatasetSpec) {
+        let ds = spec::synthetic(6, 4_000, 16, -1.3);
+        let mg = MultiGpuFleche::new(
+            &ds,
+            gpus,
+            0.05,
+            FlecheConfig::full(0.05),
+            InterconnectSpec::pcie_p2p(),
+        );
+        let gen = TraceGenerator::new(&ds);
+        (mg, gen, ds)
+    }
+
+    #[test]
+    fn sharded_rows_match_ground_truth() {
+        let (mut mg, mut gen, ds) = build(3);
+        let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+        for _ in 0..4 {
+            let batch = gen.next_batch(64);
+            let (rows, timing, _) = mg.query_batch(&batch);
+            assert_eq!(rows.len(), batch.total_ids());
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    assert_eq!(rows[k], truth.read(t as u16, id), "row {k}");
+                    k += 1;
+                }
+            }
+            assert!(timing.total >= timing.shard_critical);
+        }
+    }
+
+    #[test]
+    fn sharding_is_stable_and_balanced() {
+        let (mg, _, ds) = build(4);
+        let mut counts = vec![0usize; 4];
+        for t in 0..ds.table_count() as u16 {
+            for f in 0..200 {
+                let s = mg.shard_of(t, f);
+                assert_eq!(s, mg.shard_of(t, f), "stable routing");
+                counts[s] += 1;
+            }
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        assert!(max < min * 2, "imbalanced shards: {counts:?}");
+    }
+
+    #[test]
+    fn single_shard_has_no_gather_cost() {
+        let (mut mg, mut gen, _) = build(1);
+        let (_, timing, _) = mg.query_batch(&gen.next_batch(64));
+        assert_eq!(timing.gather, Ns::ZERO);
+    }
+
+    #[test]
+    fn more_shards_gather_more() {
+        let gather_of = |gpus: usize| {
+            let (mut mg, mut gen, _) = build(gpus);
+            let (_, timing, _) = mg.query_batch(&gen.next_batch(256));
+            timing.gather
+        };
+        assert!(gather_of(4) > gather_of(2));
+    }
+
+    #[test]
+    fn aggregate_capacity_raises_hit_rate() {
+        // Each shard holds 5%: 4 shards see only their partition's keys,
+        // so effective per-key capacity quadruples vs a single 5% device.
+        let hit_of = |gpus: usize| {
+            let (mut mg, mut gen, _) = build(gpus);
+            for _ in 0..10 {
+                mg.query_batch(&gen.next_batch(256));
+            }
+            mg.lifetime_stats().hit_rate()
+        };
+        let one = hit_of(1);
+        let four = hit_of(4);
+        assert!(
+            four >= one - 0.02,
+            "sharded hit rate {four} collapsed vs single {one}"
+        );
+    }
+
+    #[test]
+    fn stats_partition_across_shards() {
+        let (mut mg, mut gen, _) = build(3);
+        let batch = gen.next_batch(128);
+        let (_, _, stats) = mg.query_batch(&batch);
+        assert_eq!(
+            stats.hits + stats.unified_hits + stats.misses,
+            stats.unique_keys
+        );
+        assert!(stats.unique_keys <= batch.total_ids() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let ds = spec::synthetic(2, 100, 8, -1.2);
+        let _ = MultiGpuFleche::new(
+            &ds,
+            0,
+            0.05,
+            FlecheConfig::full(0.05),
+            InterconnectSpec::pcie_p2p(),
+        );
+    }
+}

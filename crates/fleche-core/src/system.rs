@@ -1,0 +1,797 @@
+//! The complete Fleche query workflow (paper §3).
+//!
+//! One batch proceeds: dedup → re-encode to flat keys → (fused) index
+//! kernel → decoupled hit-copy kernel in parallel with the CPU-DRAM query
+//! for misses (unified-index entries skip the CPU-side indexing) →
+//! replacement (admission-filtered, copy-then-index order) → restore.
+//!
+//! Every technique is individually switchable so the ablation experiments
+//! (Exp #7, Exp #8) can measure each one's contribution:
+//! `fusion` (self-identified kernel fusion vs per-table kernels),
+//! `decoupling` (separate index/copy kernels + DRAM overlap vs coupled),
+//! `unified_index` (GPU-resident DRAM pointers + capacity tuner).
+
+use crate::flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig};
+use crate::fusion::{FusionMember, FusionPlan};
+use crate::tuner::UnifiedIndexTuner;
+use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
+use fleche_gpu::{CopyApi, Gpu, KernelDesc, KernelWork, Ns};
+use fleche_index::{ProbeStats, SLAB_WIDTH};
+use fleche_store::api::{
+    dedup_charged, BatchStats, EmbeddingCacheSystem, LifetimeStats, PhaseBreakdown, QueryOutput,
+};
+use fleche_store::{CpuStore, TieredStore};
+use fleche_workload::{Batch, DatasetSpec};
+
+/// Host-side cost of re-encoding one key (a cached table-code fetch plus
+/// shift/mask work — the paper calls this "ultra-fast").
+const ENCODE_NS_PER_KEY: f64 = 2.0;
+/// Host-side cost of preparing one kernel's argument set.
+const PER_KERNEL_PREP: Ns = Ns(300.0);
+
+/// Feature switches and sizing for a Fleche instance.
+#[derive(Clone, Debug)]
+pub struct FlecheConfig {
+    /// Fraction of total embedding bytes given to the cache.
+    pub cache_fraction: f64,
+    /// Flat-key width in bits.
+    pub key_bits: u32,
+    /// Merge all per-table query kernels into one (self-identified kernel
+    /// fusion).
+    pub fusion: bool,
+    /// Decouple copying from indexing (separate kernels, DRAM overlap).
+    pub decoupling: bool,
+    /// Maintain GPU-resident pointers to CPU-DRAM embeddings.
+    pub unified_index: bool,
+    /// Cache replacement & eviction policy knobs.
+    pub cache: FlatCacheConfig,
+    /// Copy API for small metadata transfers.
+    pub metadata_copy: CopyApi,
+}
+
+impl Default for FlecheConfig {
+    fn default() -> FlecheConfig {
+        FlecheConfig {
+            cache_fraction: 0.05,
+            key_bits: 40,
+            fusion: true,
+            decoupling: true,
+            unified_index: true,
+            cache: FlatCacheConfig::default(),
+            metadata_copy: CopyApi::GdrCopy,
+        }
+    }
+}
+
+impl FlecheConfig {
+    /// The Fig-16 "+FC" stage: flat cache only (per-table kernels, coupled,
+    /// no unified index).
+    pub fn flat_cache_only(cache_fraction: f64) -> FlecheConfig {
+        FlecheConfig {
+            cache_fraction,
+            fusion: false,
+            decoupling: false,
+            unified_index: false,
+            ..FlecheConfig::default()
+        }
+    }
+
+    /// The Fig-16 "+Fusion" stage: flat cache + fused (coupled) kernel.
+    pub fn with_fusion(cache_fraction: f64) -> FlecheConfig {
+        FlecheConfig {
+            cache_fraction,
+            fusion: true,
+            decoupling: false,
+            unified_index: false,
+            ..FlecheConfig::default()
+        }
+    }
+
+    /// Full Fleche minus the unified index (the paper's "Fleche w/o
+    /// unified index" variant).
+    pub fn without_unified_index(cache_fraction: f64) -> FlecheConfig {
+        FlecheConfig {
+            cache_fraction,
+            unified_index: false,
+            ..FlecheConfig::default()
+        }
+    }
+
+    /// Full Fleche.
+    pub fn full(cache_fraction: f64) -> FlecheConfig {
+        FlecheConfig {
+            cache_fraction,
+            ..FlecheConfig::default()
+        }
+    }
+}
+
+/// Where missing embeddings are fetched from.
+///
+/// `Flat` is the paper's default deployment (the whole model fits in local
+/// DRAM); `Tiered` is giant-model mode (paper §5), where the DRAM layer is
+/// itself a cache over a remote parameter server and its evictions must
+/// invalidate unified-index pointers.
+pub enum MissBackend {
+    /// Local CPU-DRAM holds every embedding.
+    Flat(CpuStore),
+    /// CPU-DRAM caches a remote parameter server.
+    Tiered(TieredStore),
+}
+
+impl MissBackend {
+    fn query_batch(&mut self, keys: &[(u16, u64)]) -> (Vec<Vec<f32>>, Ns) {
+        match self {
+            MissBackend::Flat(s) => s.query_batch(keys),
+            MissBackend::Tiered(s) => s.query_batch(keys),
+        }
+    }
+
+    /// Reads keys whose location is already known (unified-index hits):
+    /// payload cost only, no index walk. Tiered mode also refreshes the
+    /// DRAM layer's LRU so located keys do not get evicted underneath
+    /// their pointers.
+    fn read_located(&mut self, keys: &[(u16, u64)]) -> (Vec<Vec<f32>>, Ns) {
+        match self {
+            MissBackend::Flat(s) => {
+                let rows = keys.iter().map(|&(t, f)| s.read(t, f)).collect();
+                (rows, s.payload_cost(keys))
+            }
+            MissBackend::Tiered(s) => s.read_located(keys),
+        }
+    }
+
+    fn payload_cost(&self, keys: &[(u16, u64)]) -> Ns {
+        match self {
+            MissBackend::Flat(s) => s.payload_cost(keys),
+            MissBackend::Tiered(s) => s.payload_cost(keys),
+        }
+    }
+
+    fn take_evicted(&mut self) -> Vec<(u16, u64)> {
+        match self {
+            MissBackend::Flat(_) => Vec::new(),
+            MissBackend::Tiered(s) => s.take_evicted(),
+        }
+    }
+}
+
+/// The Fleche embedding cache system.
+pub struct FlecheSystem {
+    cache: FlatCache,
+    codec: Box<dyn FlatKeyCodec + Send>,
+    store: MissBackend,
+    config: FlecheConfig,
+    tuner: UnifiedIndexTuner,
+    clock: u32,
+    lifetime: LifetimeStats,
+    n_tables: usize,
+}
+
+impl FlecheSystem {
+    /// Builds Fleche over `store` with the default size-aware codec.
+    pub fn new(spec: &DatasetSpec, store: CpuStore, config: FlecheConfig) -> FlecheSystem {
+        let corpora: Vec<u64> = spec.tables.iter().map(|t| t.corpus).collect();
+        let codec = Box::new(SizeAwareCodec::new(config.key_bits, &corpora));
+        FlecheSystem::with_codec(spec, store, config, codec)
+    }
+
+    /// Builds Fleche with an explicit codec (the coding experiment swaps
+    /// in fixed-length codecs here).
+    /// Builds Fleche in giant-model mode over a tiered (DRAM-cache +
+    /// remote parameter server) backend.
+    pub fn with_tiered_store(
+        spec: &DatasetSpec,
+        store: TieredStore,
+        config: FlecheConfig,
+    ) -> FlecheSystem {
+        let corpora: Vec<u64> = spec.tables.iter().map(|t| t.corpus).collect();
+        let codec = Box::new(SizeAwareCodec::new(config.key_bits, &corpora));
+        FlecheSystem::with_backend(spec, MissBackend::Tiered(store), config, codec)
+    }
+
+    /// Builds Fleche with an explicit codec over the flat backend.
+    pub fn with_codec(
+        spec: &DatasetSpec,
+        store: CpuStore,
+        config: FlecheConfig,
+        codec: Box<dyn FlatKeyCodec + Send>,
+    ) -> FlecheSystem {
+        FlecheSystem::with_backend(spec, MissBackend::Flat(store), config, codec)
+    }
+
+    /// Builds Fleche over any miss backend.
+    pub fn with_backend(
+        spec: &DatasetSpec,
+        store: MissBackend,
+        config: FlecheConfig,
+        codec: Box<dyn FlatKeyCodec + Send>,
+    ) -> FlecheSystem {
+        let cache_bytes = spec.cache_bytes(config.cache_fraction);
+        let cache = FlatCache::new(spec, cache_bytes, config.cache);
+        // Tuner: steps of ~12% of cache entries, capped at 1x cache
+        // entries of pure pointers — pointers are ~25x smaller than a
+        // dim-32 value, so even the max target displaces only a few
+        // percent of cached values.
+        let approx_entries = (cache_bytes / (spec.tables[0].dim as u64 * 4)).max(64);
+        let tuner = UnifiedIndexTuner::new((approx_entries / 8).max(64), approx_entries);
+        FlecheSystem {
+            cache,
+            codec,
+            store,
+            config,
+            tuner,
+            clock: 0,
+            lifetime: LifetimeStats::default(),
+            n_tables: spec.table_count(),
+        }
+    }
+
+    /// The underlying flat cache (diagnostics).
+    pub fn cache(&self) -> &FlatCache {
+        &self.cache
+    }
+
+    /// The local CPU-DRAM store, when running in flat (non-tiered) mode.
+    pub fn store(&self) -> Option<&CpuStore> {
+        match &self.store {
+            MissBackend::Flat(s) => Some(s),
+            MissBackend::Tiered(_) => None,
+        }
+    }
+
+    /// The tiered backend, when running in giant-model mode.
+    pub fn tiered_store(&self) -> Option<&TieredStore> {
+        match &self.store {
+            MissBackend::Flat(_) => None,
+            MissBackend::Tiered(s) => Some(s),
+        }
+    }
+
+    /// The unified-index tuner (diagnostics).
+    pub fn tuner(&self) -> &UnifiedIndexTuner {
+        &self.tuner
+    }
+
+    /// Index-lookup pass over per-table key groups. Returns per-key
+    /// answers plus the per-table probe stats that price the kernels.
+    fn lookup_all(
+        &mut self,
+        groups: &[(u16, Vec<(usize, FlatKey)>)],
+    ) -> (Vec<CacheAnswer>, Vec<ProbeStats>, usize) {
+        let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
+        let mut answers = vec![CacheAnswer::Miss; total];
+        let mut per_table = Vec::with_capacity(groups.len());
+        for (_, group) in groups {
+            let mut stats = ProbeStats::new();
+            for &(pos, key) in group {
+                let (ans, s) = self.cache.lookup(key, self.clock);
+                stats.merge(&s);
+                answers[pos] = ans;
+            }
+            per_table.push(stats);
+        }
+        (answers, per_table, total)
+    }
+}
+
+impl EmbeddingCacheSystem for FlecheSystem {
+    fn name(&self) -> &'static str {
+        match (
+            self.config.fusion,
+            self.config.decoupling,
+            self.config.unified_index,
+        ) {
+            (false, _, _) => "fleche (+FC)",
+            (true, false, _) => "fleche (+FC+fusion)",
+            (true, true, false) => "fleche w/o unified index",
+            (true, true, true) => "fleche",
+        }
+    }
+
+    fn query_batch(&mut self, gpu: &mut Gpu, batch: &Batch) -> QueryOutput {
+        self.clock += 1;
+        let t_start = gpu.now();
+        let mut phases = PhaseBreakdown::default();
+        // ---- Dedup + re-encode (host, "other") -------------------------
+        let o0 = gpu.now();
+        let dedup = dedup_charged(gpu, batch);
+        let unique = &dedup.unique;
+        gpu.elapse_host(
+            "encode",
+            Ns(unique.len() as f64 * ENCODE_NS_PER_KEY + self.n_tables as f64 * 50.0),
+        );
+        // Group unique keys by table, remembering each key's position in
+        // the unique list.
+        let mut groups: Vec<(u16, Vec<(usize, FlatKey)>)> = Vec::new();
+        {
+            let mut by_table: Vec<Vec<(usize, FlatKey)>> = vec![Vec::new(); self.n_tables];
+            for (pos, &(t, f)) in unique.iter().enumerate() {
+                by_table[t as usize].push((pos, self.codec.encode(t, f)));
+            }
+            for (t, g) in by_table.into_iter().enumerate() {
+                if !g.is_empty() {
+                    groups.push((t as u16, g));
+                }
+            }
+        }
+        phases.other += gpu.now() - o0;
+        // ---- Index phase (functional lookups + priced kernels) ---------
+        let q0 = gpu.now();
+        let (answers, per_table_stats, _) = self.lookup_all(&groups);
+        // Count hit bytes per table for coupled-kernel pricing.
+        let mut hit_bytes_per_table = vec![0u64; groups.len()];
+        let mut total_hit_copy_bytes = 0u64;
+        for (gi, (t, group)) in groups.iter().enumerate() {
+            let dim = self.cache.dim_of(*t) as u64;
+            for &(pos, _) in group {
+                if matches!(answers[pos], CacheAnswer::Hit { .. }) {
+                    hit_bytes_per_table[gi] += dim * 4 * 2;
+                }
+            }
+            total_hit_copy_bytes += hit_bytes_per_table[gi];
+        }
+
+        let total_unique = unique.len();
+        let members: Vec<FusionMember> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, (t, group))| {
+                let stats = &per_table_stats[gi];
+                let mut work = KernelWork {
+                    global_bytes: stats.bytes_touched,
+                    flops: 0,
+                    dependent_rounds: stats.max_chain,
+                    shared_accesses: 0,
+                };
+                if !self.config.decoupling {
+                    // Coupled: the same kernel copies hit values while
+                    // holding slot locks, so concurrent queries that share
+                    // a bucket serialize behind each other's copies (the
+                    // paper's Fig. 7). Expected queue depth ~= concurrent
+                    // keys per bucket.
+                    let dim = self.cache.dim_of(*t);
+                    let copy_rounds = dim.div_ceil(SLAB_WIDTH as u32);
+                    let contention =
+                        (total_unique as u32).div_ceil(self.cache.bucket_count().max(1) as u32);
+                    work.global_bytes += hit_bytes_per_table[gi];
+                    work.dependent_rounds += copy_rounds * (1 + contention) + 1;
+                }
+                FusionMember {
+                    threads: group.len() as u32 * SLAB_WIDTH as u32,
+                    block_size: 128,
+                    grid_sync: false,
+                    work,
+                }
+            })
+            .collect();
+
+        if self.config.fusion {
+            if let Ok(plan) = FusionPlan::build(
+                if self.config.decoupling {
+                    "fleche-index"
+                } else {
+                    "fleche-query"
+                },
+                &members,
+            ) {
+                gpu.elapse_host("fusion-prep", PER_KERNEL_PREP);
+                gpu.copy_blocking(
+                    "fusion-meta-h2d",
+                    plan.metadata_bytes,
+                    self.config.metadata_copy,
+                );
+                let s = gpu.default_stream();
+                gpu.launch(s, plan.fused);
+                gpu.sync_stream(s);
+            }
+        } else {
+            let streams = gpu.streams(groups.len().max(1));
+            for (gi, m) in members.iter().enumerate() {
+                gpu.elapse_host("kernel-args", PER_KERNEL_PREP);
+                gpu.launch(streams[gi], KernelDesc::new("fc-query", m.threads, m.work));
+            }
+            gpu.sync_all();
+        }
+        // Missing/hit bitmap back to host (one small D2H copy).
+        gpu.copy_blocking(
+            "answers-d2h",
+            unique.len() as u64,
+            self.config.metadata_copy,
+        );
+        let q_span = gpu.now() - q0;
+        if self.config.decoupling {
+            phases.cache_index += q_span;
+        } else {
+            let total_b = (members.iter().map(|m| m.work.global_bytes).sum::<u64>()).max(1);
+            let copy_frac = total_hit_copy_bytes as f64 / total_b as f64;
+            phases.cache_copy += q_span * copy_frac;
+            phases.cache_index += q_span * (1.0 - copy_frac);
+        }
+        // ---- Decoupled copy kernel + overlapped DRAM query --------------
+        let hit_count = answers
+            .iter()
+            .filter(|a| matches!(a, CacheAnswer::Hit { .. }))
+            .count() as u64;
+        let mut copy_guard = None;
+        let copy_stream = gpu.default_stream();
+        if self.config.decoupling && hit_count > 0 {
+            // The copy kernel reads pool slots: pin an epoch so eviction
+            // cannot reclaim them mid-copy.
+            copy_guard = Some(self.cache.pin_reader());
+            let bytes = total_hit_copy_bytes;
+            let threads = (hit_count as u32)
+                .saturating_mul(self.cache.dim_of(groups[0].0))
+                .max(256);
+            let work = KernelWork {
+                global_bytes: bytes,
+                flops: 0,
+                dependent_rounds: 2,
+                shared_accesses: 0,
+            };
+            gpu.elapse_host("copy-prep", PER_KERNEL_PREP);
+            let c0 = gpu.now();
+            gpu.launch(copy_stream, KernelDesc::new("fleche-copy", threads, work));
+            phases.cache_copy += gpu.now() - c0; // launch cost; exec overlaps
+        }
+        // CPU-DRAM query for misses; unified hits skip the CPU index.
+        let d0 = gpu.now();
+        let mut full_miss_keys: Vec<(u16, u64)> = Vec::new();
+        let mut unified_keys: Vec<(u16, u64)> = Vec::new();
+        for (pos, &(t, f)) in unique.iter().enumerate() {
+            match answers[pos] {
+                CacheAnswer::Miss => full_miss_keys.push((t, f)),
+                CacheAnswer::UnifiedHit => unified_keys.push((t, f)),
+                CacheAnswer::Hit { .. } => {}
+            }
+        }
+        let (miss_rows, miss_cost) = self.store.query_batch(&full_miss_keys);
+        let (unified_rows, unified_payload) = self.store.read_located(&unified_keys);
+        gpu.elapse_host("dram-query", miss_cost + unified_payload);
+        let span = gpu.now() - d0;
+        let payload_part = self.store.payload_cost(&full_miss_keys) + unified_payload;
+        phases.dram_payload += payload_part.min(span);
+        phases.dram_index += span.saturating_sub(payload_part);
+
+        // H2D of fetched embeddings (straight into the output matrix).
+        let h0 = gpu.now();
+        let fetched_bytes: u64 = full_miss_keys
+            .iter()
+            .chain(&unified_keys)
+            .map(|&(t, _)| self.cache.dim_of(t) as u64 * 4)
+            .sum();
+        if fetched_bytes > 0 {
+            gpu.copy_blocking("missing-emb-h2d", fetched_bytes, CopyApi::CudaMemcpy);
+        }
+        phases.dram_payload += gpu.now() - h0;
+        // ---- Replacement: copy first, then index (paper order) ----------
+        let r0 = gpu.now();
+        let mut insert_stats = ProbeStats::new();
+        let mut admitted: u64 = 0;
+        for (&(t, f), row) in full_miss_keys
+            .iter()
+            .zip(&miss_rows)
+            .chain(unified_keys.iter().zip(&unified_rows))
+        {
+            let key = self.codec.encode(t, f);
+            if self.cache.admit() {
+                let (loc, s) = self.cache.insert_value(t, key, row, self.clock);
+                insert_stats.merge(&s);
+                if loc.is_some() {
+                    admitted += 1;
+                }
+            } else if self.config.unified_index {
+                let s = self.cache.insert_dram_ptr(t, f, key, self.clock);
+                insert_stats.merge(&s);
+            }
+        }
+        if admitted > 0 {
+            // Copy kernel (values into pool slots), then the index-update
+            // kernel — two fused kernels regardless of table count.
+            let copy_bytes: u64 = admitted * 64; // staging bookkeeping
+            let value_bytes: u64 = full_miss_keys
+                .iter()
+                .chain(&unified_keys)
+                .map(|&(t, _)| self.cache.dim_of(t) as u64 * 4)
+                .sum();
+            let s = gpu.default_stream();
+            gpu.launch(
+                s,
+                KernelDesc::new(
+                    "replace-copy",
+                    (admitted as u32 * 32).max(128),
+                    KernelWork::streaming(value_bytes + copy_bytes),
+                ),
+            );
+            gpu.launch(
+                s,
+                KernelDesc::new(
+                    "replace-index",
+                    (admitted as u32 * SLAB_WIDTH as u32).max(32),
+                    KernelWork {
+                        global_bytes: insert_stats.bytes_touched,
+                        flops: 0,
+                        dependent_rounds: insert_stats.max_chain + 1,
+                        shared_accesses: 0,
+                    },
+                ),
+            );
+        }
+        // Eviction pass if the watermark tripped. With the unified index
+        // on, evicted entries whose flat key decodes are converted into
+        // DRAM pointers (the paper's cold-embedding replacement).
+        if self.cache.needs_eviction() {
+            let scan_bytes = self.cache.scan_bytes();
+            let stats = if self.config.unified_index {
+                let codec = &self.codec;
+                self.cache.evict_pass_with(|k| codec.decode(FlatKey(k)))
+            } else {
+                self.cache.evict_pass()
+            };
+            let s = gpu.default_stream();
+            gpu.launch(
+                s,
+                KernelDesc::new(
+                    "evict-scan",
+                    16_384,
+                    KernelWork {
+                        global_bytes: scan_bytes + stats.bytes_touched,
+                        flops: 0,
+                        dependent_rounds: 2,
+                        shared_accesses: 0,
+                    },
+                ),
+            );
+        }
+        phases.other += gpu.now() - r0;
+        // ---- Restore + final sync ---------------------------------------
+        let a0 = gpu.now();
+        let mut unique_rows: Vec<Vec<f32>> = vec![Vec::new(); unique.len()];
+        for (pos, &(t, f)) in unique.iter().enumerate() {
+            match answers[pos] {
+                CacheAnswer::Hit { class, slot } => {
+                    unique_rows[pos] = self.cache.read_hit(class, slot).to_vec();
+                    let _ = (t, f);
+                }
+                _ => {}
+            }
+        }
+        let mut mi = 0usize;
+        let mut ui = 0usize;
+        for (pos, _) in unique.iter().enumerate() {
+            match answers[pos] {
+                CacheAnswer::Miss => {
+                    unique_rows[pos] = miss_rows[mi].clone();
+                    mi += 1;
+                }
+                CacheAnswer::UnifiedHit => {
+                    unique_rows[pos] = unified_rows[ui].clone();
+                    ui += 1;
+                }
+                CacheAnswer::Hit { .. } => {}
+            }
+        }
+        let rows = dedup.restore(&unique_rows);
+        let dims: Vec<u32> = (0..self.n_tables as u16)
+            .map(|t| self.cache.dim_of(t))
+            .collect();
+        let s = gpu.default_stream();
+        gpu.launch(
+            s,
+            KernelDesc::new(
+                "restore",
+                batch.total_ids() as u32,
+                dedup.restore_kernel_work(&dims),
+            ),
+        );
+        gpu.sync_all();
+        if let Some(guard) = copy_guard.take() {
+            // The decoupled copy kernel has fully completed by this sync.
+            self.cache.release_reader(guard);
+        }
+        self.cache.end_batch();
+        // Giant-model mode: embeddings evicted from the DRAM layer are no
+        // longer where the unified index says — drop those pointers
+        // (paper §5's invalidation corner case).
+        let evicted = self.store.take_evicted();
+        if !evicted.is_empty() {
+            let inv0 = gpu.now();
+            let mut invalidated = 0u64;
+            for (t, f) in evicted {
+                if self.cache.invalidate_dram_ptr(self.codec.encode(t, f)) {
+                    invalidated += 1;
+                }
+            }
+            // One small index-update kernel clears the stale pointers.
+            if invalidated > 0 {
+                let s = gpu.default_stream();
+                gpu.launch(
+                    s,
+                    KernelDesc::new(
+                        "ui-invalidate",
+                        (invalidated as u32 * SLAB_WIDTH as u32).max(32),
+                        KernelWork::streaming(invalidated * 64),
+                    ),
+                );
+                gpu.sync_stream(s);
+            }
+            phases.other += gpu.now() - inv0;
+        }
+        phases.other += gpu.now() - a0;
+        let wall = gpu.now() - t_start;
+        if self.config.unified_index {
+            let target = self.tuner.observe(wall);
+            self.cache.set_unified_target(target);
+        }
+
+        let stats = BatchStats {
+            unique_keys: unique.len() as u64,
+            hits: hit_count,
+            unified_hits: unified_keys.len() as u64,
+            misses: full_miss_keys.len() as u64,
+            wall,
+            phases,
+        };
+        self.lifetime.observe(&stats);
+        QueryOutput { rows, stats }
+    }
+
+    fn lifetime_stats(&self) -> LifetimeStats {
+        self.lifetime
+    }
+
+    fn reset_stats(&mut self) {
+        self.lifetime = LifetimeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleche_gpu::{DeviceSpec, DramSpec};
+    use fleche_workload::{spec, TraceGenerator};
+
+    fn setup(config: FlecheConfig) -> (Gpu, FlecheSystem, TraceGenerator) {
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let sys = FlecheSystem::new(&ds, store, config);
+        (Gpu::new(DeviceSpec::t4()), sys, TraceGenerator::new(&ds))
+    }
+
+    #[test]
+    fn returns_ground_truth_rows() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.05));
+        let truth = CpuStore::new(&spec::synthetic(8, 5_000, 16, -1.3), DramSpec::xeon_6252());
+        for _ in 0..4 {
+            let batch = gen.next_batch(64);
+            let out = sys.query_batch(&mut gpu, &batch);
+            assert_eq!(out.rows.len(), batch.total_ids());
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    assert_eq!(out.rows[k], truth.read(t as u16, id), "row {k}");
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_return_correct_rows() {
+        for config in [
+            FlecheConfig::flat_cache_only(0.05),
+            FlecheConfig::with_fusion(0.05),
+            FlecheConfig::without_unified_index(0.05),
+            FlecheConfig::full(0.05),
+        ] {
+            let (mut gpu, mut sys, mut gen) = setup(config);
+            let truth = CpuStore::new(&spec::synthetic(8, 5_000, 16, -1.3), DramSpec::xeon_6252());
+            for _ in 0..3 {
+                let batch = gen.next_batch(48);
+                let out = sys.query_batch(&mut gpu, &batch);
+                let mut k = 0;
+                for (t, ids) in batch.table_ids.iter().enumerate() {
+                    for &id in ids {
+                        assert_eq!(
+                            out.rows[k],
+                            truth.read(t as u16, id),
+                            "system {} row {k}",
+                            sys.name()
+                        );
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hit_rate_grows_with_warmup() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.2));
+        for _ in 0..12 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let warm = sys.query_batch(&mut gpu, &gen.next_batch(256)).stats;
+        assert!(warm.hit_rate() > 0.4, "hit rate {}", warm.hit_rate());
+    }
+
+    #[test]
+    fn fusion_reduces_wall_time() {
+        let wall = |config: FlecheConfig| {
+            let (mut gpu, mut sys, mut gen) = setup(config);
+            for _ in 0..8 {
+                sys.query_batch(&mut gpu, &gen.next_batch(128));
+            }
+            sys.query_batch(&mut gpu, &gen.next_batch(128)).stats.wall
+        };
+        let unfused = wall(FlecheConfig::flat_cache_only(0.05));
+        let fused = wall(FlecheConfig::with_fusion(0.05));
+        assert!(
+            fused < unfused,
+            "fusion ({fused}) must beat per-table kernels ({unfused})"
+        );
+    }
+
+    #[test]
+    fn unified_index_serves_location_hits() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.02));
+        // Warm long enough for the tuner to grow a target.
+        let mut unified_seen = 0;
+        for _ in 0..40 {
+            let s = sys.query_batch(&mut gpu, &gen.next_batch(256)).stats;
+            unified_seen += s.unified_hits;
+        }
+        assert!(sys.tuner().target() > 0, "tuner should have grown");
+        assert!(
+            unified_seen > 0,
+            "some misses should be served through the unified index"
+        );
+    }
+
+    #[test]
+    fn no_unified_index_means_no_unified_hits() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::without_unified_index(0.05));
+        for _ in 0..10 {
+            let s = sys.query_batch(&mut gpu, &gen.next_batch(128)).stats;
+            assert_eq!(s.unified_hits, 0);
+        }
+        assert_eq!(sys.cache().unified_count(), 0);
+    }
+
+    #[test]
+    fn wall_time_and_phase_accounting() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.05));
+        let out = sys.query_batch(&mut gpu, &gen.next_batch(128));
+        assert!(out.stats.wall > Ns::ZERO);
+        let p = out.stats.phases;
+        assert!(p.total() > out.stats.wall * 0.4);
+        assert!(p.cache_index > Ns::ZERO);
+    }
+
+    #[test]
+    fn counters_partition_unique_keys() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.1));
+        for _ in 0..6 {
+            let s = sys.query_batch(&mut gpu, &gen.next_batch(200)).stats;
+            assert_eq!(s.hits + s.unified_hits + s.misses, s.unique_keys);
+        }
+    }
+
+    #[test]
+    fn small_cache_triggers_eviction_eventually() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig {
+            cache: FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+            ..FlecheConfig::full(0.01)
+        });
+        for _ in 0..30 {
+            sys.query_batch(&mut gpu, &gen.next_batch(512));
+        }
+        assert!(
+            sys.cache().evict_passes() > 0,
+            "a 1% cache under admission=1.0 must evict"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Unified-index capacity tuner (paper §3.3).
+//!
+//! The unified index offloads CPU-DRAM indexing to GPU, but its entries
+//! consume device memory that could otherwise cache embeddings. The paper
+//! tunes capacity empirically: start empty, grow while performance keeps
+//! improving, pause at the peak, and on a significant regression (workload
+//! shift) clear everything and re-grow.
+
+use fleche_gpu::Ns;
+
+/// State of the tuner's search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TunerState {
+    /// Capacity is being increased step by step.
+    Growing,
+    /// The performance peak was found; capacity is held.
+    Plateau,
+}
+
+/// The capacity tuner.
+#[derive(Clone, Debug)]
+pub struct UnifiedIndexTuner {
+    state: TunerState,
+    target: u64,
+    step: u64,
+    max_entries: u64,
+    /// Exponential moving average of batch latency.
+    ema: Option<f64>,
+    /// EMA at the time of the last capacity change.
+    last_step_ema: f64,
+    /// Best EMA ever observed (plateau reference).
+    best: f64,
+    /// Batches observed since the last decision.
+    since_decision: u32,
+    /// Batches between decisions (lets the EMA settle).
+    decision_interval: u32,
+    /// Regression factor that triggers a reset (workload change).
+    reset_factor: f64,
+    alpha: f64,
+    resets: u64,
+}
+
+impl UnifiedIndexTuner {
+    /// Creates a tuner growing in `step`-entry increments up to
+    /// `max_entries`.
+    pub fn new(step: u64, max_entries: u64) -> UnifiedIndexTuner {
+        UnifiedIndexTuner {
+            state: TunerState::Growing,
+            target: 0,
+            step: step.max(1),
+            max_entries,
+            ema: None,
+            last_step_ema: f64::INFINITY,
+            best: f64::INFINITY,
+            since_decision: 0,
+            decision_interval: 4,
+            reset_factor: 1.3,
+            alpha: 0.3,
+            resets: 0,
+        }
+    }
+
+    /// Current capacity target in entries.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Current search state.
+    pub fn state(&self) -> TunerState {
+        self.state
+    }
+
+    /// Times the tuner has detected a workload change and restarted.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Feeds one batch's embedding latency; returns the (possibly updated)
+    /// capacity target.
+    pub fn observe(&mut self, batch_latency: Ns) -> u64 {
+        let x = batch_latency.as_ns();
+        let ema = match self.ema {
+            Some(e) => e * (1.0 - self.alpha) + x * self.alpha,
+            None => x,
+        };
+        self.ema = Some(ema);
+        self.best = self.best.min(ema);
+        self.since_decision += 1;
+        if self.since_decision < self.decision_interval {
+            return self.target;
+        }
+        self.since_decision = 0;
+
+        match self.state {
+            TunerState::Growing => {
+                // 3% hysteresis: batch latencies are noisy, and a step that
+                // merely holds performance flat should not end the search.
+                if ema < self.last_step_ema * 1.03 || self.target == 0 {
+                    self.last_step_ema = ema;
+                    self.target = (self.target + self.step).min(self.max_entries);
+                    if self.target == self.max_entries {
+                        self.state = TunerState::Plateau;
+                    }
+                } else {
+                    // The last step clearly hurt: back off and hold.
+                    self.target = self.target.saturating_sub(self.step);
+                    self.state = TunerState::Plateau;
+                }
+            }
+            TunerState::Plateau => {
+                if ema > self.best * self.reset_factor {
+                    // Significant decline: the workload changed. Clear and
+                    // re-search from a fresh baseline (the stale EMA would
+                    // otherwise keep rising through the transition and make
+                    // every step look harmful).
+                    self.target = 0;
+                    self.state = TunerState::Growing;
+                    self.last_step_ema = f64::INFINITY;
+                    self.ema = None;
+                    self.best = f64::INFINITY;
+                    self.resets += 1;
+                }
+            }
+        }
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(t: &mut UnifiedIndexTuner, latency: f64, batches: u32) -> u64 {
+        let mut last = t.target();
+        for _ in 0..batches {
+            last = t.observe(Ns(latency));
+        }
+        last
+    }
+
+    #[test]
+    fn grows_while_improving() {
+        let mut t = UnifiedIndexTuner::new(100, 10_000);
+        assert_eq!(t.target(), 0);
+        // Latency improves as capacity grows: keep stepping.
+        feed(&mut t, 1000.0, 4);
+        let t1 = t.target();
+        assert_eq!(t1, 100);
+        feed(&mut t, 900.0, 4);
+        assert_eq!(t.target(), 200);
+        feed(&mut t, 800.0, 4);
+        assert_eq!(t.target(), 300);
+        assert_eq!(t.state(), TunerState::Growing);
+    }
+
+    #[test]
+    fn stops_at_peak_and_backs_off() {
+        let mut t = UnifiedIndexTuner::new(100, 10_000);
+        feed(&mut t, 1000.0, 4); // -> 100
+        feed(&mut t, 800.0, 4); // improving -> 200
+        feed(&mut t, 950.0, 8); // worse: back off and hold
+        assert_eq!(t.state(), TunerState::Plateau);
+        assert_eq!(t.target(), 100);
+        // Stable latency keeps it in plateau.
+        feed(&mut t, 950.0, 20);
+        assert_eq!(t.state(), TunerState::Plateau);
+        assert_eq!(t.target(), 100);
+    }
+
+    #[test]
+    fn workload_change_resets() {
+        let mut t = UnifiedIndexTuner::new(100, 10_000);
+        feed(&mut t, 1000.0, 4);
+        feed(&mut t, 700.0, 4);
+        feed(&mut t, 900.0, 8); // plateau
+        assert_eq!(t.state(), TunerState::Plateau);
+        // Latency blows up: reset and start growing again.
+        feed(&mut t, 5000.0, 12);
+        assert!(t.resets() >= 1);
+        assert_eq!(t.state(), TunerState::Growing);
+    }
+
+    #[test]
+    fn respects_max_entries() {
+        let mut t = UnifiedIndexTuner::new(500, 800);
+        feed(&mut t, 1000.0, 4);
+        feed(&mut t, 900.0, 4);
+        assert_eq!(t.target(), 800, "clamped to max");
+        assert_eq!(t.state(), TunerState::Plateau);
+    }
+
+    #[test]
+    fn decision_interval_batches_are_quiet() {
+        let mut t = UnifiedIndexTuner::new(100, 1_000);
+        assert_eq!(t.observe(Ns(1000.0)), 0);
+        assert_eq!(t.observe(Ns(1000.0)), 0);
+        assert_eq!(t.observe(Ns(1000.0)), 0);
+        assert_eq!(t.observe(Ns(1000.0)), 100, "fourth batch decides");
+    }
+
+    #[test]
+    fn zero_step_clamped() {
+        let t = UnifiedIndexTuner::new(0, 10);
+        assert!(t.step >= 1);
+    }
+}

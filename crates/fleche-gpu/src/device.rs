@@ -1,0 +1,427 @@
+//! The `Gpu` facade: what client code (caches, models, harnesses) talks to.
+//!
+//! It owns a single host timeline (the launching CPU thread), the device
+//! engine, a span timeline, and device-memory accounting. Launches are
+//! asynchronous exactly as in CUDA: the host pays launch overhead and moves
+//! on; only `sync_*` joins the two timelines. This is what lets Fleche's
+//! decoupled workflow overlap the CPU-DRAM query with the device-side copy
+//! kernel without any special-case code.
+
+use crate::engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
+use crate::kernel::KernelDesc;
+use crate::spec::{CopyApi, DeviceSpec};
+use crate::time::Ns;
+use crate::timeline::{Category, Timeline, Track};
+
+/// Error type for device operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GpuError {
+    /// A `cuda_malloc` would exceed device memory.
+    OutOfDeviceMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available before the allocation.
+        available: u64,
+    },
+    /// A free did not match an allocation.
+    InvalidFree,
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            GpuError::InvalidFree => write!(f, "free does not match any allocation"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Simulated GPU attached to a single host thread.
+#[derive(Debug)]
+pub struct Gpu {
+    spec: DeviceSpec,
+    engine: DeviceEngine,
+    timeline: Timeline,
+    host_now: Ns,
+    allocated: u64,
+    default_stream: StreamId,
+}
+
+impl Gpu {
+    /// Brings up a device with one default stream.
+    pub fn new(spec: DeviceSpec) -> Gpu {
+        let mut engine = DeviceEngine::new(spec.clone());
+        let default_stream = engine.create_stream();
+        Gpu {
+            spec,
+            engine,
+            timeline: Timeline::new(),
+            host_now: Ns::ZERO,
+            allocated: 0,
+            default_stream,
+        }
+    }
+
+    /// The calibration constants this device runs with.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Current host time.
+    pub fn now(&self) -> Ns {
+        self.host_now
+    }
+
+    /// The always-present stream 0.
+    pub fn default_stream(&self) -> StreamId {
+        self.default_stream
+    }
+
+    /// Creates an additional stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.engine.create_stream()
+    }
+
+    /// Ensures at least `n` streams exist and returns them (including the
+    /// default stream as element 0).
+    pub fn streams(&mut self, n: usize) -> Vec<StreamId> {
+        while self.engine.stream_count() < n {
+            self.engine.create_stream();
+        }
+        (0..n).map(|i| StreamId(i as u32)).collect()
+    }
+
+    /// Read access to the recorded timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Clears the recorded timeline (does not touch clocks), for framing a
+    /// fresh measurement window.
+    pub fn clear_timeline(&mut self) {
+        self.timeline.clear();
+    }
+
+    /// Launches `desc` on `stream`: the host pays launch overhead; the
+    /// kernel becomes eligible when the launch call returns.
+    pub fn launch(&mut self, stream: StreamId, desc: KernelDesc) -> KernelId {
+        let t0 = self.host_now;
+        self.host_now += self.spec.kernel_launch_overhead;
+        self.timeline
+            .record(Track::Host, Category::Launch, desc.label, t0, self.host_now);
+        self.engine.enqueue(stream, desc, self.host_now)
+    }
+
+    /// Launches a pre-captured graph of kernels: one fixed cost plus a small
+    /// per-node cost, all nodes eligible when the call returns. Nodes are
+    /// spread round-robin over `streams` to mimic the captured topology.
+    pub fn launch_graph(
+        &mut self,
+        streams: &[StreamId],
+        kernels: Vec<KernelDesc>,
+    ) -> Vec<KernelId> {
+        assert!(
+            !streams.is_empty(),
+            "graph launch needs at least one stream"
+        );
+        let t0 = self.host_now;
+        let cost = self.spec.graph_launch_fixed
+            + self.spec.graph_per_kernel_overhead * kernels.len() as f64;
+        self.host_now += cost;
+        self.timeline.record(
+            Track::Host,
+            Category::Launch,
+            "cudaGraphLaunch",
+            t0,
+            self.host_now,
+        );
+        kernels
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let s = streams[i % streams.len()];
+                self.engine.enqueue(s, k, self.host_now)
+            })
+            .collect()
+    }
+
+    /// Enqueues an asynchronous host<->device transfer on `stream`.
+    pub fn copy_async(
+        &mut self,
+        stream: StreamId,
+        label: &'static str,
+        bytes: u64,
+        api: CopyApi,
+    ) -> KernelId {
+        let t0 = self.host_now;
+        // Issuing an async copy costs like a (cheap) launch.
+        self.host_now += self.spec.copy_fixed(api);
+        self.timeline
+            .record(Track::Host, Category::Copy, label, t0, self.host_now);
+        let desc = KernelDesc::new(
+            label,
+            self.spec.saturation_threads,
+            crate::kernel::KernelWork::streaming(bytes),
+        );
+        self.engine
+            .enqueue_transfer(stream, desc, self.host_now, self.spec.copy_bandwidth(api))
+    }
+
+    /// Blocking host<->device copy: fixed API cost plus wire time, all on
+    /// the host timeline.
+    pub fn copy_blocking(&mut self, label: &'static str, bytes: u64, api: CopyApi) {
+        let t0 = self.host_now;
+        let cost = self.spec.copy_fixed(api) + self.spec.copy_bandwidth(api).transfer_time(bytes);
+        self.host_now += cost;
+        self.timeline
+            .record(Track::Host, Category::Copy, label, t0, self.host_now);
+    }
+
+    /// Charges host CPU time (DRAM-layer queries, re-encoding, dedup).
+    pub fn elapse_host(&mut self, label: &'static str, dt: Ns) {
+        debug_assert!(dt.is_valid(), "host time increments must be finite");
+        let t0 = self.host_now;
+        self.host_now += dt;
+        self.timeline
+            .record(Track::Host, Category::HostCompute, label, t0, self.host_now);
+    }
+
+    /// Blocks the host until `stream` has drained, then charges sync
+    /// overhead. Returns the new host time.
+    pub fn sync_stream(&mut self, stream: StreamId) -> Ns {
+        let done = self.engine.drain_stream(stream);
+        self.absorb_completions();
+        let woke = self.host_now.max(done);
+        let end = woke + self.spec.stream_sync_overhead;
+        self.timeline.record(
+            Track::Host,
+            Category::Sync,
+            "streamSync",
+            self.host_now,
+            end,
+        );
+        self.host_now = end;
+        self.host_now
+    }
+
+    /// Blocks the host until every stream has drained.
+    pub fn sync_all(&mut self) -> Ns {
+        let done = self.engine.drain_all();
+        self.absorb_completions();
+        let woke = self.host_now.max(done);
+        let end = woke + self.spec.stream_sync_overhead;
+        self.timeline.record(
+            Track::Host,
+            Category::Sync,
+            "deviceSync",
+            self.host_now,
+            end,
+        );
+        self.host_now = end;
+        self.host_now
+    }
+
+    fn absorb_completions(&mut self) {
+        for KernelCompletion {
+            label, start, end, ..
+        } in self.engine.take_completions()
+        {
+            self.timeline
+                .record(Track::Device, Category::KernelExec, label, start, end);
+        }
+    }
+
+    /// Allocates device memory, charging `cudaMalloc` latency.
+    pub fn cuda_malloc(&mut self, bytes: u64) -> Result<(), GpuError> {
+        let available = self.spec.hbm_capacity - self.allocated;
+        if bytes > available {
+            return Err(GpuError::OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        let t0 = self.host_now;
+        self.host_now += self.spec.cuda_malloc_overhead;
+        self.timeline.record(
+            Track::Host,
+            Category::Alloc,
+            "cudaMalloc",
+            t0,
+            self.host_now,
+        );
+        self.allocated += bytes;
+        Ok(())
+    }
+
+    /// Releases device memory.
+    pub fn cuda_free(&mut self, bytes: u64) -> Result<(), GpuError> {
+        if bytes > self.allocated {
+            return Err(GpuError::InvalidFree);
+        }
+        self.allocated -= bytes;
+        Ok(())
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Device-busy time (union of kernel execution) within `[from, to)`.
+    /// `wall - busy` is the paper's kernel-maintenance time.
+    pub fn device_busy(&self, from: Ns, to: Ns) -> Ns {
+        self.timeline.device_busy(from, to)
+    }
+
+    /// Device-busy time of kernels whose label passes `pred`.
+    pub fn device_busy_labeled(&self, pred: impl Fn(&str) -> bool, from: Ns, to: Ns) -> Ns {
+        self.timeline.device_busy_labeled(pred, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelWork;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::t4())
+    }
+
+    #[test]
+    fn launch_charges_host_overhead_and_sync_joins() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let t0 = g.now();
+        g.launch(
+            s,
+            KernelDesc::new("k", 4096, KernelWork::streaming(1 << 20)),
+        );
+        let after_launch = g.now();
+        assert!(
+            (after_launch - t0 - g.spec().kernel_launch_overhead)
+                .as_ns()
+                .abs()
+                < 1e-9
+        );
+        let end = g.sync_stream(s);
+        assert!(end > after_launch);
+    }
+
+    #[test]
+    fn n_launches_cost_n_overheads_on_host() {
+        let mut g = gpu();
+        let streams = g.streams(8);
+        let t0 = g.now();
+        for (i, &s) in streams.iter().enumerate() {
+            let _ = i;
+            g.launch(s, KernelDesc::new("k", 256, KernelWork::streaming(1 << 12)));
+        }
+        let launch_time = g.now() - t0;
+        let expect = g.spec().kernel_launch_overhead * 8.0;
+        assert!((launch_time - expect).as_ns().abs() < 1e-6);
+    }
+
+    #[test]
+    fn graph_launch_is_cheaper_than_individual_launches() {
+        let spec = DeviceSpec::t4();
+        let mk = || KernelDesc::new("k", 256, KernelWork::streaming(1 << 12));
+        let mut g1 = Gpu::new(spec.clone());
+        let streams = g1.streams(16);
+        let t0 = g1.now();
+        for &s in &streams {
+            g1.launch(s, mk());
+        }
+        let individual = g1.now() - t0;
+
+        let mut g2 = Gpu::new(spec);
+        let streams2 = g2.streams(16);
+        let t0 = g2.now();
+        g2.launch_graph(&streams2, (0..16).map(|_| mk()).collect());
+        let graphed = g2.now() - t0;
+        assert!(graphed < individual * 0.5);
+    }
+
+    #[test]
+    fn decoupled_overlap_host_work_with_device_kernel() {
+        // Launch a long kernel, do host work while it runs, then sync: the
+        // wall time must be close to max(kernel, host work), not the sum.
+        let mut g = gpu();
+        let s = g.default_stream();
+        let kernel = KernelDesc::new("long", 1 << 20, KernelWork::streaming(150 << 20));
+        let kernel_time = kernel.isolated_exec_time(g.spec());
+        g.launch(s, kernel);
+        let host_work = kernel_time * 0.8;
+        g.elapse_host("dram-query", host_work);
+        let end = g.sync_stream(s);
+        let overhead = g.spec().kernel_launch_overhead + g.spec().stream_sync_overhead;
+        assert!(
+            end.as_ns() <= (kernel_time + overhead).as_ns() + 1.0,
+            "host work should hide under the kernel: end={end} kernel={kernel_time}"
+        );
+    }
+
+    #[test]
+    fn blocking_copy_api_costs_differ() {
+        let mut g = gpu();
+        let t0 = g.now();
+        g.copy_blocking("meta", 128, CopyApi::CudaMemcpy);
+        let memcpy = g.now() - t0;
+        let t1 = g.now();
+        g.copy_blocking("meta", 128, CopyApi::GdrCopy);
+        let gdr = g.now() - t1;
+        assert!(memcpy > gdr * 10.0);
+    }
+
+    #[test]
+    fn async_copy_overlaps_with_host() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let bytes = 24 << 20;
+        g.copy_async(s, "h2d", bytes, CopyApi::CudaMemcpy);
+        let issue_done = g.now();
+        // Host is free immediately after issuing.
+        assert!(issue_done < g.spec().pcie_bandwidth.transfer_time(bytes));
+        g.sync_stream(s);
+        assert!(g.now() >= g.spec().pcie_bandwidth.transfer_time(bytes));
+    }
+
+    #[test]
+    fn device_memory_accounting() {
+        let mut g = gpu();
+        let cap = g.spec().hbm_capacity;
+        assert!(g.cuda_malloc(cap / 2).is_ok());
+        assert_eq!(g.allocated_bytes(), cap / 2);
+        let err = g.cuda_malloc(cap).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfDeviceMemory { .. }));
+        assert!(g.cuda_free(cap / 2).is_ok());
+        assert_eq!(g.cuda_free(1), Err(GpuError::InvalidFree));
+    }
+
+    #[test]
+    fn maintenance_vs_execution_attribution() {
+        // Many tiny kernels: wall time dominated by launches; device busy
+        // time is a small fraction. This is the paper's Figure 4 phenomenon.
+        let mut g = gpu();
+        let streams = g.streams(32);
+        let t0 = g.now();
+        for &s in &streams {
+            g.launch(
+                s,
+                KernelDesc::new("tiny", 128, KernelWork::streaming(4 << 10)),
+            );
+        }
+        g.sync_all();
+        let wall = g.now() - t0;
+        let busy = g.device_busy(t0, g.now());
+        assert!(busy < wall * 0.8, "busy={busy} wall={wall}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Simulated time.
+//!
+//! All simulator timing is expressed in nanoseconds through the [`Ns`]
+//! newtype. One byte per nanosecond equals exactly 1 GB/s, which makes the
+//! bandwidth arithmetic in the engine easy to audit by eye.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, or a span of simulated time, in nanoseconds.
+///
+/// Internally an `f64` so that bandwidth-sharing math (fractional rates over
+/// fractional intervals) composes without rounding at every step. Values are
+/// always finite and non-negative in a well-formed simulation; the engine
+/// debug-asserts this at its boundaries.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ns(pub f64);
+
+impl Ns {
+    /// The zero instant / empty duration.
+    pub const ZERO: Ns = Ns(0.0);
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Ns {
+        Ns(us * 1_000.0)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Ns {
+        Ns(ms * 1_000_000.0)
+    }
+
+    /// Builds a duration from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Ns {
+        Ns(s * 1_000_000_000.0)
+    }
+
+    /// This duration expressed in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// This duration expressed in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// This duration expressed in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000_000_000.0
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Ns) -> Ns {
+        Ns(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Ns) -> Ns {
+        Ns(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: never goes below zero.
+    #[inline]
+    pub fn saturating_sub(self, other: Ns) -> Ns {
+        Ns((self.0 - other.0).max(0.0))
+    }
+
+    /// True when the value is a usable simulation time (finite, `>= 0`).
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    #[inline]
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    #[inline]
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn mul(self, rhs: f64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn div(self, rhs: f64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Div<Ns> for Ns {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Ns) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000.0 {
+            write!(f, "{:.3}s", ns / 1_000_000_000.0)
+        } else if ns >= 1_000_000.0 {
+            write!(f, "{:.3}ms", ns / 1_000_000.0)
+        } else if ns >= 1_000.0 {
+            write!(f, "{:.3}us", ns / 1_000.0)
+        } else {
+            write!(f, "{ns:.1}ns")
+        }
+    }
+}
+
+/// Bandwidth in bytes per nanosecond (equivalently, GB/s).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct BytesPerNs(pub f64);
+
+impl BytesPerNs {
+    /// Constructs a bandwidth from a GB/s figure (1 GB/s == 1 B/ns).
+    #[inline]
+    pub fn from_gbps(gb_per_s: f64) -> BytesPerNs {
+        BytesPerNs(gb_per_s)
+    }
+
+    /// This bandwidth expressed as GB/s.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0
+    }
+
+    /// Time to move `bytes` at this bandwidth.
+    #[inline]
+    pub fn transfer_time(self, bytes: u64) -> Ns {
+        if self.0 <= 0.0 {
+            return Ns(f64::INFINITY);
+        }
+        Ns(bytes as f64 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = Ns::from_us(2.5);
+        assert!((t.as_ns() - 2500.0).abs() < 1e-9);
+        assert!((t.as_us() - 2.5).abs() < 1e-12);
+        assert!((Ns::from_ms(1.0).as_us() - 1000.0).abs() < 1e-9);
+        assert!((Ns::from_secs(1.0).as_ms() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Ns(100.0);
+        let b = Ns(40.0);
+        assert_eq!((a + b).0, 140.0);
+        assert_eq!((a - b).0, 60.0);
+        assert_eq!((a * 2.0).0, 200.0);
+        assert_eq!((a / 2.0).0, 50.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!(b.saturating_sub(a), Ns::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Ns = [Ns(1.0), Ns(2.0), Ns(3.0)].into_iter().sum();
+        assert_eq!(total.0, 6.0);
+    }
+
+    #[test]
+    fn bandwidth_gbps_identity() {
+        // 300 GB/s moves 300 bytes per nanosecond.
+        let bw = BytesPerNs::from_gbps(300.0);
+        assert!((bw.transfer_time(300).as_ns() - 1.0).abs() < 1e-12);
+        // 1 MiB at 1 GB/s is ~1.05 ms.
+        let bw = BytesPerNs::from_gbps(1.0);
+        assert!((bw.transfer_time(1 << 20).as_ms() - 1.048576).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_infinite_time() {
+        assert!(!BytesPerNs(0.0).transfer_time(1).is_valid());
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Ns(12.0)), "12.0ns");
+        assert_eq!(format!("{}", Ns(1500.0)), "1.500us");
+        assert_eq!(format!("{}", Ns(2_500_000.0)), "2.500ms");
+        assert_eq!(format!("{}", Ns(3_000_000_000.0)), "3.000s");
+    }
+}

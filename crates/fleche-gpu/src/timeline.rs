@@ -1,0 +1,261 @@
+//! Timeline recording and attribution.
+//!
+//! The harnesses reproduce the paper's breakdowns (maintenance vs execution
+//! time, cache-index vs cache-copy vs DRAM time) by querying recorded spans
+//! rather than instrumenting call sites ad hoc.
+
+use crate::time::Ns;
+
+/// Which timeline a span belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Track {
+    /// The (single) launching CPU thread.
+    Host,
+    /// The device's SMs / copy engines.
+    Device,
+}
+
+/// Semantic class of a span, used by breakdown figures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// CPU-side kernel launch work (driver + runtime).
+    Launch,
+    /// CPU-side stream/device synchronization.
+    Sync,
+    /// Blocking host<->device copy (fixed cost + wire time).
+    Copy,
+    /// Kernel execution on the device.
+    KernelExec,
+    /// Host CPU compute charged via `elapse_host` (e.g. DRAM-layer query,
+    /// key re-encoding, dedup bookkeeping).
+    HostCompute,
+    /// Device memory allocation calls.
+    Alloc,
+}
+
+/// One recorded interval.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Timeline this span occupies.
+    pub track: Track,
+    /// Semantic class.
+    pub category: Category,
+    /// Free-form label (kernel name, workflow stage).
+    pub label: &'static str,
+    /// Start time.
+    pub start: Ns,
+    /// End time (`>= start`).
+    pub end: Ns,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> Ns {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Length of the intersection with `[from, to)`.
+    pub fn overlap(&self, from: Ns, to: Ns) -> Ns {
+        let s = self.start.max(from);
+        let e = self.end.min(to);
+        e.saturating_sub(s)
+    }
+}
+
+/// Append-only span log with aggregation queries.
+#[derive(Default, Debug)]
+pub struct Timeline {
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Records a span. Zero-length spans are kept (they still mark events).
+    pub fn record(
+        &mut self,
+        track: Track,
+        category: Category,
+        label: &'static str,
+        start: Ns,
+        end: Ns,
+    ) {
+        debug_assert!(
+            start.is_valid() && end.is_valid(),
+            "span times must be finite"
+        );
+        debug_assert!(end.0 >= start.0 - 1e-9, "span ends before it starts");
+        self.spans.push(Span {
+            track,
+            category,
+            label,
+            start,
+            end: end.max(start),
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Discards all spans (measurement-window reset).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Sum of span durations in `category` intersected with `[from, to)`.
+    /// Note this is a *sum*, not a union: concurrent kernels count twice.
+    pub fn total_in(&self, category: Category, from: Ns, to: Ns) -> Ns {
+        self.spans
+            .iter()
+            .filter(|s| s.category == category)
+            .map(|s| s.overlap(from, to))
+            .sum()
+    }
+
+    /// Sum of durations of spans whose label passes `pred`, within window.
+    pub fn total_labeled(&self, pred: impl Fn(&str) -> bool, from: Ns, to: Ns) -> Ns {
+        self.spans
+            .iter()
+            .filter(|s| pred(s.label))
+            .map(|s| s.overlap(from, to))
+            .sum()
+    }
+
+    /// Length of the *union* of device kernel-execution spans within
+    /// `[from, to)`: the time the device was doing useful work. The wall
+    /// time minus this is the paper's "kernel maintenance" time.
+    pub fn device_busy(&self, from: Ns, to: Ns) -> Ns {
+        self.device_busy_labeled(|_| true, from, to)
+    }
+
+    /// Like [`Timeline::device_busy`], restricted to kernels whose label
+    /// passes `pred` (e.g. only the cache-query kernels, excluding
+    /// replacement and restore).
+    pub fn device_busy_labeled(&self, pred: impl Fn(&str) -> bool, from: Ns, to: Ns) -> Ns {
+        let mut intervals: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.track == Track::Device && s.category == Category::KernelExec)
+            .filter(|s| pred(s.label))
+            .filter_map(|s| {
+                let a = s.start.max(from).0;
+                let b = s.end.min(to).0;
+                (b > a).then_some((a, b))
+            })
+            .collect();
+        intervals.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite span times"));
+        let mut busy = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (a, b) in intervals {
+            match cur {
+                Some((cs, ce)) if a <= ce => cur = Some((cs, ce.max(b))),
+                Some((cs, ce)) => {
+                    busy += ce - cs;
+                    cur = Some((a, b));
+                    let _ = cs;
+                }
+                None => cur = Some((a, b)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            busy += ce - cs;
+        }
+        Ns(busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline::new()
+    }
+
+    #[test]
+    fn records_and_sums_categories() {
+        let mut t = tl();
+        t.record(Track::Host, Category::Launch, "l1", Ns(0.0), Ns(10.0));
+        t.record(Track::Host, Category::Launch, "l2", Ns(20.0), Ns(25.0));
+        t.record(Track::Host, Category::Sync, "s", Ns(30.0), Ns(40.0));
+        assert_eq!(t.total_in(Category::Launch, Ns(0.0), Ns(100.0)).0, 15.0);
+        assert_eq!(t.total_in(Category::Sync, Ns(0.0), Ns(100.0)).0, 10.0);
+        // Window clipping.
+        assert_eq!(t.total_in(Category::Launch, Ns(5.0), Ns(22.0)).0, 7.0);
+    }
+
+    #[test]
+    fn device_busy_takes_union_not_sum() {
+        let mut t = tl();
+        t.record(Track::Device, Category::KernelExec, "a", Ns(0.0), Ns(100.0));
+        t.record(
+            Track::Device,
+            Category::KernelExec,
+            "b",
+            Ns(50.0),
+            Ns(150.0),
+        );
+        t.record(
+            Track::Device,
+            Category::KernelExec,
+            "c",
+            Ns(200.0),
+            Ns(210.0),
+        );
+        // Host spans must not count.
+        t.record(Track::Host, Category::HostCompute, "h", Ns(0.0), Ns(1000.0));
+        assert_eq!(t.device_busy(Ns(0.0), Ns(1000.0)).0, 160.0);
+        assert_eq!(t.device_busy(Ns(0.0), Ns(75.0)).0, 75.0);
+        assert_eq!(t.device_busy(Ns(300.0), Ns(400.0)).0, 0.0);
+    }
+
+    #[test]
+    fn labeled_totals_filter() {
+        let mut t = tl();
+        t.record(
+            Track::Device,
+            Category::KernelExec,
+            "index",
+            Ns(0.0),
+            Ns(5.0),
+        );
+        t.record(
+            Track::Device,
+            Category::KernelExec,
+            "copy",
+            Ns(5.0),
+            Ns(9.0),
+        );
+        let idx = t.total_labeled(|l| l == "index", Ns(0.0), Ns(100.0));
+        assert_eq!(idx.0, 5.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = tl();
+        t.record(Track::Host, Category::Copy, "c", Ns(0.0), Ns(1.0));
+        assert_eq!(t.spans().len(), 1);
+        t.clear();
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn overlap_clamps_to_window() {
+        let s = Span {
+            track: Track::Host,
+            category: Category::Copy,
+            label: "x",
+            start: Ns(10.0),
+            end: Ns(20.0),
+        };
+        assert_eq!(s.overlap(Ns(0.0), Ns(15.0)).0, 5.0);
+        assert_eq!(s.overlap(Ns(12.0), Ns(18.0)).0, 6.0);
+        assert_eq!(s.overlap(Ns(25.0), Ns(30.0)).0, 0.0);
+        assert_eq!(s.duration().0, 10.0);
+    }
+}

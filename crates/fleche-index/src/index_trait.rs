@@ -1,0 +1,130 @@
+//! The GPU-index abstraction.
+//!
+//! The paper notes that flat cache's "GPU-resident index can be an
+//! arbitrary existing GPU hash index (e.g., MegaKV, SlabHash)". This
+//! trait is that seam: both [`SlabHash`](crate::SlabHash) (chained
+//! warp-wide slabs) and [`MegaKv`](crate::MegaKv) (bucketed cuckoo)
+//! implement it, and flat cache is built against the trait.
+
+use crate::instrument::ProbeStats;
+use crate::loc::PackedLoc;
+use crate::slab_hash::ScanEntry;
+
+/// Result of an insert into a GPU index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexInsert {
+    /// Key was new; a slot was claimed.
+    Inserted,
+    /// Key existed; its location and stamp were updated.
+    Updated {
+        /// The location the slot held before the update.
+        previous: PackedLoc,
+    },
+    /// Key was inserted, but a resident entry had to be displaced to make
+    /// room (cuckoo kick-out overflow). The caller owns the victim's
+    /// storage (for the cache: retire its pool slot).
+    Displaced {
+        /// The entry that was pushed out.
+        victim: ScanEntry,
+    },
+    /// The index could not place the key at all; the caller should treat
+    /// the value as uncached (cache bypass).
+    Rejected,
+}
+
+/// A GPU-resident hash index mapping 64-bit flat keys to packed locations,
+/// with per-slot logical timestamps.
+pub trait GpuIndex: Send + std::fmt::Debug {
+    /// Looks up `key`; bumps its timestamp to `touch` on a hit.
+    fn lookup(&mut self, key: u64, touch: Option<u32>) -> (Option<PackedLoc>, ProbeStats);
+
+    /// Read-only lookup without instrumentation or timestamp updates.
+    fn peek(&self, key: u64) -> Option<PackedLoc>;
+
+    /// Inserts or updates `key -> loc` with timestamp `stamp`.
+    fn insert(&mut self, key: u64, loc: PackedLoc, stamp: u32) -> (IndexInsert, ProbeStats);
+
+    /// Removes `key`, returning its location if present.
+    fn remove(&mut self, key: u64) -> (Option<PackedLoc>, ProbeStats);
+
+    /// Full scan of live entries (the eviction pass).
+    fn scan(&self) -> (Vec<ScanEntry>, ProbeStats);
+
+    /// Samples up to `n` live entries pseudo-randomly.
+    fn sample_entries(&self, n: usize, seed: u64) -> (Vec<ScanEntry>, ProbeStats);
+
+    /// Live entries.
+    fn len(&self) -> usize;
+
+    /// True when the index holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Device bytes the index structure occupies.
+    fn device_bytes(&self) -> u64;
+
+    /// Bucket count (for contention modeling).
+    fn bucket_count(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Behavior every `GpuIndex` implementation must exhibit; invoked from
+    //! each backend's test module.
+
+    use super::*;
+    use crate::loc::Loc;
+
+    fn hbm(slot: u32) -> PackedLoc {
+        Loc::Hbm { class: 0, slot }.pack()
+    }
+
+    /// Exercises the map contract: insert/lookup/update/remove/scan.
+    pub fn check_map_contract(index: &mut dyn GpuIndex) {
+        assert!(index.is_empty());
+        let (out, _) = index.insert(10, hbm(1), 1);
+        assert!(matches!(out, IndexInsert::Inserted));
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.peek(10), Some(hbm(1)));
+        let (found, st) = index.lookup(10, Some(5));
+        assert_eq!(found, Some(hbm(1)));
+        assert_eq!(st.hits, 1);
+        let (out, _) = index.insert(10, hbm(2), 6);
+        assert!(matches!(out, IndexInsert::Updated { .. }));
+        assert_eq!(index.len(), 1);
+        let (miss, st) = index.lookup(11, None);
+        assert_eq!(miss, None);
+        assert_eq!(st.misses, 1);
+        let (removed, _) = index.remove(10);
+        assert_eq!(removed, Some(hbm(2)));
+        assert!(index.is_empty());
+        assert_eq!(index.remove(10).0, None);
+    }
+
+    /// Fills the index with `n` keys and verifies scan/sample coverage.
+    pub fn check_bulk_and_scan(index: &mut dyn GpuIndex, n: u64) {
+        let mut stored = 0u64;
+        for k in 1..=n {
+            match index.insert(k, hbm(k as u32), k as u32).0 {
+                IndexInsert::Inserted => stored += 1,
+                IndexInsert::Displaced { .. } => { /* stored, victim gone */ }
+                IndexInsert::Updated { .. } => unreachable!("distinct keys"),
+                IndexInsert::Rejected => {}
+            }
+        }
+        assert!(stored as usize >= index.len() / 2);
+        let (entries, _) = index.scan();
+        assert_eq!(entries.len(), index.len());
+        for e in &entries {
+            assert_eq!(index.peek(e.key), Some(e.loc), "scan entry resolves");
+        }
+        let (sample, _) = index.sample_entries(8, 7);
+        assert!(sample.len() <= 8);
+        for e in &sample {
+            assert_eq!(index.peek(e.key), Some(e.loc));
+        }
+        assert!(index.device_bytes() > 0);
+        assert!(index.bucket_count() > 0);
+    }
+}

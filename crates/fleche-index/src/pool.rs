@@ -1,0 +1,342 @@
+//! The slab memory pool storing embedding payloads.
+//!
+//! Flat cache separates keys from values: the index maps flat keys to
+//! locations, and this pool owns the bytes. Fragmentation is avoided by
+//! pre-defining slab *size classes*, one per embedding dimension (all
+//! embeddings of a table share one known size), and the whole pool is
+//! pre-allocated at boot so the `cudaMalloc` latency never appears on the
+//! query path — both points straight from the paper's §3.1.
+
+use crate::instrument::ProbeStats;
+
+/// Error type for pool operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// No size class with this dimension was registered at construction.
+    UnknownClass {
+        /// The class index requested.
+        class: u16,
+    },
+    /// The class has no free slots left.
+    ClassFull {
+        /// The class index that was full.
+        class: u16,
+    },
+    /// A slot reference did not name a live allocation.
+    InvalidSlot {
+        /// The class index.
+        class: u16,
+        /// The offending slot.
+        slot: u32,
+    },
+    /// Value length does not match the class dimension.
+    DimensionMismatch {
+        /// Expected dimension (floats).
+        expected: u32,
+        /// Provided value length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnknownClass { class } => write!(f, "unknown size class {class}"),
+            PoolError::ClassFull { class } => write!(f, "size class {class} is full"),
+            PoolError::InvalidSlot { class, slot } => {
+                write!(f, "slot {slot} in class {class} is not allocated")
+            }
+            PoolError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} floats, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[derive(Debug)]
+struct SizeClass {
+    dim: u32,
+    /// Payload storage: `capacity_slots * dim` floats.
+    data: Vec<f32>,
+    /// Stack of free slot numbers.
+    free: Vec<u32>,
+    /// Liveness bitmap (one bool per slot) guarding double-free.
+    live: Vec<bool>,
+    capacity_slots: u32,
+}
+
+/// The pre-allocated, size-class-partitioned value store.
+#[derive(Debug)]
+pub struct SlabPool {
+    classes: Vec<SizeClass>,
+}
+
+/// Description of one size class for construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassSpec {
+    /// Embedding dimension (floats per value).
+    pub dim: u32,
+    /// Number of value slots to pre-allocate.
+    pub slots: u32,
+}
+
+impl SlabPool {
+    /// Pre-allocates the pool. One class per entry of `specs`; class `i` of
+    /// the returned pool corresponds to `specs[i]`.
+    pub fn new(specs: &[ClassSpec]) -> SlabPool {
+        let classes = specs
+            .iter()
+            .map(|s| SizeClass {
+                dim: s.dim,
+                data: vec![0.0; s.slots as usize * s.dim as usize],
+                free: (0..s.slots).rev().collect(),
+                live: vec![false; s.slots as usize],
+                capacity_slots: s.slots,
+            })
+            .collect();
+        SlabPool { classes }
+    }
+
+    /// Number of size classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Dimension of class `class`.
+    pub fn dim_of(&self, class: u16) -> Option<u32> {
+        self.classes.get(class as usize).map(|c| c.dim)
+    }
+
+    /// Index of the class with dimension `dim`, if registered.
+    pub fn class_for_dim(&self, dim: u32) -> Option<u16> {
+        self.classes
+            .iter()
+            .position(|c| c.dim == dim)
+            .map(|i| i as u16)
+    }
+
+    /// Total payload capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| c.capacity_slots as u64 * c.dim as u64 * 4)
+            .sum()
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| (c.capacity_slots - c.free.len() as u32) as u64 * c.dim as u64 * 4)
+            .sum()
+    }
+
+    /// Allocated fraction of capacity, in `[0, 1]`; the eviction trigger
+    /// compares this against its high-watermark.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity_bytes();
+        if cap == 0 {
+            0.0
+        } else {
+            self.allocated_bytes() as f64 / cap as f64
+        }
+    }
+
+    /// Free slots remaining in `class`.
+    pub fn free_slots(&self, class: u16) -> u32 {
+        self.classes
+            .get(class as usize)
+            .map_or(0, |c| c.free.len() as u32)
+    }
+
+    /// Claims a slot in `class`. One atomic on the free-list head.
+    pub fn alloc(&mut self, class: u16) -> Result<(u32, ProbeStats), PoolError> {
+        let c = self
+            .classes
+            .get_mut(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        let slot = c.free.pop().ok_or(PoolError::ClassFull { class })?;
+        c.live[slot as usize] = true;
+        let stats = ProbeStats {
+            atomics: 1,
+            bytes_touched: 8,
+            ..ProbeStats::new()
+        };
+        Ok((slot, stats))
+    }
+
+    /// Returns a slot to the free list.
+    pub fn free(&mut self, class: u16, slot: u32) -> Result<ProbeStats, PoolError> {
+        let c = self
+            .classes
+            .get_mut(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        if slot >= c.capacity_slots || !c.live[slot as usize] {
+            return Err(PoolError::InvalidSlot { class, slot });
+        }
+        c.live[slot as usize] = false;
+        c.free.push(slot);
+        Ok(ProbeStats {
+            atomics: 1,
+            bytes_touched: 8,
+            ..ProbeStats::new()
+        })
+    }
+
+    /// Writes an embedding into a live slot.
+    pub fn write(&mut self, class: u16, slot: u32, value: &[f32]) -> Result<ProbeStats, PoolError> {
+        let c = self
+            .classes
+            .get_mut(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        if slot >= c.capacity_slots || !c.live[slot as usize] {
+            return Err(PoolError::InvalidSlot { class, slot });
+        }
+        if value.len() != c.dim as usize {
+            return Err(PoolError::DimensionMismatch {
+                expected: c.dim,
+                got: value.len(),
+            });
+        }
+        let off = slot as usize * c.dim as usize;
+        c.data[off..off + value.len()].copy_from_slice(value);
+        Ok(ProbeStats {
+            bytes_touched: value.len() as u64 * 4,
+            ..ProbeStats::new()
+        })
+    }
+
+    /// Reads the embedding stored in a live slot.
+    pub fn read(&self, class: u16, slot: u32) -> Result<&[f32], PoolError> {
+        let c = self
+            .classes
+            .get(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        if slot >= c.capacity_slots || !c.live[slot as usize] {
+            return Err(PoolError::InvalidSlot { class, slot });
+        }
+        let off = slot as usize * c.dim as usize;
+        Ok(&c.data[off..off + c.dim as usize])
+    }
+
+    /// Reads a slot that may have been logically retired but not yet
+    /// reclaimed (the epoch grace period makes this safe); only bounds are
+    /// checked. Decoupled copy kernels use this path.
+    pub fn read_during_grace(&self, class: u16, slot: u32) -> Result<&[f32], PoolError> {
+        let c = self
+            .classes
+            .get(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        if slot >= c.capacity_slots {
+            return Err(PoolError::InvalidSlot { class, slot });
+        }
+        let off = slot as usize * c.dim as usize;
+        Ok(&c.data[off..off + c.dim as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> SlabPool {
+        SlabPool::new(&[
+            ClassSpec { dim: 4, slots: 8 },
+            ClassSpec { dim: 8, slots: 4 },
+        ])
+    }
+
+    #[test]
+    fn alloc_write_read_free_cycle() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        p.write(0, slot, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(p.read(0, slot).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        p.free(0, slot).unwrap();
+        assert_eq!(
+            p.read(0, slot),
+            Err(PoolError::InvalidSlot { class: 0, slot })
+        );
+    }
+
+    #[test]
+    fn capacity_and_utilization_accounting() {
+        let mut p = pool();
+        assert_eq!(p.capacity_bytes(), 8 * 4 * 4 + 4 * 8 * 4);
+        assert_eq!(p.utilization(), 0.0);
+        let (s0, _) = p.alloc(0).unwrap();
+        let (_s1, _) = p.alloc(1).unwrap();
+        assert_eq!(p.allocated_bytes(), 4 * 4 + 8 * 4);
+        assert!(p.utilization() > 0.0 && p.utilization() < 1.0);
+        p.free(0, s0).unwrap();
+        assert_eq!(p.allocated_bytes(), 8 * 4);
+    }
+
+    #[test]
+    fn class_exhaustion_is_reported() {
+        let mut p = SlabPool::new(&[ClassSpec { dim: 2, slots: 2 }]);
+        p.alloc(0).unwrap();
+        p.alloc(0).unwrap();
+        assert_eq!(p.alloc(0).unwrap_err(), PoolError::ClassFull { class: 0 });
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        p.free(0, slot).unwrap();
+        assert_eq!(
+            p.free(0, slot),
+            Err(PoolError::InvalidSlot { class: 0, slot })
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        assert_eq!(
+            p.write(0, slot, &[1.0]),
+            Err(PoolError::DimensionMismatch {
+                expected: 4,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let mut p = pool();
+        assert_eq!(
+            p.alloc(9).unwrap_err(),
+            PoolError::UnknownClass { class: 9 }
+        );
+        assert!(p.read(9, 0).is_err());
+        assert_eq!(p.dim_of(9), None);
+        assert_eq!(p.class_for_dim(4), Some(0));
+        assert_eq!(p.class_for_dim(8), Some(1));
+        assert_eq!(p.class_for_dim(99), None);
+    }
+
+    #[test]
+    fn grace_period_read_sees_stale_value() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        p.write(0, slot, &[9.0, 9.0, 9.0, 9.0]).unwrap();
+        p.free(0, slot).unwrap();
+        // Logically deleted, physically still readable until reclaimed.
+        assert_eq!(p.read_during_grace(0, slot).unwrap(), &[9.0, 9.0, 9.0, 9.0]);
+        assert!(p.read_during_grace(0, 999).is_err());
+    }
+
+    #[test]
+    fn slots_recycle_lifo() {
+        let mut p = pool();
+        let (a, _) = p.alloc(0).unwrap();
+        p.free(0, a).unwrap();
+        let (b, _) = p.alloc(0).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+//! The dense (MLP/cross) part of the DLRM.
+//!
+//! The paper evaluates on a Deep & Cross Network (6 cross layers + a
+//! (1024, 1024) MLP). For end-to-end timing only the dense part's *cost*
+//! matters (its kernels occupy the GPU after the embedding phase), so this
+//! module prices each layer as a GEMM kernel on the simulated device. A
+//! real (small-scale) forward pass is also provided with procedurally
+//! deterministic weights so examples and tests can push actual numbers
+//! through actual math.
+
+use fleche_gpu::{Gpu, KernelDesc, KernelWork, Ns, StreamId};
+
+/// A Deep & Cross Network shape.
+#[derive(Clone, Debug)]
+pub struct DenseModel {
+    /// Width of the concatenated input (pooled embeddings + dense
+    /// features).
+    pub input_dim: u32,
+    /// Number of cross layers (each computes `x0 * (w . x) + b + x`).
+    pub cross_layers: u32,
+    /// Hidden layer widths of the MLP.
+    pub hidden: Vec<u32>,
+}
+
+impl DenseModel {
+    /// The paper's evaluation model: 6 cross layers, (1024, 1024) MLP.
+    pub fn dcn_paper(input_dim: u32) -> DenseModel {
+        DenseModel {
+            input_dim,
+            cross_layers: 6,
+            hidden: vec![1024, 1024],
+        }
+    }
+
+    /// A model with `n` hidden layers of 1024 units (the Exp #12 sweep).
+    pub fn with_hidden_layers(input_dim: u32, n: usize) -> DenseModel {
+        DenseModel {
+            input_dim,
+            cross_layers: 6,
+            hidden: vec![1024; n],
+        }
+    }
+
+    /// FLOPs of one forward pass at `batch` samples.
+    pub fn flops(&self, batch: u64) -> u64 {
+        let d = self.input_dim as u64;
+        // Cross layer: w.x (2d), scale x0 (d), add b + x (2d) => ~5d per
+        // sample per layer.
+        let cross = self.cross_layers as u64 * 5 * d * batch;
+        let mut mlp = 0u64;
+        let mut prev = d;
+        for &h in &self.hidden {
+            mlp += 2 * prev * h as u64 * batch;
+            prev = h as u64;
+        }
+        mlp += 2 * prev * batch; // final logit
+        cross + mlp
+    }
+
+    /// Weight bytes touched by one forward pass (read once per batch).
+    pub fn weight_bytes(&self) -> u64 {
+        let d = self.input_dim as u64;
+        let cross = self.cross_layers as u64 * (d + 1) * 4;
+        let mut mlp = 0u64;
+        let mut prev = d;
+        for &h in &self.hidden {
+            mlp += prev * h as u64 * 4;
+            prev = h as u64;
+        }
+        mlp += prev * 4;
+        cross + mlp
+    }
+
+    /// Kernel sequence of one forward pass (one kernel per layer, which is
+    /// how frameworks launch GEMMs — the dense part thus pays a handful of
+    /// launch overheads too, matching reality).
+    pub fn layer_kernels(&self, batch: u64) -> Vec<KernelDesc> {
+        let d = self.input_dim as u64;
+        let mut out = Vec::new();
+        for _ in 0..self.cross_layers {
+            out.push(KernelDesc::new(
+                "cross",
+                (batch as u32 * 32).min(1 << 20).max(128),
+                KernelWork {
+                    global_bytes: batch * d * 4 * 3 + (d + 1) * 4,
+                    flops: 5 * d * batch,
+                    dependent_rounds: 2,
+                    shared_accesses: 4,
+                },
+            ));
+        }
+        let mut prev = d;
+        for &h in &self.hidden {
+            out.push(KernelDesc::new(
+                "gemm",
+                ((batch * h as u64 / 4) as u32).min(1 << 20).max(256),
+                KernelWork {
+                    global_bytes: batch * (prev + h as u64) * 4 + prev * h as u64 * 4,
+                    flops: 2 * prev * h as u64 * batch,
+                    dependent_rounds: 4,
+                    shared_accesses: 16,
+                },
+            ));
+            prev = h as u64;
+        }
+        out.push(KernelDesc::new(
+            "logit",
+            (batch as u32).max(128),
+            KernelWork {
+                global_bytes: batch * (prev + 1) * 4 + prev * 4,
+                flops: 2 * prev * batch,
+                dependent_rounds: 2,
+                shared_accesses: 2,
+            },
+        ));
+        out
+    }
+
+    /// Launches the forward pass on `stream` and syncs; returns the time
+    /// the dense part took.
+    pub fn run(&self, gpu: &mut Gpu, stream: StreamId, batch: u64) -> Ns {
+        let t0 = gpu.now();
+        for k in self.layer_kernels(batch) {
+            gpu.launch(stream, k);
+        }
+        gpu.sync_stream(stream);
+        gpu.now() - t0
+    }
+
+    /// Deterministic weight for `(layer, row, col)` in `[-0.1, 0.1)`.
+    fn weight(&self, layer: u32, row: u32, col: u32) -> f32 {
+        let mut x = (layer as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((row as u64) << 32 | col as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 31;
+        ((x >> 11) as f64 / (1u64 << 53) as f64 * 0.2 - 0.1) as f32
+    }
+
+    /// A real forward pass for one sample (used by examples/tests; the
+    /// timing path uses [`DenseModel::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim`.
+    pub fn forward(&self, input: &[f32]) -> f32 {
+        assert_eq!(input.len(), self.input_dim as usize, "input width mismatch");
+        // Cross layers: x_{k+1} = x0 * (w_k . x_k) + b_k + x_k
+        let x0 = input.to_vec();
+        let mut x = input.to_vec();
+        for l in 0..self.cross_layers {
+            let wx: f32 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * self.weight(l, 0, i as u32))
+                .sum();
+            let b = self.weight(l, 1, 0);
+            for i in 0..x.len() {
+                x[i] = x0[i] * wx + b + x[i];
+            }
+        }
+        // MLP with ReLU.
+        let mut layer_idx = self.cross_layers;
+        let mut cur = x;
+        for &h in &self.hidden {
+            let mut next = vec![0.0f32; h as usize];
+            for (j, n) in next.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (i, &v) in cur.iter().enumerate() {
+                    acc += v * self.weight(layer_idx, j as u32, i as u32);
+                }
+                *n = acc.max(0.0);
+            }
+            cur = next;
+            layer_idx += 1;
+        }
+        let logit: f32 = cur
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * self.weight(layer_idx, 0, i as u32))
+            .sum();
+        1.0 / (1.0 + (-logit).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleche_gpu::DeviceSpec;
+
+    #[test]
+    fn flops_scale_with_batch_and_depth() {
+        let m2 = DenseModel::with_hidden_layers(256, 2);
+        let m5 = DenseModel::with_hidden_layers(256, 5);
+        assert!(m5.flops(64) > m2.flops(64));
+        assert_eq!(m2.flops(128), m2.flops(64) * 2);
+    }
+
+    #[test]
+    fn kernel_count_matches_layers() {
+        let m = DenseModel::dcn_paper(512);
+        let ks = m.layer_kernels(256);
+        assert_eq!(ks.len() as u32, m.cross_layers + m.hidden.len() as u32 + 1);
+    }
+
+    #[test]
+    fn deeper_mlp_takes_longer() {
+        let time = |layers: usize| {
+            let mut gpu = Gpu::new(DeviceSpec::t4());
+            let s = gpu.default_stream();
+            DenseModel::with_hidden_layers(512, layers).run(&mut gpu, s, 256)
+        };
+        assert!(time(5) > time(2));
+    }
+
+    #[test]
+    fn bigger_batch_takes_longer() {
+        let time = |batch: u64| {
+            let mut gpu = Gpu::new(DeviceSpec::t4());
+            let s = gpu.default_stream();
+            DenseModel::dcn_paper(512).run(&mut gpu, s, batch)
+        };
+        assert!(time(4096) > time(64));
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_bounded() {
+        let m = DenseModel {
+            input_dim: 16,
+            cross_layers: 2,
+            hidden: vec![8, 4],
+        };
+        let input: Vec<f32> = (0..16).map(|i| (i as f32) / 16.0).collect();
+        let a = m.forward(&input);
+        let b = m.forward(&input);
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+        // Different inputs give different outputs.
+        let other: Vec<f32> = (0..16).map(|i| -(i as f32) / 8.0).collect();
+        assert_ne!(a, m.forward(&other));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn forward_checks_width() {
+        DenseModel::dcn_paper(32).forward(&[0.0; 8]);
+    }
+
+    #[test]
+    fn weight_bytes_positive() {
+        assert!(DenseModel::dcn_paper(512).weight_bytes() > 1 << 20);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fleche-model
+//!
+//! The DLRM model layer of the Fleche (EuroSys '22) reproduction:
+//!
+//! * [`DenseModel`] — the Deep & Cross Network dense part (6 cross layers
+//!   + MLP), priced as per-layer kernels on the simulated GPU, with a real
+//!   small-scale forward pass for functional tests.
+//! * [`InferenceEngine`] — end-to-end inference over any
+//!   [`fleche_store::api::EmbeddingCacheSystem`]: embedding → pooling →
+//!   dense, plus warm-up/measure loops and throughput/latency aggregation.
+//! * [`ctr`] — the synthetic CTR world and hashed logistic-regression
+//!   model used to measure the accuracy impact of flat-key collisions
+//!   (paper Exp #5 / Fig. 13), evaluated by rank-based AUC.
+//! * [`LatencyRecorder`] — median/P99/mean statistics over simulated
+//!   batch latencies.
+//! * [`server`] — open-loop serving: Poisson arrivals, dynamic batching,
+//!   queueing-inclusive latency (the load/latency curves of Exp #2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctr;
+pub mod dense;
+pub mod engine;
+pub mod latency;
+pub mod server;
+
+pub use ctr::{auc, evaluate_codec, generate_samples, CtrSample, HashedLr, ParamIndexing};
+pub use dense::DenseModel;
+pub use engine::{InferenceEngine, InferenceTiming, MeasuredRun, ModelMode};
+pub use latency::{throughput, LatencyRecorder};
+pub use server::{serve, ServedRun, ServerConfig};

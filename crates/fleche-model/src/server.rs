@@ -1,0 +1,231 @@
+//! Open-loop serving simulation.
+//!
+//! The paper's throughput-vs-latency curves (Exp #2) come from a loaded
+//! inference server, where observed latency is queueing delay plus service
+//! time. This module models that: requests arrive in a Poisson stream at a
+//! configured offered load, a batcher groups whatever is queued (up to a
+//! maximum batch) whenever the engine goes idle, and per-request latency
+//! is measured from arrival to batch completion. As offered load
+//! approaches the service capacity, queueing inflates the tail — the
+//! hockey-stick the paper's Figure 10 plots.
+
+use crate::engine::{InferenceEngine, ModelMode};
+use crate::latency::LatencyRecorder;
+use fleche_gpu::Ns;
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_workload::{Batch, TraceGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Offered load in requests (samples) per second.
+    pub offered_load: f64,
+    /// Maximum samples the batcher packs into one engine invocation.
+    pub max_batch: usize,
+    /// Requests to simulate (after warm-up).
+    pub requests: usize,
+    /// Requests used to warm the cache (not measured).
+    pub warmup_requests: usize,
+}
+
+/// Result of a serving run.
+#[derive(Debug)]
+pub struct ServedRun {
+    /// Per-request latency (arrival -> completion).
+    pub latency: LatencyRecorder,
+    /// Achieved throughput in samples per second.
+    pub achieved: f64,
+    /// Mean batch size the batcher formed.
+    pub mean_batch: f64,
+    /// Fraction of simulated time the engine was busy.
+    pub utilization: f64,
+}
+
+/// Simulates an open-loop server over `engine`.
+///
+/// Arrival times are generated on a separate clock from the engine's
+/// simulated device clock; the server advances the device only when it has
+/// work, and idle gaps are skipped (arrival-driven).
+pub fn serve<S: EmbeddingCacheSystem>(
+    engine: &mut InferenceEngine<S>,
+    gen: &mut TraceGenerator,
+    mode: ModelMode,
+    config: &ServerConfig,
+) -> ServedRun {
+    assert!(config.offered_load > 0.0, "offered load must be positive");
+    assert!(config.max_batch > 0, "max batch must be positive");
+    let _ = mode; // the engine's own mode governs; kept for call-site clarity
+    let mut rng = StdRng::seed_from_u64(0x5EA7_ED);
+    let mean_gap = Ns::from_secs(1.0 / config.offered_load);
+
+    // Warm the cache at an easy pace.
+    for _ in 0..config.warmup_requests.div_ceil(config.max_batch) {
+        let b = gen.next_batch(config.max_batch.min(256));
+        engine.run_batch(&b);
+    }
+    engine.system_mut().reset_stats();
+
+    // Pre-draw arrival offsets (exponential inter-arrival gaps).
+    let mut arrivals = Vec::with_capacity(config.requests);
+    let mut t = engine.gpu().now();
+    for _ in 0..config.requests {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += mean_gap * (-u.ln());
+        arrivals.push(t);
+    }
+
+    let mut latency = LatencyRecorder::new();
+    let mut next = 0usize;
+    let mut batches = 0u64;
+    let mut batched_samples = 0u64;
+    let mut busy = Ns::ZERO;
+    let t_start = engine.gpu().now();
+    while next < arrivals.len() {
+        // The engine is idle at `now`; wait for at least one arrival.
+        let now = engine.gpu().now();
+        let ready_from = now.max(arrivals[next]);
+        // Batch everything that has arrived by `ready_from`.
+        let mut count = 0usize;
+        while next + count < arrivals.len()
+            && arrivals[next + count] <= ready_from
+            && count < config.max_batch
+        {
+            count += 1;
+        }
+        let count = count.max(1);
+        let batch: Batch = gen.next_batch(count);
+        // Advance the host clock across the idle gap (arrival-driven).
+        if arrivals[next] > now {
+            // Idle skip: model as free host time (no spans recorded).
+            let gap = arrivals[next] - now;
+            engine_skip(engine, gap);
+        }
+        let t0 = engine.gpu().now();
+        engine.run_batch(&batch);
+        let done = engine.gpu().now();
+        busy += done - t0;
+        for k in 0..count {
+            latency.record(done - arrivals[next + k]);
+        }
+        next += count;
+        batches += 1;
+        batched_samples += count as u64;
+    }
+    let elapsed = engine.gpu().now() - t_start;
+    ServedRun {
+        achieved: batched_samples as f64 / elapsed.as_secs().max(1e-12),
+        mean_batch: batched_samples as f64 / batches.max(1) as f64,
+        utilization: (busy / elapsed).min(1.0),
+        latency,
+    }
+}
+
+/// Advances the engine's host clock across an idle gap.
+fn engine_skip<S: EmbeddingCacheSystem>(engine: &mut InferenceEngine<S>, gap: Ns) {
+    engine.gpu_mut().elapse_host("idle", gap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseModel;
+    use fleche_core::{FlecheConfig, FlecheSystem};
+    use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+    use fleche_store::CpuStore;
+    use fleche_workload::spec;
+
+    fn engine() -> (InferenceEngine<FlecheSystem>, TraceGenerator) {
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+        let dense = DenseModel::dcn_paper(InferenceEngine::<FlecheSystem>::concat_dim(&ds));
+        (
+            InferenceEngine::new(
+                Gpu::new(DeviceSpec::t4()),
+                sys,
+                dense,
+                ModelMode::EmbeddingOnly,
+                &ds,
+            ),
+            TraceGenerator::new(&ds),
+        )
+    }
+
+    fn run_at(load: f64) -> ServedRun {
+        let (mut eng, mut gen) = engine();
+        serve(
+            &mut eng,
+            &mut gen,
+            ModelMode::EmbeddingOnly,
+            &ServerConfig {
+                offered_load: load,
+                max_batch: 256,
+                requests: 2_000,
+                warmup_requests: 2_000,
+            },
+        )
+    }
+
+    #[test]
+    fn light_load_latency_is_service_time() {
+        let run = run_at(10_000.0);
+        assert_eq!(run.latency.len(), 2_000);
+        assert!(run.utilization < 0.9);
+        // At light load there is effectively no queueing: p99 within a
+        // small factor of median.
+        let ratio = run.latency.p99().as_ns() / run.latency.median().as_ns();
+        assert!(ratio < 20.0, "p99/median {ratio}");
+    }
+
+    #[test]
+    fn heavy_load_inflates_tail_latency() {
+        let light = run_at(20_000.0);
+        let heavy = run_at(20_000_000.0); // far beyond ~4M/s capacity
+        assert!(
+            heavy.latency.p99() > light.latency.p99() * 2.0,
+            "heavy p99 {} vs light {}",
+            heavy.latency.p99(),
+            light.latency.p99()
+        );
+        assert!(
+            heavy.mean_batch > light.mean_batch,
+            "batcher packs under load"
+        );
+    }
+
+    #[test]
+    fn achieved_throughput_saturates() {
+        let modest = run_at(50_000.0);
+        // Near the offered load when below capacity.
+        assert!(
+            (modest.achieved - 50_000.0).abs() / 50_000.0 < 0.25,
+            "achieved {} at offered 50k",
+            modest.achieved
+        );
+        let extreme = run_at(50_000_000.0);
+        assert!(
+            extreme.achieved < 50_000_000.0 * 0.9,
+            "cannot serve far beyond capacity: {}",
+            extreme.achieved
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn zero_load_rejected() {
+        let (mut eng, mut gen) = engine();
+        serve(
+            &mut eng,
+            &mut gen,
+            ModelMode::EmbeddingOnly,
+            &ServerConfig {
+                offered_load: 0.0,
+                max_batch: 16,
+                requests: 10,
+                warmup_requests: 0,
+            },
+        );
+    }
+}

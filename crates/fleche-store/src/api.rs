@@ -1,0 +1,195 @@
+//! The common interface both cache systems implement.
+//!
+//! The model engine and every benchmark harness drive a
+//! [`EmbeddingCacheSystem`] without knowing whether it is the HugeCTR-like
+//! per-table baseline or Fleche, so every experiment compares the two
+//! under identical plumbing.
+
+use crate::dedup::Deduped;
+use fleche_gpu::{Gpu, Ns};
+use fleche_workload::Batch;
+
+/// Phase-attributed timing of one batch query, in the paper's taxonomy
+/// (Exp #7/#8: `Cache Query = Cache Index + Cache Copy`, same for DRAM).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseBreakdown {
+    /// GPU-side index lookup time (including kernel maintenance around it).
+    pub cache_index: Ns,
+    /// GPU-side hit-embedding copy time.
+    pub cache_copy: Ns,
+    /// CPU-DRAM index lookup time for missing keys.
+    pub dram_index: Ns,
+    /// CPU-DRAM payload read + host<->device transfer time.
+    pub dram_payload: Ns,
+    /// Everything else: dedup, restore, re-encoding, replacement upkeep.
+    pub other: Ns,
+}
+
+impl PhaseBreakdown {
+    /// Total attributed time.
+    pub fn total(&self) -> Ns {
+        self.cache_index + self.cache_copy + self.dram_index + self.dram_payload + self.other
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, o: &PhaseBreakdown) {
+        self.cache_index += o.cache_index;
+        self.cache_copy += o.cache_copy;
+        self.dram_index += o.dram_index;
+        self.dram_payload += o.dram_payload;
+        self.other += o.other;
+    }
+}
+
+/// Counters and timing for one batch query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Unique keys queried after dedup.
+    pub unique_keys: u64,
+    /// Keys served from the GPU cache.
+    pub hits: u64,
+    /// Keys whose *location* was served by the unified index (payload from
+    /// DRAM, but CPU-side indexing bypassed). Zero for systems without it.
+    pub unified_hits: u64,
+    /// Keys that required a full CPU-DRAM query.
+    pub misses: u64,
+    /// Wall time of the whole batch on the host timeline.
+    pub wall: Ns,
+    /// Attributed phase timing.
+    pub phases: PhaseBreakdown,
+}
+
+impl BatchStats {
+    /// GPU cache hit rate over unique keys (unified-index hits are DRAM
+    /// residents: they count as misses here, matching the paper's
+    /// hit-rate metric).
+    pub fn hit_rate(&self) -> f64 {
+        if self.unique_keys == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.unique_keys as f64
+        }
+    }
+}
+
+/// Result of one batch query.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// One embedding row per access, in the batch's flattening order
+    /// (table-major). Byte-identical to the ground-truth store.
+    pub rows: Vec<Vec<f32>>,
+    /// Counters and timing.
+    pub stats: BatchStats,
+}
+
+/// A GPU-resident embedding cache system under test.
+pub trait EmbeddingCacheSystem {
+    /// Display name for harness tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs one batch: dedup, cache query, DRAM fill, replacement,
+    /// restore. Advances the simulated clocks of `gpu`.
+    fn query_batch(&mut self, gpu: &mut Gpu, batch: &Batch) -> QueryOutput;
+
+    /// Running hit statistics since construction (or last reset).
+    fn lifetime_stats(&self) -> LifetimeStats;
+
+    /// Resets running statistics (e.g. after cache warm-up).
+    fn reset_stats(&mut self);
+}
+
+/// Accumulated statistics across batches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LifetimeStats {
+    /// Unique keys queried.
+    pub unique_keys: u64,
+    /// GPU cache hits.
+    pub hits: u64,
+    /// Unified-index location hits.
+    pub unified_hits: u64,
+    /// Full misses.
+    pub misses: u64,
+    /// Batches served.
+    pub batches: u64,
+}
+
+impl LifetimeStats {
+    /// Lifetime hit rate over unique keys.
+    pub fn hit_rate(&self) -> f64 {
+        if self.unique_keys == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.unique_keys as f64
+        }
+    }
+
+    /// Folds one batch's counters in.
+    pub fn observe(&mut self, s: &BatchStats) {
+        self.unique_keys += s.unique_keys;
+        self.hits += s.hits;
+        self.unified_hits += s.unified_hits;
+        self.misses += s.misses;
+        self.batches += 1;
+    }
+}
+
+/// Shared helper: dedups a batch and charges its host cost.
+pub fn dedup_charged(gpu: &mut Gpu, batch: &Batch) -> Deduped {
+    let d = Deduped::from_batch(batch);
+    gpu.elapse_host("dedup", d.host_cost());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_total_and_accumulate() {
+        let mut a = PhaseBreakdown {
+            cache_index: Ns(1.0),
+            cache_copy: Ns(2.0),
+            dram_index: Ns(3.0),
+            dram_payload: Ns(4.0),
+            other: Ns(5.0),
+        };
+        assert_eq!(a.total(), Ns(15.0));
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total(), Ns(30.0));
+    }
+
+    #[test]
+    fn batch_stats_hit_rate() {
+        let s = BatchStats {
+            unique_keys: 10,
+            hits: 7,
+            ..BatchStats::default()
+        };
+        assert_eq!(s.hit_rate(), 0.7);
+        assert_eq!(BatchStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lifetime_accumulates() {
+        let mut l = LifetimeStats::default();
+        l.observe(&BatchStats {
+            unique_keys: 10,
+            hits: 5,
+            unified_hits: 2,
+            misses: 3,
+            ..BatchStats::default()
+        });
+        l.observe(&BatchStats {
+            unique_keys: 10,
+            hits: 9,
+            unified_hits: 0,
+            misses: 1,
+            ..BatchStats::default()
+        });
+        assert_eq!(l.batches, 2);
+        assert_eq!(l.unique_keys, 20);
+        assert_eq!(l.hit_rate(), 0.7);
+        assert_eq!(l.unified_hits, 2);
+    }
+}

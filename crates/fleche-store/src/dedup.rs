@@ -1,0 +1,219 @@
+//! Deduplicating and restoring.
+//!
+//! A batch usually contains many duplicate IDs across samples. The paper
+//! (§4) first deduplicates all IDs, queries each unique key once, then
+//! restores the full output matrix from the dedup mapping. Deduplication
+//! also guarantees at most one writer per key on the GPU index, which is
+//! what lets timestamps double as the concurrency-control version.
+
+use fleche_gpu::{KernelWork, Ns};
+use fleche_workload::Batch;
+use std::collections::HashMap;
+
+/// Host-side cost per ID for hashing into the dedup map.
+pub const DEDUP_NS_PER_ID: f64 = 2.5;
+
+/// Result of deduplicating a batch.
+#[derive(Clone, Debug)]
+pub struct Deduped {
+    /// Each unique `(table, id)` in first-appearance order.
+    pub unique: Vec<(u16, u64)>,
+    /// `inverse[k]` maps the k-th access (batch flattening order: table
+    /// major, sample order within table) to its index in `unique`.
+    pub inverse: Vec<u32>,
+    /// Accesses per table, in flattening order (prefix information needed
+    /// to slice `inverse` back into per-table runs).
+    pub per_table_counts: Vec<u32>,
+}
+
+impl Deduped {
+    /// Deduplicates `batch`.
+    pub fn from_batch(batch: &Batch) -> Deduped {
+        let mut map: HashMap<(u16, u64), u32> = HashMap::new();
+        let mut unique = Vec::new();
+        let mut inverse = Vec::with_capacity(batch.total_ids());
+        let mut per_table_counts = Vec::with_capacity(batch.table_ids.len());
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            per_table_counts.push(ids.len() as u32);
+            for &id in ids {
+                let key = (t as u16, id);
+                let next = unique.len() as u32;
+                let idx = *map.entry(key).or_insert_with(|| {
+                    unique.push(key);
+                    next
+                });
+                inverse.push(idx);
+            }
+        }
+        Deduped {
+            unique,
+            inverse,
+            per_table_counts,
+        }
+    }
+
+    /// Number of unique keys.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Total (pre-dedup) accesses.
+    pub fn access_len(&self) -> usize {
+        self.inverse.len()
+    }
+
+    /// Duplication factor (`accesses / unique`, 1.0 when all distinct).
+    pub fn dup_factor(&self) -> f64 {
+        if self.unique.is_empty() {
+            return 1.0;
+        }
+        self.access_len() as f64 / self.unique_len() as f64
+    }
+
+    /// Host CPU cost of building this dedup map.
+    pub fn host_cost(&self) -> Ns {
+        Ns(self.access_len() as f64 * DEDUP_NS_PER_ID)
+    }
+
+    /// Unique keys split per table (for per-table cache baselines, which
+    /// query each cache table with its own deduplicated ID list).
+    pub fn unique_per_table(&self) -> Vec<Vec<u64>> {
+        let n_tables = self.per_table_counts.len();
+        let mut out = vec![Vec::new(); n_tables];
+        for &(t, id) in &self.unique {
+            out[t as usize].push(id);
+        }
+        out
+    }
+
+    /// Restores the full per-access embedding matrix from unique rows:
+    /// `rows[i]` is the embedding fetched for `unique[i]`. Returns one
+    /// vector per access, in flattening order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != unique.len()`.
+    pub fn restore(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(rows.len(), self.unique.len(), "row count mismatch");
+        self.inverse
+            .iter()
+            .map(|&u| rows[u as usize].clone())
+            .collect()
+    }
+
+    /// The GPU kernel footprint of the restore scatter (each access row is
+    /// read from the unique matrix and written to the output matrix).
+    pub fn restore_kernel_work(&self, dims: &[u32]) -> KernelWork {
+        let mut bytes = 0u64;
+        let mut k = 0usize;
+        for (t, &count) in self.per_table_counts.iter().enumerate() {
+            bytes += count as u64 * dims[t] as u64 * 4 * 2; // read + write
+            k += count as usize;
+        }
+        debug_assert_eq!(k, self.inverse.len());
+        KernelWork::streaming(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleche_workload::{spec, TraceGenerator};
+
+    fn batch() -> Batch {
+        let ds = spec::synthetic(3, 50, 8, -1.5);
+        TraceGenerator::new(&ds).next_batch(64)
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let b = batch();
+        let d = Deduped::from_batch(&b);
+        assert_eq!(d.access_len(), b.total_ids());
+        assert!(d.unique_len() < d.access_len(), "skewed trace must repeat");
+        assert!(d.dup_factor() > 1.0);
+        // Unique list really is unique.
+        let mut seen = std::collections::HashSet::new();
+        for k in &d.unique {
+            assert!(seen.insert(*k));
+        }
+    }
+
+    #[test]
+    fn inverse_maps_back_to_original() {
+        let b = batch();
+        let d = Deduped::from_batch(&b);
+        let mut k = 0;
+        for (t, ids) in b.table_ids.iter().enumerate() {
+            for &id in ids {
+                let u = d.inverse[k] as usize;
+                assert_eq!(d.unique[u], (t as u16, id));
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn restore_reproduces_per_access_rows() {
+        let b = batch();
+        let d = Deduped::from_batch(&b);
+        // Give each unique key a distinctive row.
+        let rows: Vec<Vec<f32>> = d
+            .unique
+            .iter()
+            .map(|&(t, id)| vec![t as f32, id as f32])
+            .collect();
+        let restored = d.restore(&rows);
+        assert_eq!(restored.len(), b.total_ids());
+        let mut k = 0;
+        for (t, ids) in b.table_ids.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(restored[k], vec![t as f32, id as f32]);
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn restore_checks_row_count() {
+        let d = Deduped::from_batch(&batch());
+        let _ = d.restore(&[]);
+    }
+
+    #[test]
+    fn unique_per_table_partitions() {
+        let b = batch();
+        let d = Deduped::from_batch(&b);
+        let per = d.unique_per_table();
+        assert_eq!(per.len(), 3);
+        let total: usize = per.iter().map(Vec::len).sum();
+        assert_eq!(total, d.unique_len());
+        // Every per-table id must appear in that table's batch list.
+        for (t, ids) in per.iter().enumerate() {
+            for id in ids {
+                assert!(b.table_ids[t].contains(id));
+            }
+        }
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        let b = batch();
+        let d = Deduped::from_batch(&b);
+        assert!(d.host_cost() > Ns::ZERO);
+        let w = d.restore_kernel_work(&[8, 8, 8]);
+        assert_eq!(w.global_bytes, b.total_ids() as u64 * 8 * 4 * 2);
+    }
+
+    #[test]
+    fn empty_batch_dedups_to_empty() {
+        let ds = spec::synthetic(2, 10, 4, -1.0);
+        let b = TraceGenerator::new(&ds).next_batch(0);
+        let d = Deduped::from_batch(&b);
+        assert_eq!(d.unique_len(), 0);
+        assert_eq!(d.access_len(), 0);
+        assert_eq!(d.dup_factor(), 1.0);
+        assert!(d.restore(&[]).is_empty());
+    }
+}

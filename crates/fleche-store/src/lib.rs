@@ -1,0 +1,33 @@
+//! # fleche-store
+//!
+//! The CPU-DRAM layer of the two-layer embedding hierarchy in the Fleche
+//! (EuroSys '22) reproduction, plus the batch plumbing both cache systems
+//! share:
+//!
+//! * [`CpuStore`] — all embedding tables, with deterministic procedural
+//!   values and a DRAM cost model (latency-bound for many small lookups,
+//!   bandwidth-bound for bulk) split into indexing and payload components
+//!   so the unified-index experiment can bypass only the former.
+//! * [`Deduped`] — deduplicating & restoring (paper §4): dedup all batch
+//!   IDs, query each unique key once, restore the full output matrix.
+//! * [`Pooling`] — sum/avg/max pooling of multi-hot embeddings.
+//! * [`TieredStore`] — giant-model mode (paper §5): the CPU-DRAM layer as
+//!   an LRU cache over a remote parameter server, logging evictions so the
+//!   GPU-resident unified index can invalidate stale DRAM pointers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod dedup;
+pub mod pooling;
+pub mod remote;
+pub mod table;
+
+pub use api::{
+    dedup_charged, BatchStats, EmbeddingCacheSystem, LifetimeStats, PhaseBreakdown, QueryOutput,
+};
+pub use dedup::{Deduped, DEDUP_NS_PER_ID};
+pub use pooling::Pooling;
+pub use remote::{RemoteSpec, TieredStats, TieredStore};
+pub use table::{embedding_value, CpuStore, DRAM_INDEX_BYTES, DRAM_PROBES_PER_LOOKUP};

@@ -1,0 +1,111 @@
+//! Pooling operations.
+//!
+//! After embedding lookup, the vectors of each multi-hot field are
+//! compressed into one dense vector per (sample, table) by a pooling
+//! operation before concatenation into the MLP input.
+
+use fleche_gpu::KernelWork;
+
+/// Supported pooling reductions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pooling {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise mean.
+    Avg,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl Pooling {
+    /// Reduces `vectors` (each of equal length) into one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or lengths differ.
+    pub fn reduce(self, vectors: &[&[f32]]) -> Vec<f32> {
+        assert!(!vectors.is_empty(), "pooling needs at least one vector");
+        let dim = vectors[0].len();
+        for v in vectors {
+            assert_eq!(v.len(), dim, "pooled vectors must share a dimension");
+        }
+        let mut out = vec![
+            match self {
+                Pooling::Max => f32::NEG_INFINITY,
+                _ => 0.0,
+            };
+            dim
+        ];
+        for v in vectors {
+            for (o, &x) in out.iter_mut().zip(*v) {
+                match self {
+                    Pooling::Sum | Pooling::Avg => *o += x,
+                    Pooling::Max => *o = o.max(x),
+                }
+            }
+        }
+        if self == Pooling::Avg {
+            let n = vectors.len() as f32;
+            for o in &mut out {
+                *o /= n;
+            }
+        }
+        out
+    }
+
+    /// GPU footprint of pooling a batch: `total_vectors` input rows of
+    /// `dim` floats reduced to `output_rows` rows.
+    pub fn kernel_work(self, total_vectors: u64, output_rows: u64, dim: u32) -> KernelWork {
+        let read = total_vectors * dim as u64 * 4;
+        let write = output_rows * dim as u64 * 4;
+        KernelWork {
+            global_bytes: read + write,
+            flops: total_vectors * dim as u64,
+            ..KernelWork::streaming(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_avg_max() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 0.0, -3.0];
+        let vs: Vec<&[f32]> = vec![&a, &b];
+        assert_eq!(Pooling::Sum.reduce(&vs), vec![5.0, 2.0, 0.0]);
+        assert_eq!(Pooling::Avg.reduce(&vs), vec![2.5, 1.0, 0.0]);
+        assert_eq!(Pooling::Max.reduce(&vs), vec![4.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn single_vector_is_identity_for_all_ops() {
+        let a = [7.0f32, -2.0];
+        for op in [Pooling::Sum, Pooling::Avg, Pooling::Max] {
+            assert_eq!(op.reduce(&[&a]), vec![7.0, -2.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn empty_input_panics() {
+        Pooling::Sum.reduce(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn ragged_input_panics() {
+        let a = [1.0f32];
+        let b = [1.0f32, 2.0];
+        Pooling::Sum.reduce(&[&a, &b]);
+    }
+
+    #[test]
+    fn kernel_work_accounts_read_and_write() {
+        let w = Pooling::Sum.kernel_work(300, 100, 32);
+        assert_eq!(w.global_bytes, (300 + 100) * 32 * 4);
+        assert_eq!(w.flops, 300 * 32);
+    }
+}

@@ -1,0 +1,360 @@
+//! Giant-model mode: the three-layer hierarchy of paper §5.
+//!
+//! When a model exceeds one machine's DRAM, the local CPU-DRAM layer stops
+//! being "all parameters" and becomes a second-level cache over a remote
+//! parameter server. This module provides that substrate: a network cost
+//! model for the parameter server ([`RemoteSpec`]) and a [`TieredStore`]
+//! that serves lookups from a DRAM-resident LRU cache, fetching misses
+//! remotely. The store logs DRAM-layer evictions so the GPU-resident
+//! unified index can invalidate pointers to embeddings that left DRAM —
+//! the corner case the paper flags for this mode.
+
+use crate::table::{embedding_value, DRAM_INDEX_BYTES, DRAM_PROBES_PER_LOOKUP};
+use fleche_gpu::{BytesPerNs, DramSpec, Ns};
+use fleche_workload::DatasetSpec;
+use std::collections::HashMap;
+
+/// Network cost model for the remote parameter server.
+#[derive(Clone, Debug)]
+pub struct RemoteSpec {
+    /// Round-trip time of one batched fetch.
+    pub rtt: Ns,
+    /// Sustained network bandwidth for embedding payloads.
+    pub bandwidth: BytesPerNs,
+    /// Server-side cost per fetched key (shard lookup, serialization).
+    pub per_key: Ns,
+}
+
+impl RemoteSpec {
+    /// A same-datacenter parameter-server tier (25 GbE-ish effective).
+    pub fn datacenter() -> RemoteSpec {
+        RemoteSpec {
+            rtt: Ns::from_us(60.0),
+            bandwidth: BytesPerNs::from_gbps(3.0),
+            per_key: Ns(150.0),
+        }
+    }
+
+    /// Time to fetch `keys` keys moving `bytes` of payload in one batched
+    /// request.
+    pub fn fetch_time(&self, keys: u64, bytes: u64) -> Ns {
+        if keys == 0 {
+            return Ns::ZERO;
+        }
+        self.rtt + Ns(self.per_key.0 * keys as f64) + self.bandwidth.transfer_time(bytes)
+    }
+}
+
+/// Counters for the tiered store.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TieredStats {
+    /// Lookups served from the DRAM layer.
+    pub dram_hits: u64,
+    /// Lookups that went to the remote parameter server.
+    pub remote_fetches: u64,
+    /// Entries evicted from the DRAM layer so far.
+    pub dram_evictions: u64,
+}
+
+/// The CPU-DRAM layer as an LRU cache over a remote parameter server.
+///
+/// Values remain procedurally deterministic (the remote server is the
+/// authority and computes the same [`embedding_value`]), so end-to-end
+/// byte-correctness checks keep working in giant-model mode.
+///
+/// ```
+/// use fleche_gpu::DramSpec;
+/// use fleche_store::{RemoteSpec, TieredStore};
+/// use fleche_workload::spec;
+///
+/// let ds = spec::synthetic(2, 1_000, 8, -1.2);
+/// let mut store =
+///     TieredStore::new(&ds, DramSpec::xeon_6252(), RemoteSpec::datacenter(), 0.25);
+/// let (_, cold) = store.query_batch(&[(0, 7)]); // remote fetch
+/// let (_, warm) = store.query_batch(&[(0, 7)]); // DRAM hit
+/// assert!(cold > warm);
+/// assert!(store.is_resident(0, 7));
+/// ```
+#[derive(Debug)]
+pub struct TieredStore {
+    dims: Vec<u32>,
+    corpora: Vec<u64>,
+    dram: DramSpec,
+    remote: RemoteSpec,
+    /// Resident set: key -> last-touch stamp.
+    resident: HashMap<(u16, u64), u64>,
+    capacity_entries: usize,
+    clock: u64,
+    evicted_log: Vec<(u16, u64)>,
+    stats: TieredStats,
+}
+
+impl TieredStore {
+    /// Builds a tiered store whose DRAM layer holds at most
+    /// `dram_fraction` of all embeddings (by entry count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram_fraction` is not within `(0, 1]`.
+    pub fn new(
+        spec: &DatasetSpec,
+        dram: DramSpec,
+        remote: RemoteSpec,
+        dram_fraction: f64,
+    ) -> TieredStore {
+        assert!(
+            dram_fraction > 0.0 && dram_fraction <= 1.0,
+            "dram fraction must be in (0, 1]"
+        );
+        let capacity = ((spec.total_corpus() as f64 * dram_fraction) as usize).max(16);
+        TieredStore {
+            dims: spec.tables.iter().map(|t| t.dim).collect(),
+            corpora: spec.tables.iter().map(|t| t.corpus).collect(),
+            dram,
+            remote,
+            resident: HashMap::with_capacity(capacity),
+            capacity_entries: capacity,
+            clock: 0,
+            evicted_log: Vec::new(),
+            stats: TieredStats::default(),
+        }
+    }
+
+    /// Embedding dimension of `table`.
+    pub fn dim(&self, table: u16) -> u32 {
+        self.dims[table as usize]
+    }
+
+    /// DRAM-layer capacity in entries.
+    pub fn capacity_entries(&self) -> usize {
+        self.capacity_entries
+    }
+
+    /// Entries currently resident in the DRAM layer.
+    pub fn resident_entries(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> TieredStats {
+        self.stats
+    }
+
+    /// True when `(table, id)` is currently DRAM-resident.
+    pub fn is_resident(&self, table: u16, id: u64) -> bool {
+        self.resident.contains_key(&(table, id))
+    }
+
+    /// Drains the log of keys evicted from the DRAM layer since the last
+    /// call. The GPU-resident unified index must drop its pointers to
+    /// these keys (paper §5's invalidation corner case).
+    pub fn take_evicted(&mut self) -> Vec<(u16, u64)> {
+        std::mem::take(&mut self.evicted_log)
+    }
+
+    /// Queries a batch: DRAM-resident keys are served locally, the rest
+    /// fetched remotely in one batched request (and admitted to DRAM,
+    /// evicting coldest entries beyond capacity). Returns rows in key
+    /// order plus the total host-side time.
+    pub fn query_batch(&mut self, keys: &[(u16, u64)]) -> (Vec<Vec<f32>>, Ns) {
+        self.clock += 1;
+        let mut rows = Vec::with_capacity(keys.len());
+        let mut dram_lookups = 0u64;
+        let mut dram_bytes = 0u64;
+        let mut remote_keys = 0u64;
+        let mut remote_bytes = 0u64;
+        for &(t, id) in keys {
+            assert!(
+                id < self.corpora[t as usize],
+                "id {id} outside corpus of table {t}"
+            );
+            let dim = self.dims[t as usize] as usize;
+            let mut v = vec![0.0f32; dim];
+            embedding_value(t, id, &mut v);
+            let bytes = dim as u64 * 4 + DRAM_INDEX_BYTES;
+            if let Some(stamp) = self.resident.get_mut(&(t, id)) {
+                *stamp = self.clock;
+                self.stats.dram_hits += 1;
+                dram_lookups += 1;
+                dram_bytes += bytes;
+            } else {
+                self.stats.remote_fetches += 1;
+                remote_keys += 1;
+                remote_bytes += dim as u64 * 4;
+                self.resident.insert((t, id), self.clock);
+            }
+            rows.push(v);
+        }
+        self.evict_over_capacity();
+        let dram_cost =
+            self.dram
+                .batch_lookup_time(dram_lookups, DRAM_PROBES_PER_LOOKUP, dram_bytes);
+        let remote_cost = self.remote.fetch_time(remote_keys, remote_bytes);
+        (rows, dram_cost + remote_cost)
+    }
+
+    /// Reads keys whose DRAM residency is already known (unified-index
+    /// hits): payload cost only, refreshing the LRU stamp so located keys
+    /// stay resident under their pointers. A key that slipped out of DRAM
+    /// despite the invalidation protocol is served remotely (defensive).
+    pub fn read_located(&mut self, keys: &[(u16, u64)]) -> (Vec<Vec<f32>>, Ns) {
+        self.clock += 1;
+        let mut rows = Vec::with_capacity(keys.len());
+        let mut bytes = 0u64;
+        let mut stray_keys = 0u64;
+        let mut stray_bytes = 0u64;
+        for &(t, id) in keys {
+            let dim = self.dims[t as usize] as usize;
+            let mut v = vec![0.0f32; dim];
+            embedding_value(t, id, &mut v);
+            if let Some(stamp) = self.resident.get_mut(&(t, id)) {
+                *stamp = self.clock;
+                self.stats.dram_hits += 1;
+                bytes += dim as u64 * 4;
+            } else {
+                self.stats.remote_fetches += 1;
+                stray_keys += 1;
+                stray_bytes += dim as u64 * 4;
+                self.resident.insert((t, id), self.clock);
+            }
+            rows.push(v);
+        }
+        self.evict_over_capacity();
+        let cost = self.dram.batch_lookup_time(0, 0.0, bytes)
+            + self.remote.fetch_time(stray_keys, stray_bytes);
+        (rows, cost)
+    }
+
+    /// Cost of the DRAM-layer indexing for `lookups` keys (what the
+    /// unified index bypasses for resident keys).
+    pub fn index_cost(&self, lookups: u64) -> Ns {
+        self.dram
+            .batch_lookup_time(lookups, DRAM_PROBES_PER_LOOKUP, lookups * DRAM_INDEX_BYTES)
+    }
+
+    /// Payload cost for reading `keys` resident embeddings.
+    pub fn payload_cost(&self, keys: &[(u16, u64)]) -> Ns {
+        let bytes: u64 = keys
+            .iter()
+            .map(|&(t, _)| self.dims[t as usize] as u64 * 4)
+            .sum();
+        self.dram.batch_lookup_time(0, 0.0, bytes)
+    }
+
+    /// Evicts coldest entries until the resident set fits capacity; the
+    /// victims go to the invalidation log.
+    fn evict_over_capacity(&mut self) {
+        if self.resident.len() <= self.capacity_entries {
+            return;
+        }
+        let excess = self.resident.len() - self.capacity_entries;
+        let mut entries: Vec<((u16, u64), u64)> =
+            self.resident.iter().map(|(&k, &s)| (k, s)).collect();
+        entries.sort_unstable_by_key(|&(_, s)| s);
+        for &(k, _) in entries.iter().take(excess) {
+            self.resident.remove(&k);
+            self.evicted_log.push(k);
+            self.stats.dram_evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleche_workload::spec;
+
+    fn store(fraction: f64) -> TieredStore {
+        TieredStore::new(
+            &spec::synthetic(2, 1_000, 8, -1.2),
+            DramSpec::xeon_6252(),
+            RemoteSpec::datacenter(),
+            fraction,
+        )
+    }
+
+    #[test]
+    fn values_match_the_flat_store() {
+        let ds = spec::synthetic(2, 1_000, 8, -1.2);
+        let flat = crate::table::CpuStore::new(&ds, DramSpec::xeon_6252());
+        let mut tiered = store(0.5);
+        let keys: Vec<(u16, u64)> = (0..50).map(|i| ((i % 2) as u16, i * 3)).collect();
+        let (rows, _) = tiered.query_batch(&keys);
+        for (&(t, id), row) in keys.iter().zip(&rows) {
+            assert_eq!(row, &flat.read(t, id));
+        }
+    }
+
+    #[test]
+    fn first_touch_is_remote_second_is_dram() {
+        let mut s = store(0.5);
+        let keys = vec![(0u16, 7u64), (1, 9)];
+        let (_, cold) = s.query_batch(&keys);
+        assert_eq!(s.stats().remote_fetches, 2);
+        let (_, warm) = s.query_batch(&keys);
+        assert_eq!(s.stats().dram_hits, 2);
+        assert!(
+            cold > warm + Ns::from_us(50.0),
+            "remote RTT must dominate the cold path: {cold} vs {warm}"
+        );
+    }
+
+    #[test]
+    fn capacity_evictions_are_logged_lru_first() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut s = TieredStore::new(
+            &ds,
+            DramSpec::xeon_6252(),
+            RemoteSpec::datacenter(),
+            0.016, // 16 entries
+        );
+        assert_eq!(s.capacity_entries(), 16);
+        // Fill beyond capacity one batch at a time so stamps order them.
+        for id in 0..20u64 {
+            s.query_batch(&[(0, id)]);
+        }
+        assert!(s.resident_entries() <= 16);
+        let evicted = s.take_evicted();
+        assert_eq!(evicted.len(), 4);
+        // Oldest first.
+        assert!(evicted.contains(&(0, 0)));
+        assert!(evicted.contains(&(0, 3)));
+        assert!(!s.is_resident(0, 0));
+        assert!(s.is_resident(0, 19));
+        // Log drains.
+        assert!(s.take_evicted().is_empty());
+    }
+
+    #[test]
+    fn touching_protects_from_eviction() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut s = TieredStore::new(&ds, DramSpec::xeon_6252(), RemoteSpec::datacenter(), 0.016);
+        for id in 0..16u64 {
+            s.query_batch(&[(0, id)]);
+        }
+        // Re-touch id 0, then overflow: id 0 must survive.
+        s.query_batch(&[(0, 0)]);
+        for id in 16..24u64 {
+            s.query_batch(&[(0, id)]);
+        }
+        assert!(s.is_resident(0, 0), "recently touched key evicted");
+    }
+
+    #[test]
+    fn fetch_time_scales() {
+        let r = RemoteSpec::datacenter();
+        assert_eq!(r.fetch_time(0, 0), Ns::ZERO);
+        let one = r.fetch_time(1, 128);
+        let many = r.fetch_time(1_000, 128_000);
+        assert!(one >= r.rtt);
+        assert!(many > one);
+        // Batching amortizes: 1000 keys cost far less than 1000 RTTs.
+        assert!(many < r.rtt * 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dram fraction")]
+    fn zero_fraction_rejected() {
+        let _ = store(0.0);
+    }
+}

@@ -1,0 +1,1 @@
+//! Hosts integration tests from /tests.

@@ -1,0 +1,248 @@
+//! Trace generation and batching.
+//!
+//! A trace is a sequence of inference samples; each sample draws IDs from
+//! every embedding table (one per one-hot field, several per multi-hot
+//! field). The engine consumes traces in batches, mirroring how an
+//! inference server aggregates requests.
+
+use crate::spec::DatasetSpec;
+use crate::zipf::PowerLaw;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One inference sample: the IDs drawn from each table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// `per_table[t]` holds the IDs this sample reads from table `t`
+    /// (length = that table's `multi_hot`).
+    pub per_table: Vec<Vec<u64>>,
+}
+
+/// A batch of samples, plus flattened per-table views used by the cache
+/// query path.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// The samples in request order.
+    pub samples: Vec<Sample>,
+    /// `table_ids[t]` is the concatenation of every sample's IDs for table
+    /// `t`, in sample order (what the per-table cache kernels consume).
+    pub table_ids: Vec<Vec<u64>>,
+}
+
+impl Batch {
+    fn from_samples(samples: Vec<Sample>, n_tables: usize) -> Batch {
+        let mut table_ids = vec![Vec::new(); n_tables];
+        for s in &samples {
+            for (t, ids) in s.per_table.iter().enumerate() {
+                table_ids[t].extend_from_slice(ids);
+            }
+        }
+        Batch { samples, table_ids }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total IDs across all tables.
+    pub fn total_ids(&self) -> usize {
+        self.table_ids.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates `(table, id)` pairs over the whole batch.
+    pub fn iter_accesses(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.table_ids
+            .iter()
+            .enumerate()
+            .flat_map(|(t, ids)| ids.iter().map(move |&id| (t as u16, id)))
+    }
+}
+
+/// A deterministic, lazily-generated trace over a dataset spec.
+///
+/// Hotspot drift: when `drift_every` is set, the rank-to-ID scattering of
+/// every table is re-seeded after that many samples, moving the hot set —
+/// used to exercise the unified-index tuner's workload-change detection.
+pub struct TraceGenerator {
+    spec: DatasetSpec,
+    samplers: Vec<PowerLaw>,
+    rng: StdRng,
+    produced: u64,
+    drift_every: Option<u64>,
+    drift_generation: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec` starting at its canonical seed.
+    pub fn new(spec: &DatasetSpec) -> TraceGenerator {
+        TraceGenerator::with_drift(spec, None)
+    }
+
+    /// Like [`TraceGenerator::new`] with hotspot drift every `drift_every`
+    /// samples.
+    pub fn with_drift(spec: &DatasetSpec, drift_every: Option<u64>) -> TraceGenerator {
+        let samplers = Self::make_samplers(spec, 0);
+        TraceGenerator {
+            spec: spec.clone(),
+            samplers,
+            rng: StdRng::seed_from_u64(spec.seed),
+            produced: 0,
+            drift_every,
+            drift_generation: 0,
+        }
+    }
+
+    fn make_samplers(spec: &DatasetSpec, generation: u64) -> Vec<PowerLaw> {
+        spec.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                PowerLaw::new(
+                    t.corpus,
+                    t.alpha,
+                    spec.seed
+                        .wrapping_add(i as u64 * 7919)
+                        .wrapping_add(generation * 104_729),
+                )
+            })
+            .collect()
+    }
+
+    /// The spec this trace is drawn from.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Samples generated so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Generates the next sample.
+    pub fn next_sample(&mut self) -> Sample {
+        if let Some(every) = self.drift_every {
+            let generation = self.produced / every;
+            if generation != self.drift_generation {
+                self.drift_generation = generation;
+                self.samplers = Self::make_samplers(&self.spec, generation);
+            }
+        }
+        self.produced += 1;
+        Sample {
+            per_table: self
+                .spec
+                .tables
+                .iter()
+                .zip(&self.samplers)
+                .map(|(t, s)| (0..t.multi_hot).map(|_| s.sample(&mut self.rng)).collect())
+                .collect(),
+        }
+    }
+
+    /// Generates the next batch of `batch_size` samples.
+    pub fn next_batch(&mut self, batch_size: usize) -> Batch {
+        let samples = (0..batch_size).map(|_| self.next_sample()).collect();
+        Batch::from_samples(samples, self.spec.tables.len())
+    }
+
+    /// Generates `n` batches (convenience for warm-up/measure loops).
+    pub fn batches(&mut self, n: usize, batch_size: usize) -> Vec<Batch> {
+        (0..n).map(|_| self.next_batch(batch_size)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sample_shape_matches_spec() {
+        let ds = spec::avazu();
+        let mut gen = TraceGenerator::new(&ds);
+        let s = gen.next_sample();
+        assert_eq!(s.per_table.len(), ds.table_count());
+        for (ids, t) in s.per_table.iter().zip(&ds.tables) {
+            assert_eq!(ids.len(), t.multi_hot as usize);
+            for &id in ids {
+                assert!(id < t.corpus);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_flattening_is_consistent() {
+        let ds = spec::synthetic(4, 1000, 32, -1.2);
+        let mut gen = TraceGenerator::new(&ds);
+        let b = gen.next_batch(16);
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.total_ids(), 16 * 4);
+        for t in 0..4 {
+            let flat: Vec<u64> = b
+                .samples
+                .iter()
+                .flat_map(|s| s.per_table[t].clone())
+                .collect();
+            assert_eq!(flat, b.table_ids[t]);
+        }
+        assert_eq!(b.iter_accesses().count(), 64);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = spec::criteo_kaggle();
+        let mut a = TraceGenerator::new(&ds);
+        let mut b = TraceGenerator::new(&ds);
+        for _ in 0..10 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+
+    #[test]
+    fn traces_are_skewed() {
+        let ds = spec::synthetic(1, 100_000, 32, -1.2);
+        let mut gen = TraceGenerator::new(&ds);
+        let b = gen.next_batch(20_000);
+        let distinct: HashSet<u64> = b.table_ids[0].iter().copied().collect();
+        // Heavy reuse: far fewer distinct IDs than draws.
+        assert!(distinct.len() < 15_000, "distinct={}", distinct.len());
+    }
+
+    #[test]
+    fn drift_moves_the_hot_set() {
+        let ds = spec::synthetic(1, 100_000, 32, -1.6);
+        let mut gen = TraceGenerator::with_drift(&ds, Some(5_000));
+        let before: HashSet<u64> = gen.next_batch(5_000).table_ids[0].iter().copied().collect();
+        let after: HashSet<u64> = gen.next_batch(5_000).table_ids[0].iter().copied().collect();
+        let inter = before.intersection(&after).count();
+        let union = before.union(&after).count();
+        assert!(
+            (inter as f64) / (union as f64) < 0.5,
+            "hot sets should diverge after drift: {inter}/{union}"
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let ds = spec::synthetic(2, 100, 8, -1.0);
+        let mut gen = TraceGenerator::new(&ds);
+        let b = gen.next_batch(0);
+        assert!(b.is_empty());
+        assert_eq!(b.total_ids(), 0);
+    }
+
+    #[test]
+    fn produced_counter_advances() {
+        let ds = spec::synthetic(2, 100, 8, -1.0);
+        let mut gen = TraceGenerator::new(&ds);
+        gen.batches(3, 4);
+        assert_eq!(gen.produced(), 12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Giant-model serving (paper §5): the model no longer fits in one
+//! machine's DRAM, so the CPU-DRAM layer becomes a cache over a remote
+//! parameter server. Watch the three-layer hierarchy (GPU HBM -> DRAM ->
+//! remote PS) serve traffic, and the unified index stay consistent while
+//! the DRAM layer churns.
+//!
+//! Run with: `cargo run --release -p fleche-bench --example giant_model`
+
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::{RemoteSpec, TieredStore};
+use fleche_workload::{spec, TraceGenerator};
+
+fn main() {
+    let dataset = spec::synthetic(24, 200_000, 32, -1.3);
+    println!(
+        "model: {} tables, {} embeddings, {:.1} MB — pretend DRAM only fits ~1%",
+        dataset.table_count(),
+        dataset.total_corpus(),
+        dataset.total_param_bytes() as f64 / 1e6
+    );
+
+    let tiered = TieredStore::new(
+        &dataset,
+        DramSpec::xeon_6252(),
+        RemoteSpec::datacenter(),
+        0.012, // DRAM holds ~1% of the parameters
+    );
+    let mut sys = FlecheSystem::with_tiered_store(&dataset, tiered, FlecheConfig::full(0.02));
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    let mut gen = TraceGenerator::new(&dataset);
+
+    println!(
+        "\n{:<8} {:>12} {:>9} {:>11} {:>12} {:>12}",
+        "batch", "latency", "gpu hit", "dram hit", "remote", "evictions"
+    );
+    for i in 0..60 {
+        let s = sys.query_batch(&mut gpu, &gen.next_batch(512)).stats;
+        if i % 10 == 9 {
+            let t = sys.tiered_store().expect("tiered mode").stats();
+            let dram_hit = t.dram_hits as f64 / (t.dram_hits + t.remote_fetches).max(1) as f64;
+            println!(
+                "{:<8} {:>12} {:>8.1}% {:>10.1}% {:>12} {:>12}",
+                i + 1,
+                format!("{}", s.wall),
+                s.hit_rate() * 100.0,
+                dram_hit * 100.0,
+                t.remote_fetches,
+                t.dram_evictions
+            );
+        }
+    }
+
+    let t = sys.tiered_store().expect("tiered mode").stats();
+    println!("\nsteady state:");
+    println!("  GPU cache absorbs the hottest keys;");
+    println!(
+        "  DRAM layer served {} lookups locally, fetched {} remotely,",
+        t.dram_hits, t.remote_fetches
+    );
+    println!(
+        "  and evicted {} embeddings — each eviction invalidated any",
+        t.dram_evictions
+    );
+    println!("  unified-index pointer to it, so no lookup ever chased a stale address.");
+    println!(
+        "  unified entries now on GPU: {}",
+        sys.cache().unified_count()
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a Fleche cache over a synthetic dataset, run a few
+//! inference batches, and print hit rates and timing.
+//!
+//! Run with: `cargo run --release -p fleche-bench --example quickstart`
+
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_model::{DenseModel, InferenceEngine, ModelMode};
+use fleche_store::CpuStore;
+use fleche_workload::{spec, TraceGenerator};
+
+fn main() {
+    // 1. Pick a workload: 40 embedding tables, 250K features each,
+    //    power-law popularity (the paper's synthetic default).
+    let dataset = spec::synthetic_default();
+    println!(
+        "dataset: {} tables, {} total features, {:.1} MB of embeddings",
+        dataset.table_count(),
+        dataset.total_corpus(),
+        dataset.total_param_bytes() as f64 / 1e6
+    );
+
+    // 2. Stand up the two-layer hierarchy: a simulated T4 on top, the
+    //    CPU-DRAM store underneath, Fleche in between with a 5% cache.
+    let gpu = Gpu::new(DeviceSpec::t4());
+    let store = CpuStore::new(&dataset, DramSpec::xeon_6252());
+    let fleche = FlecheSystem::new(&dataset, store, FlecheConfig::full(0.05));
+
+    // 3. Put a DCN model on top and drive end-to-end inference.
+    let dense = DenseModel::dcn_paper(InferenceEngine::<FlecheSystem>::concat_dim(&dataset));
+    let mut engine = InferenceEngine::new(gpu, fleche, dense, ModelMode::Full, &dataset);
+    let mut gen = TraceGenerator::new(&dataset);
+
+    println!("\nwarming the cache...");
+    engine.warmup(&mut gen, 16, 1024);
+
+    println!("measuring 16 batches of 1024...\n");
+    let run = engine.measure(&mut gen, 16, 1024);
+
+    println!(
+        "throughput:      {:.0} inferences/sec (end-to-end, simulated)",
+        run.throughput()
+    );
+    println!(
+        "embedding only:  {:.0} inferences/sec",
+        run.embedding_throughput()
+    );
+    println!(
+        "latency:         median {} / p99 {}",
+        run.total.median(),
+        run.total.p99()
+    );
+    println!(
+        "cache:           {:.1}% hit rate over {} unique keys",
+        run.lifetime.hit_rate() * 100.0,
+        run.lifetime.unique_keys
+    );
+    println!(
+        "unified index:   {} location hits served from GPU",
+        run.lifetime.unified_hits
+    );
+}

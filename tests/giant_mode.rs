@@ -1,0 +1,111 @@
+//! Giant-model mode (paper §5): the CPU-DRAM layer as a cache over a
+//! remote parameter server, with unified-index pointer invalidation.
+
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::{CpuStore, RemoteSpec, TieredStore};
+use fleche_workload::{spec, TraceGenerator};
+
+fn tiered_system(dram_fraction: f64, cache_fraction: f64) -> (FlecheSystem, Gpu) {
+    let ds = spec::synthetic(8, 5_000, 16, -1.3);
+    let store = TieredStore::new(
+        &ds,
+        DramSpec::xeon_6252(),
+        RemoteSpec::datacenter(),
+        dram_fraction,
+    );
+    (
+        FlecheSystem::with_tiered_store(&ds, store, FlecheConfig::full(cache_fraction)),
+        Gpu::new(DeviceSpec::t4()),
+    )
+}
+
+#[test]
+fn tiered_mode_serves_ground_truth() {
+    let ds = spec::synthetic(8, 5_000, 16, -1.3);
+    let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let (mut sys, mut gpu) = tiered_system(0.3, 0.05);
+    let mut gen = TraceGenerator::new(&ds);
+    for _ in 0..5 {
+        let batch = gen.next_batch(96);
+        let out = sys.query_batch(&mut gpu, &batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(out.rows[k], truth.read(t as u16, id), "row {k}");
+                k += 1;
+            }
+        }
+    }
+    let stats = sys.tiered_store().expect("tiered mode").stats();
+    assert!(stats.remote_fetches > 0, "cold keys must come from remote");
+    assert!(stats.dram_hits > 0, "warm keys must come from DRAM");
+}
+
+#[test]
+fn dram_evictions_invalidate_unified_pointers() {
+    // Tiny DRAM layer forces constant eviction; pointers must never be
+    // left dangling (every returned row still matches ground truth) and
+    // invalidations must actually occur.
+    let ds = spec::synthetic(8, 5_000, 16, -1.3);
+    let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let (mut sys, mut gpu) = tiered_system(0.02, 0.02);
+    let mut gen = TraceGenerator::new(&ds);
+    for _ in 0..25 {
+        let batch = gen.next_batch(256);
+        let out = sys.query_batch(&mut gpu, &batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(out.rows[k], truth.read(t as u16, id));
+                k += 1;
+            }
+        }
+    }
+    let stats = sys.tiered_store().expect("tiered mode").stats();
+    assert!(
+        stats.dram_evictions > 0,
+        "a 2% DRAM layer must evict under this trace"
+    );
+    // The unified index stays bounded and consistent (the invariant the
+    // invalidation protocol maintains).
+    assert!(sys.cache().unified_count() <= sys.cache().unified_target().max(1));
+}
+
+#[test]
+fn flat_mode_reports_no_tiered_store() {
+    let ds = spec::synthetic(4, 1_000, 8, -1.2);
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+    assert!(sys.tiered_store().is_none());
+    assert!(sys.store().is_some());
+    let (tiered, _) = tiered_system(0.5, 0.05);
+    assert!(tiered.store().is_none());
+    assert!(tiered.tiered_store().is_some());
+}
+
+#[test]
+fn smaller_dram_layer_is_slower() {
+    // More remote fetches -> higher embedding latency.
+    let run = |dram_fraction: f64| {
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let (mut sys, mut gpu) = tiered_system(dram_fraction, 0.05);
+        let mut gen = TraceGenerator::new(&ds);
+        for _ in 0..8 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        sys.reset_stats();
+        let mut wall = fleche_gpu::Ns::ZERO;
+        for _ in 0..4 {
+            wall += sys.query_batch(&mut gpu, &gen.next_batch(256)).stats.wall;
+        }
+        wall
+    };
+    let big = run(0.6);
+    let tiny = run(0.01);
+    assert!(
+        tiny > big,
+        "1% DRAM layer ({tiny}) should be slower than 60% ({big})"
+    );
+}

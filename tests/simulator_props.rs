@@ -1,0 +1,120 @@
+//! Property-based tests on the GPU simulator: time monotonicity, bandwidth
+//! conservation, launch-overhead accounting, and fusion's timing advantage
+//! hold for arbitrary kernel mixes.
+
+use fleche_gpu::{DeviceSpec, Gpu, KernelDesc, KernelWork};
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = KernelDesc> {
+    (1u32..50_000, 0u64..(8 << 20), 0u32..16).prop_map(|(threads, bytes, rounds)| {
+        KernelDesc::new(
+            "prop",
+            threads,
+            KernelWork {
+                global_bytes: bytes,
+                flops: 0,
+                dependent_rounds: rounds,
+                shared_accesses: 0,
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn host_time_is_monotone(kernels in prop::collection::vec(kernel_strategy(), 1..24)) {
+        let mut gpu = Gpu::new(DeviceSpec::t4());
+        let streams = gpu.streams(4);
+        let mut last = gpu.now();
+        for (i, k) in kernels.into_iter().enumerate() {
+            gpu.launch(streams[i % 4], k);
+            prop_assert!(gpu.now() > last);
+            last = gpu.now();
+        }
+        let end = gpu.sync_all();
+        prop_assert!(end >= last);
+        prop_assert!(end.is_valid());
+    }
+
+    #[test]
+    fn wall_time_at_least_best_case_bandwidth(kernels in prop::collection::vec(kernel_strategy(), 1..16)) {
+        // Total traffic over peak bandwidth lower-bounds the device time,
+        // whatever the schedule.
+        let spec = DeviceSpec::t4();
+        let total_bytes: u64 = kernels.iter().map(|k| k.work.global_bytes).sum();
+        let mut gpu = Gpu::new(spec.clone());
+        let streams = gpu.streams(kernels.len());
+        let t0 = gpu.now();
+        for (i, k) in kernels.into_iter().enumerate() {
+            gpu.launch(streams[i], k);
+        }
+        let end = gpu.sync_all();
+        let floor = spec.hbm_bandwidth.transfer_time(total_bytes);
+        prop_assert!(
+            (end - t0).as_ns() + 1e-6 >= floor.as_ns(),
+            "wall {} under bandwidth floor {}",
+            end - t0,
+            floor
+        );
+    }
+
+    #[test]
+    fn launches_cost_linear_host_overhead(n in 1usize..40) {
+        let mut gpu = Gpu::new(DeviceSpec::t4());
+        let streams = gpu.streams(n);
+        let t0 = gpu.now();
+        for &s in &streams {
+            gpu.launch(s, KernelDesc::new("k", 128, KernelWork::NOOP));
+        }
+        let expect = gpu.spec().kernel_launch_overhead * n as f64;
+        prop_assert!(((gpu.now() - t0) - expect).as_ns().abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_fused_launch_never_slower_than_split(kernels in prop::collection::vec(kernel_strategy(), 2..12)) {
+        // Same aggregate work as one kernel vs as N kernels on N streams:
+        // the fused form must not be slower (it saves N-1 launches and
+        // runs at the combined parallelism).
+        let spec = DeviceSpec::t4();
+        let mut fused_work = KernelWork::NOOP;
+        let mut fused_threads = 0u32;
+        for k in &kernels {
+            fused_work.merge_concurrent(&k.work);
+            fused_threads = fused_threads.saturating_add(k.threads);
+        }
+
+        let mut g1 = Gpu::new(spec.clone());
+        let streams = g1.streams(kernels.len());
+        let t0 = g1.now();
+        for (i, k) in kernels.into_iter().enumerate() {
+            g1.launch(streams[i], k);
+        }
+        let split = g1.sync_all() - t0;
+
+        let mut g2 = Gpu::new(spec);
+        let s = g2.default_stream();
+        let t0 = g2.now();
+        g2.launch(s, KernelDesc::new("fused", fused_threads, fused_work));
+        let fused = g2.sync_stream(s) - t0;
+
+        prop_assert!(
+            fused.as_ns() <= split.as_ns() + 1e-6,
+            "fused {fused} slower than split {split}"
+        );
+    }
+
+    #[test]
+    fn timeline_busy_never_exceeds_wall(kernels in prop::collection::vec(kernel_strategy(), 1..10)) {
+        let mut gpu = Gpu::new(DeviceSpec::t4());
+        let s = gpu.default_stream();
+        let t0 = gpu.now();
+        for k in kernels {
+            gpu.launch(s, k);
+        }
+        let end = gpu.sync_stream(s);
+        let busy = gpu.device_busy(t0, end);
+        prop_assert!(busy.as_ns() <= (end - t0).as_ns() + 1e-6);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests over the full query workflow: for random dataset shapes,
+//! cache sizes, feature toggles, and batch sizes, every Fleche variant
+//! must serve byte-exact rows, keep its counters consistent, and advance
+//! simulated time monotonically.
+
+use fleche_core::{FlatCacheConfig, FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::CpuStore;
+use fleche_workload::{spec, TraceGenerator};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_tables: usize,
+    corpus: u64,
+    dim: u32,
+    cache_fraction: f64,
+    fusion: bool,
+    decoupling: bool,
+    unified_index: bool,
+    admission: f64,
+    batch: usize,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1usize..10,
+        50u64..3_000,
+        prop::sample::select(vec![4u32, 8, 16, 32]),
+        0.01f64..0.4,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0.1f64..1.0,
+        1usize..96,
+    )
+        .prop_map(
+            |(
+                n_tables,
+                corpus,
+                dim,
+                cache_fraction,
+                fusion,
+                decoupling,
+                unified_index,
+                admission,
+                batch,
+            )| {
+                Scenario {
+                    n_tables,
+                    corpus,
+                    dim,
+                    cache_fraction,
+                    fusion,
+                    decoupling,
+                    unified_index,
+                    admission,
+                    batch,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_configuration_serves_exact_rows(sc in scenario()) {
+        let ds = spec::synthetic(sc.n_tables, sc.corpus, sc.dim, -1.2);
+        let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let mut sys = FlecheSystem::new(
+            &ds,
+            store,
+            FlecheConfig {
+                cache_fraction: sc.cache_fraction,
+                fusion: sc.fusion,
+                decoupling: sc.decoupling,
+                unified_index: sc.unified_index,
+                cache: FlatCacheConfig {
+                    admission_probability: sc.admission,
+                    ..FlatCacheConfig::default()
+                },
+                ..FlecheConfig::full(sc.cache_fraction)
+            },
+        );
+        let mut gpu = Gpu::new(DeviceSpec::t4());
+        let mut gen = TraceGenerator::new(&ds);
+        let mut last = gpu.now();
+        for _ in 0..3 {
+            let batch = gen.next_batch(sc.batch);
+            let out = sys.query_batch(&mut gpu, &batch);
+            // Counters partition the unique keys.
+            let s = out.stats;
+            prop_assert_eq!(s.hits + s.unified_hits + s.misses, s.unique_keys);
+            // Rows are byte-exact.
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    prop_assert_eq!(&out.rows[k], &truth.read(t as u16, id));
+                    k += 1;
+                }
+            }
+            // Simulated time is monotone and finite.
+            prop_assert!(gpu.now() > last);
+            prop_assert!(gpu.now().is_valid());
+            last = gpu.now();
+            // Cache structural invariants.
+            let u = sys.cache().effective_utilization();
+            prop_assert!((0.0..=1.5).contains(&u), "utilization {}", u);
+        }
+    }
+
+    #[test]
+    fn phase_times_are_finite_and_nonnegative(sc in scenario()) {
+        let ds = spec::synthetic(sc.n_tables, sc.corpus, sc.dim, -1.2);
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let mut sys = FlecheSystem::new(
+            &ds,
+            store,
+            FlecheConfig {
+                cache_fraction: sc.cache_fraction,
+                fusion: sc.fusion,
+                decoupling: sc.decoupling,
+                unified_index: sc.unified_index,
+                ..FlecheConfig::full(sc.cache_fraction)
+            },
+        );
+        let mut gpu = Gpu::new(DeviceSpec::t4());
+        let mut gen = TraceGenerator::new(&ds);
+        let out = sys.query_batch(&mut gpu, &gen.next_batch(sc.batch));
+        let p = out.stats.phases;
+        for (name, v) in [
+            ("cache_index", p.cache_index),
+            ("cache_copy", p.cache_copy),
+            ("dram_index", p.dram_index),
+            ("dram_payload", p.dram_payload),
+            ("other", p.other),
+        ] {
+            prop_assert!(v.is_valid(), "{} invalid: {}", name, v);
+        }
+        prop_assert!(p.total().as_ns() <= out.stats.wall.as_ns() * 2.0 + 1.0);
+    }
+}
+
+#[test]
+fn empty_batch_is_harmless() {
+    let ds = spec::synthetic(4, 500, 8, -1.2);
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let mut sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    let mut gen = TraceGenerator::new(&ds);
+    let out = sys.query_batch(&mut gpu, &gen.next_batch(0));
+    assert!(out.rows.is_empty());
+    assert_eq!(out.stats.unique_keys, 0);
+    // And a normal batch still works afterwards.
+    let out = sys.query_batch(&mut gpu, &gen.next_batch(8));
+    assert_eq!(out.rows.len(), 8 * 4);
+}
+
+#[test]
+fn single_sample_batches_work() {
+    let ds = spec::synthetic(3, 200, 4, -1.0);
+    let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let mut sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.1));
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    let mut gen = TraceGenerator::new(&ds);
+    for _ in 0..20 {
+        let batch = gen.next_batch(1);
+        let out = sys.query_batch(&mut gpu, &batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(out.rows[k], truth.read(t as u16, id));
+                k += 1;
+            }
+        }
+    }
+}
