@@ -288,6 +288,7 @@ impl EmbeddingCacheSystem for PerTableCacheSystem {
             misses: missing_keys.len() as u64,
             wall: gpu.now() - t_start,
             phases,
+            ..BatchStats::default()
         };
         self.lifetime.observe(&stats);
         QueryOutput { rows, stats }

@@ -136,10 +136,7 @@ impl TableCache {
                 stats.merge(&s);
                 slot
             }
-            Err(_) => {
-                let victim_slot = self.evict_one(stamp, &mut stats);
-                victim_slot
-            }
+            Err(_) => self.evict_one(stamp, &mut stats),
         };
         let s = self
             .pool

@@ -29,12 +29,13 @@ fn run_fleche(load: f64, requests: usize) -> ServedRun {
     serve(
         &mut eng,
         &mut gen,
-        ModelMode::EmbeddingOnly,
         &ServerConfig {
             offered_load: load,
             max_batch: 4096,
             requests,
             warmup_requests: requests,
+            queue_capacity: None,
+            deadline: None,
         },
     )
 }
@@ -62,12 +63,13 @@ fn run_baseline(load: f64, requests: usize) -> ServedRun {
     serve(
         &mut eng,
         &mut gen,
-        ModelMode::EmbeddingOnly,
         &ServerConfig {
             offered_load: load,
             max_batch: 4096,
             requests,
             warmup_requests: requests,
+            queue_capacity: None,
+            deadline: None,
         },
     )
 }

@@ -1,0 +1,223 @@
+//! Circuit breaker over the GPU-cache fast path.
+//!
+//! When the GPU cache starts failing (transient launch faults, checksum
+//! corruption), continuing to push every batch through it wastes retries and
+//! risks serving bad bytes. The breaker watches a rolling window of
+//! batch outcomes; past a failure-rate threshold it *opens* and the system
+//! degrades to the DRAM-only path (correct, slower). After a cooldown it
+//! *half-opens*, letting a limited number of probe batches through the cache
+//! again: if they succeed the breaker closes, if any fails it re-opens.
+
+use fleche_gpu::Ns;
+
+/// Breaker tuning knobs.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Failure-rate threshold over the sample window that trips the breaker.
+    pub failure_threshold: f64,
+    /// Outcomes to accumulate before the threshold is consulted.
+    pub min_samples: u32,
+    /// Size of the rolling outcome window.
+    pub window: u32,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Ns,
+    /// Consecutive successful probes required to close from half-open.
+    pub probes_to_close: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 0.5,
+            min_samples: 8,
+            window: 32,
+            cooldown: Ns::from_ms(2.0),
+            probes_to_close: 3,
+        }
+    }
+}
+
+/// Where the breaker currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows through the protected path.
+    Closed,
+    /// Protected path bypassed; waiting out the cooldown.
+    Open,
+    /// Probing the protected path with limited traffic.
+    HalfOpen,
+}
+
+/// The breaker state machine. Time is simulated [`Ns`] supplied by the
+/// caller, so behaviour replays deterministically.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Rolling window of recent outcomes (true = failure), newest last.
+    window: Vec<bool>,
+    opened_at: Ns,
+    probe_successes: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            window: Vec::new(),
+            opened_at: Ns::ZERO,
+            probe_successes: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state, transitioning open → half-open if the cooldown has
+    /// elapsed by `now`.
+    pub fn state_at(&mut self, now: Ns) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now.saturating_sub(self.opened_at) >= self.config.cooldown
+        {
+            self.state = BreakerState::HalfOpen;
+            self.probe_successes = 0;
+        }
+        self.state
+    }
+
+    /// Should this batch use the protected (GPU-cache) path at `now`?
+    pub fn allow(&mut self, now: Ns) -> bool {
+        match self.state_at(now) {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Records the outcome of a batch that went through the protected path.
+    pub fn record(&mut self, now: Ns, failed: bool) {
+        match self.state_at(now) {
+            BreakerState::Closed => {
+                self.window.push(failed);
+                let excess = self
+                    .window
+                    .len()
+                    .saturating_sub(self.config.window as usize);
+                if excess > 0 {
+                    self.window.drain(..excess);
+                }
+                if self.window.len() >= self.config.min_samples as usize {
+                    let failures = self.window.iter().filter(|&&f| f).count();
+                    let rate = failures as f64 / self.window.len() as f64;
+                    if rate >= self.config.failure_threshold {
+                        self.trip(now);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if failed {
+                    self.trip(now);
+                } else {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.config.probes_to_close {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                    }
+                }
+            }
+            BreakerState::Open => {
+                // Outcome from a request admitted before the trip; ignore.
+            }
+        }
+    }
+
+    fn trip(&mut self, now: Ns) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.window.clear();
+        self.probe_successes = 0;
+        self.trips += 1;
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0.5,
+            min_samples: 4,
+            window: 8,
+            cooldown: Ns::from_ms(1.0),
+            probes_to_close: 2,
+        })
+    }
+
+    #[test]
+    fn trips_past_threshold_and_blocks() {
+        let mut b = quick();
+        let t = Ns::ZERO;
+        for _ in 0..2 {
+            b.record(t, false);
+        }
+        assert_eq!(b.state_at(t), BreakerState::Closed);
+        for _ in 0..4 {
+            b.record(t, true);
+        }
+        assert_eq!(b.state_at(t), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow(t + Ns::from_us(10.0)));
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let mut b = quick();
+        for _ in 0..4 {
+            b.record(Ns::ZERO, true);
+        }
+        let after = Ns::from_ms(1.5);
+        assert!(b.allow(after), "cooldown elapsed, probes admitted");
+        assert_eq!(b.state_at(after), BreakerState::HalfOpen);
+        b.record(after, false);
+        assert_eq!(b.state_at(after), BreakerState::HalfOpen);
+        b.record(after, false);
+        assert_eq!(b.state_at(after), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = quick();
+        for _ in 0..4 {
+            b.record(Ns::ZERO, true);
+        }
+        let after = Ns::from_ms(1.5);
+        assert!(b.allow(after));
+        b.record(after, true);
+        assert_eq!(b.state_at(after), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // A fresh cooldown applies from the re-trip.
+        assert!(!b.allow(after + Ns::from_us(500.0)));
+        assert!(b.allow(after + Ns::from_ms(1.1)));
+    }
+
+    #[test]
+    fn closing_clears_history() {
+        let mut b = quick();
+        for _ in 0..4 {
+            b.record(Ns::ZERO, true);
+        }
+        let after = Ns::from_ms(1.5);
+        b.allow(after);
+        b.record(after, false);
+        b.record(after, false);
+        // Back to closed: a single new failure must not trip immediately.
+        b.record(after, true);
+        assert_eq!(b.state_at(after), BreakerState::Closed);
+    }
+}

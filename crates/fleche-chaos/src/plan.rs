@@ -1,0 +1,328 @@
+//! Fault plans and the per-domain injectors they hand out.
+
+use crate::in_periodic_window;
+use crate::rng::ChaosRng;
+use fleche_gpu::{LaunchFault, LaunchFaultHook, Ns};
+
+/// Remote parameter-server fault model.
+#[derive(Clone, Debug)]
+pub struct RemoteFaultSpec {
+    /// Probability that one fetch attempt times out (dropped request,
+    /// server-side overload). Independent per attempt, so retries help.
+    pub fetch_failure_rate: f64,
+    /// An outage window opens every this often (`ZERO` = never). During a
+    /// window *every* fetch attempt times out, so retries alone don't help —
+    /// only stale-serve or the deadline fallback do.
+    pub outage_period: Ns,
+    /// Length of each outage window.
+    pub outage_duration: Ns,
+    /// Probability that a successful fetch is slow (degraded RTT).
+    pub slow_rate: f64,
+    /// RTT multiplier applied to slow fetches.
+    pub slow_rtt_factor: f64,
+}
+
+impl Default for RemoteFaultSpec {
+    fn default() -> RemoteFaultSpec {
+        RemoteFaultSpec {
+            fetch_failure_rate: 0.0,
+            outage_period: Ns::ZERO,
+            outage_duration: Ns::ZERO,
+            slow_rate: 0.0,
+            slow_rtt_factor: 1.0,
+        }
+    }
+}
+
+/// GPU engine fault model.
+#[derive(Clone, Debug, Default)]
+pub struct GpuFaultSpec {
+    /// Probability a kernel launch transiently fails (driver retries).
+    pub launch_failure_rate: f64,
+    /// Probability a launch's stream stalls before execution.
+    pub stall_rate: f64,
+    /// Duration of each injected stall.
+    pub stall: Ns,
+}
+
+/// Slab-pool corruption model.
+#[derive(Clone, Debug, Default)]
+pub struct CorruptionSpec {
+    /// Expected bit flips injected into live pool slots per batch. Values
+    /// above 1 flip multiple bits per batch.
+    pub bitflips_per_batch: f64,
+}
+
+/// A complete, seeded description of the fault environment.
+///
+/// Each injector draws from an independent substream of `seed`, so turning
+/// one fault domain on or off never perturbs the schedule of another — a
+/// property the chaos suite's ablation columns rely on.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Master seed; all substreams derive from it.
+    pub seed: u64,
+    /// Remote parameter-server faults.
+    pub remote: RemoteFaultSpec,
+    /// GPU engine faults.
+    pub gpu: GpuFaultSpec,
+    /// Slab-pool corruption.
+    pub corruption: CorruptionSpec,
+}
+
+const DOMAIN_REMOTE: u64 = 0x01;
+const DOMAIN_GPU: u64 = 0x02;
+const DOMAIN_CORRUPTION: u64 = 0x03;
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            remote: RemoteFaultSpec::default(),
+            gpu: GpuFaultSpec::default(),
+            corruption: CorruptionSpec::default(),
+        }
+    }
+
+    /// The remote-fetch injector for this plan.
+    pub fn remote_injector(&self) -> RemoteFaultInjector {
+        RemoteFaultInjector {
+            spec: self.remote.clone(),
+            rng: ChaosRng::substream(self.seed, DOMAIN_REMOTE),
+        }
+    }
+
+    /// The GPU launch-fault injector for this plan; install it with
+    /// [`fleche_gpu::Gpu::set_fault_hook`].
+    pub fn gpu_injector(&self) -> GpuFaultInjector {
+        GpuFaultInjector {
+            spec: self.gpu.clone(),
+            rng: ChaosRng::substream(self.seed, DOMAIN_GPU),
+        }
+    }
+
+    /// The slab-pool corruption injector for this plan.
+    pub fn corruption_injector(&self) -> CorruptionInjector {
+        CorruptionInjector {
+            spec: self.corruption.clone(),
+            rng: ChaosRng::substream(self.seed, DOMAIN_CORRUPTION),
+        }
+    }
+}
+
+/// Outcome of one remote fetch attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FetchOutcome {
+    /// The fetch succeeds at nominal cost.
+    Ok,
+    /// The fetch never answers; the caller waits out its timeout.
+    TimedOut,
+    /// The fetch succeeds with its RTT multiplied by the factor.
+    Slow(f64),
+}
+
+/// Draws outcomes for remote fetch attempts.
+#[derive(Clone, Debug)]
+pub struct RemoteFaultInjector {
+    spec: RemoteFaultSpec,
+    rng: ChaosRng,
+}
+
+impl RemoteFaultInjector {
+    /// True when `now` falls inside a scheduled outage window.
+    pub fn in_outage(&self, now: Ns) -> bool {
+        in_periodic_window(now, self.spec.outage_period, self.spec.outage_duration)
+    }
+
+    /// The outcome of one fetch attempt issued at `now`.
+    pub fn fetch_outcome(&mut self, now: Ns) -> FetchOutcome {
+        if self.in_outage(now) {
+            return FetchOutcome::TimedOut;
+        }
+        if self.rng.chance(self.spec.fetch_failure_rate) {
+            return FetchOutcome::TimedOut;
+        }
+        if self.rng.chance(self.spec.slow_rate) {
+            return FetchOutcome::Slow(self.spec.slow_rtt_factor);
+        }
+        FetchOutcome::Ok
+    }
+}
+
+/// Draws per-launch GPU faults; implements the device facade's hook.
+#[derive(Clone, Debug)]
+pub struct GpuFaultInjector {
+    spec: GpuFaultSpec,
+    rng: ChaosRng,
+}
+
+impl LaunchFaultHook for GpuFaultInjector {
+    fn on_launch(&mut self, _now: Ns, _label: &str) -> LaunchFault {
+        if self.rng.chance(self.spec.launch_failure_rate) {
+            return LaunchFault::TransientFail;
+        }
+        if self.rng.chance(self.spec.stall_rate) {
+            return LaunchFault::Stall(self.spec.stall);
+        }
+        LaunchFault::None
+    }
+}
+
+/// Draws bit-flip targets for the slab pool.
+#[derive(Clone, Debug)]
+pub struct CorruptionInjector {
+    spec: CorruptionSpec,
+    rng: ChaosRng,
+}
+
+impl CorruptionInjector {
+    /// How many bits to flip this batch (integer part of the rate plus a
+    /// Bernoulli draw on the fractional part).
+    pub fn flips_this_batch(&mut self) -> u32 {
+        let rate = self.spec.bitflips_per_batch;
+        if rate <= 0.0 {
+            return 0;
+        }
+        let whole = rate.floor() as u32;
+        let frac = rate - rate.floor();
+        whole + u32::from(self.rng.chance(frac))
+    }
+
+    /// Uniform draw from `[0, n)` for choosing a victim slot or word.
+    pub fn pick(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.rng.below(n)
+    }
+
+    /// Which bit of a 32-bit float word to flip. Bits 20–30 cover mantissa
+    /// high bits and exponent: flips that change the value materially
+    /// without routinely producing NaN payload-only corruption.
+    pub fn pick_bit(&mut self) -> u32 {
+        20 + (self.rng.below(11) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_replay_identically() {
+        let plan = FaultPlan {
+            seed: 77,
+            remote: RemoteFaultSpec {
+                fetch_failure_rate: 0.3,
+                slow_rate: 0.2,
+                slow_rtt_factor: 4.0,
+                ..RemoteFaultSpec::default()
+            },
+            gpu: GpuFaultSpec {
+                launch_failure_rate: 0.1,
+                stall_rate: 0.05,
+                stall: Ns::from_us(20.0),
+            },
+            corruption: CorruptionSpec {
+                bitflips_per_batch: 0.5,
+            },
+        };
+        let mut a = plan.remote_injector();
+        let mut b = plan.remote_injector();
+        for i in 0..256 {
+            let t = Ns::from_us(i as f64);
+            assert_eq!(a.fetch_outcome(t), b.fetch_outcome(t));
+        }
+        let mut ga = plan.gpu_injector();
+        let mut gb = plan.gpu_injector();
+        for _ in 0..256 {
+            assert_eq!(ga.on_launch(Ns::ZERO, "k"), gb.on_launch(Ns::ZERO, "k"));
+        }
+        let mut ca = plan.corruption_injector();
+        let mut cb = plan.corruption_injector();
+        for _ in 0..64 {
+            assert_eq!(ca.flips_this_batch(), cb.flips_this_batch());
+            assert_eq!(ca.pick(1000), cb.pick(1000));
+            assert_eq!(ca.pick_bit(), cb.pick_bit());
+        }
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = FaultPlan::quiet(1);
+        let mut remote = plan.remote_injector();
+        let mut gpu = plan.gpu_injector();
+        let mut corr = plan.corruption_injector();
+        for i in 0..128 {
+            let t = Ns::from_ms(i as f64);
+            assert_eq!(remote.fetch_outcome(t), FetchOutcome::Ok);
+            assert_eq!(gpu.on_launch(t, "k"), LaunchFault::None);
+            assert_eq!(corr.flips_this_batch(), 0);
+        }
+    }
+
+    #[test]
+    fn outage_windows_time_out_every_attempt() {
+        let plan = FaultPlan {
+            seed: 5,
+            remote: RemoteFaultSpec {
+                outage_period: Ns::from_ms(10.0),
+                outage_duration: Ns::from_ms(1.0),
+                ..RemoteFaultSpec::default()
+            },
+            gpu: GpuFaultSpec::default(),
+            corruption: CorruptionSpec::default(),
+        };
+        let mut inj = plan.remote_injector();
+        assert!(!inj.in_outage(Ns::from_ms(5.0)));
+        assert!(inj.in_outage(Ns::from_ms(10.2)));
+        for _ in 0..32 {
+            assert_eq!(inj.fetch_outcome(Ns::from_ms(10.5)), FetchOutcome::TimedOut);
+        }
+        assert_eq!(inj.fetch_outcome(Ns::from_ms(12.0)), FetchOutcome::Ok);
+    }
+
+    #[test]
+    fn fetch_failure_rate_is_respected() {
+        let plan = FaultPlan {
+            seed: 11,
+            remote: RemoteFaultSpec {
+                fetch_failure_rate: 0.25,
+                ..RemoteFaultSpec::default()
+            },
+            gpu: GpuFaultSpec::default(),
+            corruption: CorruptionSpec::default(),
+        };
+        let mut inj = plan.remote_injector();
+        let timeouts = (0..10_000)
+            .filter(|_| inj.fetch_outcome(Ns::ZERO) == FetchOutcome::TimedOut)
+            .count();
+        assert!(
+            (2_100..2_900).contains(&timeouts),
+            "timeouts {timeouts} far from 25%"
+        );
+    }
+
+    #[test]
+    fn corruption_rate_above_one_flips_multiple() {
+        let plan = FaultPlan {
+            seed: 13,
+            remote: RemoteFaultSpec::default(),
+            gpu: GpuFaultSpec::default(),
+            corruption: CorruptionSpec {
+                bitflips_per_batch: 2.5,
+            },
+        };
+        let mut inj = plan.corruption_injector();
+        let total: u32 = (0..1_000).map(|_| inj.flips_this_batch()).sum();
+        assert!(
+            (2_300..2_700).contains(&total),
+            "expected ~2500 flips, got {total}"
+        );
+        for _ in 0..100 {
+            let bit = inj.pick_bit();
+            assert!((20..31).contains(&bit));
+        }
+    }
+}

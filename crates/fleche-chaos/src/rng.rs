@@ -1,0 +1,124 @@
+//! Seeded random stream for fault decisions.
+
+/// A splitmix64 stream. Small, fast, and — unlike the workspace's `StdRng`
+/// stand-in — guaranteed stable across this crate's lifetime, because chaos
+/// experiment tables in EXPERIMENTS.md are regenerated and diffed.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A stream determined entirely by `seed`.
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng {
+            // Avoid the all-zero fixed point and decorrelate small seeds.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Derives an independent substream; used to give each fault domain its
+    /// own stream so adding draws in one domain never perturbs another.
+    pub fn substream(seed: u64, domain: u64) -> ChaosRng {
+        ChaosRng::new(seed.wrapping_mul(0xA24B_AED4_963E_E407) ^ domain)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Never consume a draw for impossible events: a zero-rate domain
+            // must leave the stream untouched so enabling it elsewhere
+            // reproduces identically.
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit_f64() < p
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// A multiplicative jitter factor uniform in `[1 - frac, 1 + frac]`.
+    pub fn jitter(&mut self, frac: f64) -> f64 {
+        if frac <= 0.0 {
+            return 1.0;
+        }
+        1.0 + (self.unit_f64() * 2.0 - 1.0) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaosRng::new(7);
+        let mut b = ChaosRng::new(7);
+        let mut c = ChaosRng::new(8);
+        let mut diverged = false;
+        for _ in 0..32 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            if x != c.next_u64() {
+                diverged = true;
+            }
+        }
+        assert!(diverged);
+    }
+
+    #[test]
+    fn substreams_are_independent() {
+        let mut a = ChaosRng::substream(42, 1);
+        let mut b = ChaosRng::substream(42, 2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn chance_matches_rate() {
+        let mut rng = ChaosRng::new(3);
+        let hits = (0..10_000).filter(|_| rng.chance(0.2)).count();
+        assert!((1_700..2_300).contains(&hits), "hits {hits}");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_draws() {
+        let mut a = ChaosRng::new(9);
+        let mut b = ChaosRng::new(9);
+        let _ = a.chance(0.0);
+        let _ = a.chance(1.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = ChaosRng::new(5);
+        for _ in 0..1_000 {
+            let j = rng.jitter(0.25);
+            assert!((0.75..=1.25).contains(&j), "jitter {j}");
+        }
+        assert_eq!(rng.jitter(0.0), 1.0);
+    }
+}

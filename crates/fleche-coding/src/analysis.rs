@@ -43,13 +43,16 @@ impl CollisionReport {
     }
 }
 
+/// The features (with access counts) sharing one flat key.
+type KeyGroup = Vec<((u16, u64), u64)>;
+
 /// Measures collisions of `codec` over weighted accesses
 /// (`(table, feature) -> count`).
 pub fn measure_collisions(
     codec: &dyn FlatKeyCodec,
     accesses: &HashMap<(u16, u64), u64>,
 ) -> CollisionReport {
-    let mut by_key: HashMap<FlatKey, Vec<((u16, u64), u64)>> = HashMap::new();
+    let mut by_key: HashMap<FlatKey, KeyGroup> = HashMap::new();
     for (&(t, f), &count) in accesses {
         by_key
             .entry(codec.encode(t, f))

@@ -18,6 +18,20 @@ use fleche_index::{
 use fleche_workload::DatasetSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// FNV-1a over the value's raw f32 bits — the per-slot checksum readers
+/// verify when [`FlatCache::enable_checksums`] is on.
+fn checksum_of(value: &[f32]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for v in value {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
 
 /// Device bytes one unified-index (DRAM pointer) entry costs: its share of
 /// a slab (key + loc + stamp).
@@ -92,6 +106,11 @@ pub struct FlatCache {
     unified_target: u64,
     rng: StdRng,
     evict_passes: u64,
+    /// Per-(class, slot) checksums, recorded on write when enabled. Stale
+    /// records for retired slots are harmless: reuse overwrites them on the
+    /// next write, and grace-period reads still see the retired bytes.
+    checksums: Option<HashMap<(u16, u32), u32>>,
+    corruptions_detected: u64,
 }
 
 impl FlatCache {
@@ -151,7 +170,89 @@ impl FlatCache {
             unified_target: 0,
             rng: StdRng::seed_from_u64(spec.seed ^ 0xF1EC_4E00),
             evict_passes: 0,
+            checksums: None,
+            corruptions_detected: 0,
         }
+    }
+
+    /// Turns on per-slot checksums. Existing live slots are checksummed so
+    /// enabling mid-life never produces false corruption alarms.
+    pub fn enable_checksums(&mut self) {
+        let mut map = HashMap::new();
+        for class in 0..self.pool.class_count() as u16 {
+            for slot in self.pool.live_slots(class) {
+                if let Ok(v) = self.pool.read(class, slot) {
+                    map.insert((class, slot), checksum_of(v));
+                }
+            }
+        }
+        self.checksums = Some(map);
+    }
+
+    /// Whether hit verification is active.
+    pub fn checksums_enabled(&self) -> bool {
+        self.checksums.is_some()
+    }
+
+    /// Corrupt hits detected (and quarantined) so far.
+    pub fn corruptions_detected(&self) -> u64 {
+        self.corruptions_detected
+    }
+
+    /// Verifies a hit's bytes against the checksum recorded at write time.
+    /// Always true when checksums are disabled; a missing record (possible
+    /// only for entries written before enabling, which `enable_checksums`
+    /// backfills) also passes.
+    pub fn verify_hit(&self, class: u16, slot: u32) -> bool {
+        let Some(map) = &self.checksums else {
+            return true;
+        };
+        let Some(&expected) = map.get(&(class, slot)) else {
+            return true;
+        };
+        self.pool
+            .read_during_grace(class, slot)
+            .map(|v| checksum_of(v) == expected)
+            .unwrap_or(false)
+    }
+
+    /// Quarantines a corrupt entry: removes it from the index and retires
+    /// its slot so the bad bytes are never served again. The caller
+    /// refetches the key from the miss backend.
+    pub fn quarantine(&mut self, key: FlatKey, class: u16, slot: u32) {
+        self.index.remove(key.0);
+        self.epochs.retire((class, slot));
+        if let Some(map) = &mut self.checksums {
+            map.remove(&(class, slot));
+        }
+        self.corruptions_detected += 1;
+    }
+
+    /// Fault-injection hook: flips bit `bit` of float `word` of the `nth`
+    /// live pool slot (in class-major, slot order), *without* refreshing the
+    /// slot's checksum — exactly what a soft HBM error looks like. Returns
+    /// the victim location, or `None` when fewer than `nth + 1` slots are
+    /// live.
+    pub fn corrupt_nth_live(&mut self, nth: u64, word: u32, bit: u32) -> Option<(u16, u32)> {
+        let mut n = nth;
+        for class in 0..self.pool.class_count() as u16 {
+            let live = self.pool.live_slots(class);
+            if (n as usize) < live.len() {
+                let slot = live[n as usize];
+                self.pool
+                    .corrupt_bit(class, slot, word, bit)
+                    .expect("enumerated slot is live");
+                return Some((class, slot));
+            }
+            n -= live.len() as u64;
+        }
+        None
+    }
+
+    /// Live value slots across all pool classes (sizes the corruption
+    /// injector's victim pick).
+    pub fn live_value_count(&self) -> u64 {
+        self.pool.live_count()
     }
 
     /// Pool size class of `table`.
@@ -258,6 +359,9 @@ impl FlatCache {
         if let Some(loc) = self.index.peek(key.0) {
             if let Loc::Hbm { class: c, slot } = loc.unpack() {
                 if self.pool.write(c, slot, value).is_ok() {
+                    if let Some(map) = &mut self.checksums {
+                        map.insert((c, slot), checksum_of(value));
+                    }
                     let (_, s) = self.index.insert(key.0, loc, stamp);
                     stats.merge(&s);
                     return (Some((c, slot)), stats);
@@ -280,6 +384,9 @@ impl FlatCache {
             .write(class, slot, value)
             .expect("freshly allocated slot");
         stats.merge(&s);
+        if let Some(map) = &mut self.checksums {
+            map.insert((class, slot), checksum_of(value));
+        }
         let (outcome, s2) = self
             .index
             .insert(key.0, Loc::Hbm { class, slot }.pack(), stamp);
@@ -583,8 +690,7 @@ mod tests {
         );
         let codec = SizeAwareCodec::new(20, &[1_000]);
         for f in 0..10u64 {
-            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32)
-                .0;
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
         }
         assert!(c.needs_eviction());
         c.evict_pass();
@@ -662,6 +768,52 @@ mod tests {
         );
         let admitted = (0..10_000).filter(|_| c.admit()).count();
         assert!((2_500..3_500).contains(&admitted), "admitted {admitted}");
+    }
+
+    #[test]
+    fn checksum_catches_injected_bitflip() {
+        let (mut c, codec, _) = mk();
+        c.enable_checksums();
+        let k = codec.encode(0, 3);
+        let (loc, _) = c.insert_value(0, k, &val(2.0), 1);
+        let (class, slot) = loc.expect("room");
+        assert!(c.verify_hit(class, slot), "fresh write verifies");
+        let victim = c.corrupt_nth_live(0, 2, 23).expect("one live slot");
+        assert_eq!(victim, (class, slot));
+        assert!(!c.verify_hit(class, slot), "flipped bit must be detected");
+        // Quarantine removes the entry; the key misses and a re-insert
+        // serves clean bytes again.
+        c.quarantine(k, class, slot);
+        assert_eq!(c.corruptions_detected(), 1);
+        assert_eq!(c.lookup(k, 2).0, CacheAnswer::Miss);
+        c.end_batch();
+        c.end_batch();
+        let (loc2, _) = c.insert_value(0, k, &val(2.0), 3);
+        let (c2, s2) = loc2.expect("slot reclaimed");
+        assert!(c.verify_hit(c2, s2));
+        assert_eq!(c.read_hit(c2, s2), val(2.0).as_slice());
+    }
+
+    #[test]
+    fn checksums_backfill_existing_entries_on_enable() {
+        let (mut c, codec, _) = mk();
+        let k = codec.encode(0, 1);
+        let (loc, _) = c.insert_value(0, k, &val(7.0), 1);
+        let (class, slot) = loc.expect("room");
+        c.enable_checksums();
+        assert!(c.verify_hit(class, slot), "pre-existing entry backfilled");
+        c.corrupt_nth_live(0, 0, 12).unwrap();
+        assert!(!c.verify_hit(class, slot));
+    }
+
+    #[test]
+    fn corrupt_nth_live_out_of_range_is_none() {
+        let (mut c, codec, _) = mk();
+        assert_eq!(c.corrupt_nth_live(0, 0, 0), None, "empty cache");
+        c.insert_value(0, codec.encode(0, 1), &val(1.0), 1);
+        assert_eq!(c.live_value_count(), 1);
+        assert!(c.corrupt_nth_live(0, 0, 0).is_some());
+        assert_eq!(c.corrupt_nth_live(1, 0, 0), None);
     }
 
     #[test]

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn every_thread_identifies_consistently() {
         let sizes = [64u32, 320, 32, 1024, 96];
-        let plan = FusionPlan::build("q", &sizes.map(member).as_slice()).expect("legal");
+        let plan = FusionPlan::build("q", sizes.map(member).as_slice()).expect("legal");
         let mut counts = vec![0u32; sizes.len()];
         for tid in 0..plan.fused.threads {
             let (m, local) = plan.identify(tid).expect("in range");

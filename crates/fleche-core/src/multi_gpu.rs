@@ -170,8 +170,8 @@ impl MultiGpuFleche {
         // All-gather: every shard except the dense-layer host (shard 0)
         // ships its output rows.
         let mut gather = Ns::ZERO;
-        for s in 1..g {
-            let bytes: u64 = shard_rows[s].iter().map(|r| r.len() as u64 * 4).sum();
+        for rows in shard_rows.iter().skip(1) {
+            let bytes: u64 = rows.iter().map(|r| r.len() as u64 * 4).sum();
             if bytes > 0 {
                 gather += self.interconnect.per_transfer
                     + self.interconnect.bandwidth.transfer_time(bytes);
@@ -182,11 +182,11 @@ impl MultiGpuFleche {
         // its own flattening (table-major); per-(shard, table) cursors over
         // prefix offsets recover positions.
         let mut table_offset = vec![vec![0usize; self.spec.table_count()]; g];
-        for s in 0..g {
+        for (offsets, shard_batch) in table_offset.iter_mut().zip(&shard_batches) {
             let mut off = 0usize;
-            for t in 0..self.spec.table_count() {
-                table_offset[s][t] = off;
-                off += shard_batches[s].table_ids[t].len();
+            for (slot, ids) in offsets.iter_mut().zip(&shard_batch.table_ids) {
+                *slot = off;
+                off += ids.len();
             }
         }
         let rows = routing

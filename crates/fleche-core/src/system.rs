@@ -14,14 +14,16 @@
 use crate::flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig};
 use crate::fusion::{FusionMember, FusionPlan};
 use crate::tuner::UnifiedIndexTuner;
+use fleche_chaos::{BreakerConfig, CircuitBreaker};
 use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
-use fleche_gpu::{CopyApi, Gpu, KernelDesc, KernelWork, Ns};
+use fleche_gpu::{CopyApi, FaultCounters, Gpu, KernelDesc, KernelWork, Ns};
 use fleche_index::{ProbeStats, SLAB_WIDTH};
 use fleche_store::api::{
     dedup_charged, BatchStats, EmbeddingCacheSystem, LifetimeStats, PhaseBreakdown, QueryOutput,
 };
-use fleche_store::{CpuStore, TieredStore};
+use fleche_store::{CpuStore, FetchReport, TieredStore};
 use fleche_workload::{Batch, DatasetSpec};
+use std::collections::HashSet;
 
 /// Host-side cost of re-encoding one key (a cached table-code fetch plus
 /// shift/mask work — the paper calls this "ultra-fast").
@@ -47,6 +49,14 @@ pub struct FlecheConfig {
     pub cache: FlatCacheConfig,
     /// Copy API for small metadata transfers.
     pub metadata_copy: CopyApi,
+    /// Verify a per-slot checksum on every cache hit; corrupt entries are
+    /// quarantined and the key refetched from the miss backend.
+    pub checksums: bool,
+    /// Circuit breaker over the GPU-cache path: when the per-batch fault
+    /// rate (transient launch failures, stream stalls, detected
+    /// corruption) trips the threshold, batches degrade to the DRAM-only
+    /// path until half-open probes succeed. `None` disables it.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for FlecheConfig {
@@ -59,6 +69,8 @@ impl Default for FlecheConfig {
             unified_index: true,
             cache: FlatCacheConfig::default(),
             metadata_copy: CopyApi::GdrCopy,
+            checksums: false,
+            breaker: None,
         }
     }
 }
@@ -112,6 +124,9 @@ impl FlecheConfig {
 /// DRAM); `Tiered` is giant-model mode (paper §5), where the DRAM layer is
 /// itself a cache over a remote parameter server and its evictions must
 /// invalidate unified-index pointers.
+// One instance per FlecheSystem, so the size gap between the two stores is
+// irrelevant; boxing would only add indirection on the hot miss path.
+#[allow(clippy::large_enum_variant)]
 pub enum MissBackend {
     /// Local CPU-DRAM holds every embedding.
     Flat(CpuStore),
@@ -120,10 +135,16 @@ pub enum MissBackend {
 }
 
 impl MissBackend {
-    fn query_batch(&mut self, keys: &[(u16, u64)]) -> (Vec<Vec<f32>>, Ns) {
+    /// Queries missing keys at simulated time `now` (the tiered backend's
+    /// fault windows and retry deadlines are anchored to it). The flat
+    /// backend cannot fail and always reports a clean fetch.
+    fn query_batch(&mut self, keys: &[(u16, u64)], now: Ns) -> (Vec<Vec<f32>>, Ns, FetchReport) {
         match self {
-            MissBackend::Flat(s) => s.query_batch(keys),
-            MissBackend::Tiered(s) => s.query_batch(keys),
+            MissBackend::Flat(s) => {
+                let (rows, cost) = s.query_batch(keys);
+                (rows, cost, FetchReport::default())
+            }
+            MissBackend::Tiered(s) => s.query_batch_at(keys, now),
         }
     }
 
@@ -166,6 +187,10 @@ pub struct FlecheSystem {
     clock: u32,
     lifetime: LifetimeStats,
     n_tables: usize,
+    breaker: Option<CircuitBreaker>,
+    /// GPU fault counters as of the end of the previous batch, so each
+    /// batch's breaker sample sees only its own fault delta.
+    last_faults: FaultCounters,
 }
 
 impl FlecheSystem {
@@ -215,6 +240,11 @@ impl FlecheSystem {
         // percent of cached values.
         let approx_entries = (cache_bytes / (spec.tables[0].dim as u64 * 4)).max(64);
         let tuner = UnifiedIndexTuner::new((approx_entries / 8).max(64), approx_entries);
+        let mut cache = cache;
+        if config.checksums {
+            cache.enable_checksums();
+        }
+        let breaker = config.breaker.clone().map(CircuitBreaker::new);
         FlecheSystem {
             cache,
             codec,
@@ -224,6 +254,8 @@ impl FlecheSystem {
             clock: 0,
             lifetime: LifetimeStats::default(),
             n_tables: spec.table_count(),
+            breaker,
+            last_faults: FaultCounters::default(),
         }
     }
 
@@ -251,6 +283,78 @@ impl FlecheSystem {
     /// The unified-index tuner (diagnostics).
     pub fn tuner(&self) -> &UnifiedIndexTuner {
         &self.tuner
+    }
+
+    /// The circuit breaker, when one is configured (diagnostics).
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// Mutable cache access for fault-injection harnesses (bit-flip
+    /// corruption); not a query-path API.
+    pub fn cache_mut(&mut self) -> &mut FlatCache {
+        &mut self.cache
+    }
+
+    /// Serves one batch entirely from the miss backend: the degraded path
+    /// the breaker falls back to while the GPU cache is distrusted. The
+    /// cache is neither consulted nor refilled, so a faulty device only
+    /// touches the (unavoidable) restore kernel.
+    fn degraded_batch(&mut self, gpu: &mut Gpu, batch: &Batch) -> QueryOutput {
+        self.clock += 1;
+        let t_start = gpu.now();
+        let mut phases = PhaseBreakdown::default();
+        let o0 = gpu.now();
+        let dedup = dedup_charged(gpu, batch);
+        phases.other += gpu.now() - o0;
+        let d0 = gpu.now();
+        let (unique_rows, cost, report) = self.store.query_batch(&dedup.unique, gpu.now());
+        gpu.elapse_host("dram-query", cost);
+        let span = gpu.now() - d0;
+        let payload = self.store.payload_cost(&dedup.unique);
+        phases.dram_payload += payload.min(span);
+        phases.dram_index += span.saturating_sub(payload);
+        let h0 = gpu.now();
+        let bytes: u64 = dedup
+            .unique
+            .iter()
+            .map(|&(t, _)| self.cache.dim_of(t) as u64 * 4)
+            .sum();
+        if bytes > 0 {
+            gpu.copy_blocking("missing-emb-h2d", bytes, CopyApi::CudaMemcpy);
+        }
+        phases.dram_payload += gpu.now() - h0;
+        let a0 = gpu.now();
+        let rows = dedup.restore(&unique_rows);
+        let dims: Vec<u32> = (0..self.n_tables as u16)
+            .map(|t| self.cache.dim_of(t))
+            .collect();
+        let s = gpu.default_stream();
+        gpu.launch(
+            s,
+            KernelDesc::new(
+                "restore",
+                batch.total_ids() as u32,
+                dedup.restore_kernel_work(&dims),
+            ),
+        );
+        gpu.sync_all();
+        phases.other += gpu.now() - a0;
+        // Faults during degraded batches must not count against the next
+        // probe's sample.
+        self.last_faults = gpu.fault_counters();
+        let stats = BatchStats {
+            unique_keys: dedup.unique.len() as u64,
+            misses: dedup.unique.len() as u64,
+            failed_keys: report.failed.len() as u64,
+            stale_keys: report.stale.len() as u64,
+            degraded: true,
+            wall: gpu.now() - t_start,
+            phases,
+            ..BatchStats::default()
+        };
+        self.lifetime.observe(&stats);
+        QueryOutput { rows, stats }
     }
 
     /// Index-lookup pass over per-table key groups. Returns per-key
@@ -290,6 +394,11 @@ impl EmbeddingCacheSystem for FlecheSystem {
     }
 
     fn query_batch(&mut self, gpu: &mut Gpu, batch: &Batch) -> QueryOutput {
+        if let Some(b) = &mut self.breaker {
+            if !b.allow(gpu.now()) {
+                return self.degraded_batch(gpu, batch);
+            }
+        }
         self.clock += 1;
         let t_start = gpu.now();
         let mut phases = PhaseBreakdown::default();
@@ -318,7 +427,23 @@ impl EmbeddingCacheSystem for FlecheSystem {
         phases.other += gpu.now() - o0;
         // ---- Index phase (functional lookups + priced kernels) ---------
         let q0 = gpu.now();
-        let (answers, per_table_stats, _) = self.lookup_all(&groups);
+        let (mut answers, per_table_stats, _) = self.lookup_all(&groups);
+        // Checksum verification: corrupt hits are quarantined and demoted
+        // to misses so the DRAM refill below serves clean bytes instead.
+        let mut corrupt_detected = 0u64;
+        if self.config.checksums {
+            for (pos, ans) in answers.iter_mut().enumerate() {
+                if let CacheAnswer::Hit { class, slot } = *ans {
+                    if !self.cache.verify_hit(class, slot) {
+                        let (t, f) = unique[pos];
+                        self.cache.quarantine(self.codec.encode(t, f), class, slot);
+                        corrupt_detected += 1;
+                        *ans = CacheAnswer::Miss;
+                    }
+                }
+            }
+        }
+        let answers = answers;
         // Count hit bytes per table for coupled-kernel pricing.
         let mut hit_bytes_per_table = vec![0u64; groups.len()];
         let mut total_hit_copy_bytes = 0u64;
@@ -340,7 +465,13 @@ impl EmbeddingCacheSystem for FlecheSystem {
                 let stats = &per_table_stats[gi];
                 let mut work = KernelWork {
                     global_bytes: stats.bytes_touched,
-                    flops: 0,
+                    // Checksum verification folds one FNV step per hit
+                    // float into the query kernel.
+                    flops: if self.config.checksums {
+                        hit_bytes_per_table[gi] / 8
+                    } else {
+                        0
+                    },
                     dependent_rounds: stats.max_chain,
                     shared_accesses: 0,
                 };
@@ -445,7 +576,7 @@ impl EmbeddingCacheSystem for FlecheSystem {
                 CacheAnswer::Hit { .. } => {}
             }
         }
-        let (miss_rows, miss_cost) = self.store.query_batch(&full_miss_keys);
+        let (miss_rows, miss_cost, fetch_report) = self.store.query_batch(&full_miss_keys, d0);
         let (unified_rows, unified_payload) = self.store.read_located(&unified_keys);
         gpu.elapse_host("dram-query", miss_cost + unified_payload);
         let span = gpu.now() - d0;
@@ -468,11 +599,23 @@ impl EmbeddingCacheSystem for FlecheSystem {
         let r0 = gpu.now();
         let mut insert_stats = ProbeStats::new();
         let mut admitted: u64 = 0;
-        for (&(t, f), row) in full_miss_keys
+        // Keys whose fetch failed (zero-filled rows) or was served stale
+        // must not be promoted into the GPU cache as if they were fresh.
+        let unfetched: HashSet<usize> = fetch_report
+            .failed
+            .iter()
+            .chain(&fetch_report.stale)
+            .copied()
+            .collect();
+        for (i, (&(t, f), row)) in full_miss_keys
             .iter()
             .zip(&miss_rows)
             .chain(unified_keys.iter().zip(&unified_rows))
+            .enumerate()
         {
+            if i < full_miss_keys.len() && unfetched.contains(&i) {
+                continue;
+            }
             let key = self.codec.encode(t, f);
             if self.cache.admit() {
                 let (loc, s) = self.cache.insert_value(t, key, row, self.clock);
@@ -548,12 +691,9 @@ impl EmbeddingCacheSystem for FlecheSystem {
         let a0 = gpu.now();
         let mut unique_rows: Vec<Vec<f32>> = vec![Vec::new(); unique.len()];
         for (pos, &(t, f)) in unique.iter().enumerate() {
-            match answers[pos] {
-                CacheAnswer::Hit { class, slot } => {
-                    unique_rows[pos] = self.cache.read_hit(class, slot).to_vec();
-                    let _ = (t, f);
-                }
-                _ => {}
+            if let CacheAnswer::Hit { class, slot } = answers[pos] {
+                unique_rows[pos] = self.cache.read_hit(class, slot).to_vec();
+                let _ = (t, f);
             }
         }
         let mut mi = 0usize;
@@ -624,11 +764,24 @@ impl EmbeddingCacheSystem for FlecheSystem {
             self.cache.set_unified_target(target);
         }
 
+        // Breaker sample: this batch failed if the device absorbed any
+        // fault or a corrupt hit was detected.
+        let now_end = gpu.now();
+        let fault_delta = gpu.fault_counters().since(self.last_faults);
+        self.last_faults = gpu.fault_counters();
+        if let Some(b) = &mut self.breaker {
+            b.record(now_end, fault_delta > 0 || corrupt_detected > 0);
+        }
+
         let stats = BatchStats {
             unique_keys: unique.len() as u64,
             hits: hit_count,
             unified_hits: unified_keys.len() as u64,
             misses: full_miss_keys.len() as u64,
+            failed_keys: fetch_report.failed.len() as u64,
+            stale_keys: fetch_report.stale.len() as u64,
+            corrupt_detected,
+            degraded: false,
             wall,
             phases,
         };
@@ -775,6 +928,132 @@ mod tests {
             let s = sys.query_batch(&mut gpu, &gen.next_batch(200)).stats;
             assert_eq!(s.hits + s.unified_hits + s.misses, s.unique_keys);
         }
+    }
+
+    #[test]
+    fn checksums_serve_ground_truth_despite_corruption() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig {
+            checksums: true,
+            ..FlecheConfig::full(0.2)
+        });
+        let truth = CpuStore::new(&spec::synthetic(8, 5_000, 16, -1.3), DramSpec::xeon_6252());
+        for _ in 0..8 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        // Flip a bit in every live slot: any subsequent hit on them must be
+        // caught, quarantined, and refetched.
+        let live = sys.cache_mut().live_value_count();
+        assert!(live > 0);
+        for nth in 0..live {
+            sys.cache_mut().corrupt_nth_live(nth, 3, 24).unwrap();
+        }
+        let mut detected = 0;
+        for _ in 0..4 {
+            let batch = gen.next_batch(256);
+            let out = sys.query_batch(&mut gpu, &batch);
+            detected += out.stats.corrupt_detected;
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    assert_eq!(out.rows[k], truth.read(t as u16, id), "row {k}");
+                    k += 1;
+                }
+            }
+        }
+        assert!(detected > 0, "a warm cache must hit corrupted slots");
+        assert_eq!(sys.lifetime_stats().corrupt_detected, detected);
+    }
+
+    #[test]
+    fn without_checksums_corruption_reaches_the_output() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.2));
+        let truth = CpuStore::new(&spec::synthetic(8, 5_000, 16, -1.3), DramSpec::xeon_6252());
+        for _ in 0..8 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let live = sys.cache_mut().live_value_count();
+        for nth in 0..live {
+            sys.cache_mut().corrupt_nth_live(nth, 3, 24).unwrap();
+        }
+        let mut wrong = 0u64;
+        for _ in 0..4 {
+            let batch = gen.next_batch(256);
+            let out = sys.query_batch(&mut gpu, &batch);
+            assert_eq!(out.stats.corrupt_detected, 0, "detection is off");
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    if out.rows[k] != truth.read(t as u16, id) {
+                        wrong += 1;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        assert!(wrong > 0, "the negative control must serve corrupt bytes");
+    }
+
+    #[test]
+    fn breaker_degrades_under_launch_faults_and_recovers() {
+        use fleche_chaos::{BreakerState, FaultPlan};
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 0.5,
+                min_samples: 4,
+                window: 8,
+                cooldown: Ns::from_us(200.0),
+                probes_to_close: 2,
+            }),
+            ..FlecheConfig::full(0.1)
+        });
+        let mut plan = FaultPlan::quiet(11);
+        plan.gpu.launch_failure_rate = 1.0;
+        gpu.set_fault_hook(Some(Box::new(plan.gpu_injector())));
+        let mut saw_degraded = false;
+        for _ in 0..12 {
+            let s = sys.query_batch(&mut gpu, &gen.next_batch(128)).stats;
+            saw_degraded |= s.degraded;
+        }
+        assert!(saw_degraded, "every-launch faults must trip the breaker");
+        let b = sys.breaker().expect("configured");
+        assert!(b.trips() >= 1);
+        assert!(sys.lifetime_stats().degraded_batches > 0);
+        // Device recovers: half-open probes succeed and traffic returns to
+        // the cache path.
+        gpu.set_fault_hook(None);
+        let mut last_degraded = true;
+        for _ in 0..24 {
+            last_degraded = sys
+                .query_batch(&mut gpu, &gen.next_batch(128))
+                .stats
+                .degraded;
+        }
+        assert!(!last_degraded, "breaker must close after clean probes");
+        assert_eq!(
+            sys.breaker().unwrap().clone().state_at(gpu.now()),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn tiered_fetch_failures_flow_into_batch_stats() {
+        use fleche_chaos::{FaultPlan, RetryPolicy};
+        use fleche_gpu::DramSpec;
+        use fleche_store::RemoteSpec;
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let mut store = TieredStore::new(&ds, DramSpec::xeon_6252(), RemoteSpec::datacenter(), 0.1);
+        let mut plan = FaultPlan::quiet(3);
+        plan.remote.fetch_failure_rate = 1.0;
+        store.set_fault_injector(Some(plan.remote_injector()));
+        store.set_retry_policy(RetryPolicy::none());
+        let mut sys = FlecheSystem::with_tiered_store(&ds, store, FlecheConfig::full(0.05));
+        let mut gpu = Gpu::new(fleche_gpu::DeviceSpec::t4());
+        let mut gen = TraceGenerator::new(&ds);
+        let s = sys.query_batch(&mut gpu, &gen.next_batch(128)).stats;
+        // Cold cache + dead remote: every miss fails and is zero-filled.
+        assert!(s.failed_keys > 0);
+        assert_eq!(s.failed_keys, s.misses);
+        assert!(sys.lifetime_stats().availability() < 1.0);
     }
 
     #[test]

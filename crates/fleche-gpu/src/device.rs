@@ -8,6 +8,7 @@
 //! kernel without any special-case code.
 
 use crate::engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
+use crate::fault::{FaultCounters, LaunchFault, LaunchFaultHook};
 use crate::kernel::KernelDesc;
 use crate::spec::{CopyApi, DeviceSpec};
 use crate::time::Ns;
@@ -53,6 +54,8 @@ pub struct Gpu {
     host_now: Ns,
     allocated: u64,
     default_stream: StreamId,
+    fault_hook: Option<Box<dyn LaunchFaultHook>>,
+    fault_counters: FaultCounters,
 }
 
 impl Gpu {
@@ -67,7 +70,22 @@ impl Gpu {
             host_now: Ns::ZERO,
             allocated: 0,
             default_stream,
+            fault_hook: None,
+            fault_counters: FaultCounters::default(),
         }
+    }
+
+    /// Installs (or clears) the per-launch fault decision source. The
+    /// default is a fault-free device.
+    pub fn set_fault_hook(&mut self, hook: Option<Box<dyn LaunchFaultHook>>) {
+        self.fault_hook = hook;
+    }
+
+    /// Running totals of injected faults this device has absorbed. Callers
+    /// that need per-batch deltas (e.g. a circuit breaker) sample before and
+    /// after and use [`FaultCounters::since`].
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
     }
 
     /// The calibration constants this device runs with.
@@ -112,12 +130,41 @@ impl Gpu {
 
     /// Launches `desc` on `stream`: the host pays launch overhead; the
     /// kernel becomes eligible when the launch call returns.
+    ///
+    /// With a fault hook installed, a launch may transiently fail (the
+    /// driver-level retry succeeds but costs a second launch overhead) or
+    /// its stream may stall (eligibility pushed back by the stall time).
     pub fn launch(&mut self, stream: StreamId, desc: KernelDesc) -> KernelId {
+        let mut eligible_delay = Ns::ZERO;
+        if let Some(hook) = self.fault_hook.as_mut() {
+            match hook.on_launch(self.host_now, desc.label) {
+                LaunchFault::None => {}
+                LaunchFault::TransientFail => {
+                    let t0 = self.host_now;
+                    self.host_now += self.spec.kernel_launch_overhead;
+                    self.timeline.record(
+                        Track::Host,
+                        Category::Launch,
+                        "launch-retry",
+                        t0,
+                        self.host_now,
+                    );
+                    self.fault_counters.transient_launch_failures += 1;
+                }
+                LaunchFault::Stall(d) => {
+                    debug_assert!(d.is_valid(), "stall durations must be finite");
+                    eligible_delay = d;
+                    self.fault_counters.stream_stalls += 1;
+                    self.fault_counters.stall_time += d;
+                }
+            }
+        }
         let t0 = self.host_now;
         self.host_now += self.spec.kernel_launch_overhead;
         self.timeline
             .record(Track::Host, Category::Launch, desc.label, t0, self.host_now);
-        self.engine.enqueue(stream, desc, self.host_now)
+        self.engine
+            .enqueue(stream, desc, self.host_now + eligible_delay)
     }
 
     /// Launches a pre-captured graph of kernels: one fixed cost plus a small
@@ -404,6 +451,80 @@ mod tests {
         assert!(matches!(err, GpuError::OutOfDeviceMemory { .. }));
         assert!(g.cuda_free(cap / 2).is_ok());
         assert_eq!(g.cuda_free(1), Err(GpuError::InvalidFree));
+    }
+
+    #[derive(Debug)]
+    struct ScriptedFaults(Vec<LaunchFault>);
+
+    impl LaunchFaultHook for ScriptedFaults {
+        fn on_launch(&mut self, _now: Ns, _label: &str) -> LaunchFault {
+            if self.0.is_empty() {
+                LaunchFault::None
+            } else {
+                self.0.remove(0)
+            }
+        }
+    }
+
+    #[test]
+    fn transient_launch_failure_costs_an_extra_overhead() {
+        let mut clean = gpu();
+        let mut faulty = gpu();
+        faulty.set_fault_hook(Some(Box::new(ScriptedFaults(vec![
+            LaunchFault::TransientFail,
+        ]))));
+        let desc = || KernelDesc::new("k", 4096, KernelWork::streaming(1 << 20));
+        let s = clean.default_stream();
+        clean.launch(s, desc());
+        let s = faulty.default_stream();
+        faulty.launch(s, desc());
+        let extra = faulty.now() - clean.now();
+        assert!(
+            (extra - faulty.spec().kernel_launch_overhead).as_ns().abs() < 1e-9,
+            "retry should cost exactly one extra launch overhead, got {extra}"
+        );
+        assert_eq!(faulty.fault_counters().transient_launch_failures, 1);
+        assert_eq!(clean.fault_counters().transient_launch_failures, 0);
+    }
+
+    #[test]
+    fn stream_stall_delays_completion() {
+        let stall = Ns::from_us(500.0);
+        let mut clean = gpu();
+        let mut faulty = gpu();
+        faulty.set_fault_hook(Some(Box::new(ScriptedFaults(vec![LaunchFault::Stall(
+            stall,
+        )]))));
+        let desc = || KernelDesc::new("k", 4096, KernelWork::streaming(1 << 20));
+        let s = clean.default_stream();
+        clean.launch(s, desc());
+        let clean_end = clean.sync_stream(s);
+        let s = faulty.default_stream();
+        faulty.launch(s, desc());
+        let faulty_end = faulty.sync_stream(s);
+        let delta = faulty_end - clean_end;
+        assert!(
+            (delta - stall).as_ns().abs() < 1e-6,
+            "stall should push completion by {stall}, got {delta}"
+        );
+        assert_eq!(faulty.fault_counters().stream_stalls, 1);
+        assert_eq!(faulty.fault_counters().stall_time, stall);
+    }
+
+    #[test]
+    fn fault_counter_deltas() {
+        let a = crate::fault::FaultCounters {
+            transient_launch_failures: 3,
+            stream_stalls: 2,
+            stall_time: Ns::from_us(10.0),
+        };
+        let b = crate::fault::FaultCounters {
+            transient_launch_failures: 5,
+            stream_stalls: 4,
+            stall_time: Ns::from_us(30.0),
+        };
+        assert_eq!(b.since(a), 4);
+        assert_eq!(a.since(a), 0);
     }
 
     #[test]

@@ -182,13 +182,7 @@ impl DeviceEngine {
     /// if it was already idle).
     pub fn drain_stream(&mut self, stream: StreamId) -> Ns {
         let mut last = self.now;
-        self.run(|engine| {
-            if engine.stream_idle(stream) {
-                true
-            } else {
-                false
-            }
-        });
+        self.run(|engine| engine.stream_idle(stream));
         for c in &self.completions {
             if c.stream == stream {
                 last = last.max(c.end);

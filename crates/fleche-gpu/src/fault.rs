@@ -1,0 +1,52 @@
+//! Fault hooks for the device facade.
+//!
+//! The simulator models a fault-free GPU by default. A [`LaunchFaultHook`]
+//! installed on a [`crate::Gpu`] is consulted once per kernel launch and may
+//! inject a transient launch failure (the driver retries, costing an extra
+//! launch overhead on the host timeline) or a stream stall (the kernel's
+//! eligibility is pushed back, as when a stream is wedged behind a stuck
+//! memory operation). The hook lives in `fleche-gpu` so the device crate
+//! never depends on the chaos crate; `fleche-chaos` supplies the seeded
+//! implementation.
+
+use crate::time::Ns;
+use core::fmt;
+
+/// What happens to one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LaunchFault {
+    /// The launch proceeds normally.
+    None,
+    /// The launch fails transiently; the driver-level retry succeeds but
+    /// costs a second launch overhead on the host timeline.
+    TransientFail,
+    /// The stream stalls: the kernel only becomes eligible this long after
+    /// the launch call returns.
+    Stall(Ns),
+}
+
+/// Per-launch fault decision source. Implementations must be deterministic
+/// for a fixed seed — chaos experiments are replayed and diffed.
+pub trait LaunchFaultHook: fmt::Debug {
+    /// Consulted once per kernel launch at host time `now`.
+    fn on_launch(&mut self, now: Ns, label: &str) -> LaunchFault;
+}
+
+/// Running totals of faults the device facade has absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Launches that transiently failed and were retried.
+    pub transient_launch_failures: u64,
+    /// Launches whose stream stalled before execution.
+    pub stream_stalls: u64,
+    /// Total injected stall time.
+    pub stall_time: Ns,
+}
+
+impl FaultCounters {
+    /// Fault events in `self` that happened after `earlier` was sampled.
+    pub fn since(&self, earlier: FaultCounters) -> u64 {
+        (self.transient_launch_failures - earlier.transient_launch_failures)
+            + (self.stream_stalls - earlier.stream_stalls)
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod spec;
 pub mod time;
@@ -46,6 +47,7 @@ pub mod trace_export;
 
 pub use device::{Gpu, GpuError};
 pub use engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
+pub use fault::{FaultCounters, LaunchFault, LaunchFaultHook};
 pub use kernel::{KernelDesc, KernelWork};
 pub use spec::{CopyApi, DeviceSpec, DramSpec};
 pub use time::{BytesPerNs, Ns};

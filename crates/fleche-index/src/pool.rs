@@ -221,6 +221,53 @@ impl SlabPool {
         Ok(&c.data[off..off + c.dim as usize])
     }
 
+    /// Live slots of `class` in slot order. Fault-injection harnesses use
+    /// this to pick corruption victims deterministically; it is O(capacity),
+    /// not a query-path operation.
+    pub fn live_slots(&self, class: u16) -> Vec<u32> {
+        self.classes.get(class as usize).map_or(Vec::new(), |c| {
+            c.live
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &l)| l.then_some(i as u32))
+                .collect()
+        })
+    }
+
+    /// Total live slots across all classes.
+    pub fn live_count(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| (c.capacity_slots - c.free.len() as u32) as u64)
+            .sum()
+    }
+
+    /// Flips one bit of one float of a live slot, simulating a soft memory
+    /// error in HBM. Returns the value before corruption. `word` indexes the
+    /// floats of the slot (mod dim), `bit` indexes the f32's bits (mod 32).
+    ///
+    /// This is a *fault-injection* hook: nothing on the normal path calls
+    /// it, and checksummed readers are expected to detect its effect.
+    pub fn corrupt_bit(
+        &mut self,
+        class: u16,
+        slot: u32,
+        word: u32,
+        bit: u32,
+    ) -> Result<f32, PoolError> {
+        let c = self
+            .classes
+            .get_mut(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        if slot >= c.capacity_slots || !c.live[slot as usize] {
+            return Err(PoolError::InvalidSlot { class, slot });
+        }
+        let off = slot as usize * c.dim as usize + (word % c.dim) as usize;
+        let before = c.data[off];
+        c.data[off] = f32::from_bits(before.to_bits() ^ (1u32 << (bit % 32)));
+        Ok(before)
+    }
+
     /// Reads a slot that may have been logically retired but not yet
     /// reclaimed (the epoch grace period makes this safe); only bounds are
     /// checked. Decoupled copy kernels use this path.
@@ -329,6 +376,50 @@ mod tests {
         // Logically deleted, physically still readable until reclaimed.
         assert_eq!(p.read_during_grace(0, slot).unwrap(), &[9.0, 9.0, 9.0, 9.0]);
         assert!(p.read_during_grace(0, 999).is_err());
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_bit_and_reports_old_value() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        p.write(0, slot, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let before = p.corrupt_bit(0, slot, 1, 22).unwrap();
+        assert_eq!(before, 2.0);
+        let after = p.read(0, slot).unwrap()[1];
+        assert_ne!(after, 2.0);
+        assert_eq!(after.to_bits() ^ 2.0f32.to_bits(), 1 << 22);
+        // Other words untouched.
+        assert_eq!(p.read(0, slot).unwrap()[0], 1.0);
+        // Flipping the same bit back restores the value.
+        p.corrupt_bit(0, slot, 1, 22).unwrap();
+        assert_eq!(p.read(0, slot).unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        // Dead slots are not valid victims.
+        p.free(0, slot).unwrap();
+        assert_eq!(
+            p.corrupt_bit(0, slot, 0, 0),
+            Err(PoolError::InvalidSlot { class: 0, slot })
+        );
+    }
+
+    #[test]
+    fn live_slot_enumeration() {
+        let mut p = pool();
+        assert_eq!(p.live_count(), 0);
+        assert!(p.live_slots(0).is_empty());
+        let (a, _) = p.alloc(0).unwrap();
+        let (b, _) = p.alloc(0).unwrap();
+        let (c, _) = p.alloc(1).unwrap();
+        assert_eq!(p.live_count(), 3);
+        let mut live = p.live_slots(0);
+        live.sort_unstable();
+        let mut expect = vec![a, b];
+        expect.sort_unstable();
+        assert_eq!(live, expect);
+        assert_eq!(p.live_slots(1), vec![c]);
+        assert!(p.live_slots(7).is_empty());
+        p.free(0, a).unwrap();
+        assert_eq!(p.live_slots(0), vec![b]);
+        assert_eq!(p.live_count(), 2);
     }
 
     #[test]

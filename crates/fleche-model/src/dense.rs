@@ -80,7 +80,7 @@ impl DenseModel {
         for _ in 0..self.cross_layers {
             out.push(KernelDesc::new(
                 "cross",
-                (batch as u32 * 32).min(1 << 20).max(128),
+                (batch as u32 * 32).clamp(128, 1 << 20),
                 KernelWork {
                     global_bytes: batch * d * 4 * 3 + (d + 1) * 4,
                     flops: 5 * d * batch,
@@ -93,7 +93,7 @@ impl DenseModel {
         for &h in &self.hidden {
             out.push(KernelDesc::new(
                 "gemm",
-                ((batch * h as u64 / 4) as u32).min(1 << 20).max(256),
+                ((batch * h as u64 / 4) as u32).clamp(256, 1 << 20),
                 KernelWork {
                     global_bytes: batch * (prev + h as u64) * 4 + prev * h as u64 * 4,
                     flops: 2 * prev * h as u64 * batch,
@@ -156,7 +156,7 @@ impl DenseModel {
                 .sum();
             let b = self.weight(l, 1, 0);
             for i in 0..x.len() {
-                x[i] = x0[i] * wx + b + x[i];
+                x[i] += x0[i] * wx + b;
             }
         }
         // MLP with ReLU.

@@ -2,9 +2,9 @@
 //!
 //! The DLRM model layer of the Fleche (EuroSys '22) reproduction:
 //!
-//! * [`DenseModel`] — the Deep & Cross Network dense part (6 cross layers
-//!   + MLP), priced as per-layer kernels on the simulated GPU, with a real
-//!   small-scale forward pass for functional tests.
+//! * [`DenseModel`] — the Deep & Cross Network dense part (6 cross
+//!   layers + MLP), priced as per-layer kernels on the simulated GPU,
+//!   with a real small-scale forward pass for functional tests.
 //! * [`InferenceEngine`] — end-to-end inference over any
 //!   [`fleche_store::api::EmbeddingCacheSystem`]: embedding → pooling →
 //!   dense, plus warm-up/measure loops and throughput/latency aggregation.

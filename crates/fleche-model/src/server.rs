@@ -8,11 +8,16 @@
 //! is measured from arrival to batch completion. As offered load
 //! approaches the service capacity, queueing inflates the tail — the
 //! hockey-stick the paper's Figure 10 plots.
+//!
+//! Overload protection is optional and off by default: a bounded admission
+//! queue rejects arrivals that find it full, and a deadline sheds queued
+//! requests that have already waited too long to be worth serving. Both
+//! show up in [`ServedRun`]'s shed counters instead of inflating the tail.
 
-use crate::engine::{InferenceEngine, ModelMode};
+use crate::engine::InferenceEngine;
 use crate::latency::LatencyRecorder;
 use fleche_gpu::Ns;
-use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::api::{EmbeddingCacheSystem, LifetimeStats};
 use fleche_workload::{Batch, TraceGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,12 +33,18 @@ pub struct ServerConfig {
     pub requests: usize,
     /// Requests used to warm the cache (not measured).
     pub warmup_requests: usize,
+    /// Admission queue bound: an arrival that finds this many requests
+    /// already waiting is rejected. `None` queues without bound.
+    pub queue_capacity: Option<usize>,
+    /// Shed a queued request once its wait alone exceeds this (serving it
+    /// could no longer meet the SLA). `None` never sheds on age.
+    pub deadline: Option<Ns>,
 }
 
 /// Result of a serving run.
 #[derive(Debug)]
 pub struct ServedRun {
-    /// Per-request latency (arrival -> completion).
+    /// Per-request latency (arrival -> completion), served requests only.
     pub latency: LatencyRecorder,
     /// Achieved throughput in samples per second.
     pub achieved: f64,
@@ -41,9 +52,47 @@ pub struct ServedRun {
     pub mean_batch: f64,
     /// Fraction of simulated time the engine was busy.
     pub utilization: f64,
+    /// Requests offered (arrived) during the measured window.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests rejected because the admission queue was full.
+    pub shed_queue: u64,
+    /// Requests shed because they outwaited the deadline.
+    pub shed_deadline: u64,
+    /// The cache system's lifetime counters over the measured window
+    /// (fetch failures, stale serves, corruption detections, degradation).
+    pub lifetime: LifetimeStats,
 }
 
-/// Simulates an open-loop server over `engine`.
+impl ServedRun {
+    /// Fraction of offered requests that were served *with complete data*:
+    /// admitted, run to completion, and not zero-filled by fetch failures.
+    pub fn availability(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            (self.served as f64 / self.offered as f64) * self.lifetime.availability()
+        }
+    }
+
+    /// Fraction of offered requests shed (queue rejection + deadline).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.shed_queue + self.shed_deadline) as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of unique keys served from stale DRAM copies.
+    pub fn stale_serve_rate(&self) -> f64 {
+        self.lifetime.stale_rate()
+    }
+}
+
+/// Simulates an open-loop server over `engine`. The engine's own
+/// [`crate::ModelMode`] governs what each batch runs.
 ///
 /// Arrival times are generated on a separate clock from the engine's
 /// simulated device clock; the server advances the device only when it has
@@ -51,13 +100,11 @@ pub struct ServedRun {
 pub fn serve<S: EmbeddingCacheSystem>(
     engine: &mut InferenceEngine<S>,
     gen: &mut TraceGenerator,
-    mode: ModelMode,
     config: &ServerConfig,
 ) -> ServedRun {
     assert!(config.offered_load > 0.0, "offered load must be positive");
     assert!(config.max_batch > 0, "max batch must be positive");
-    let _ = mode; // the engine's own mode governs; kept for call-site clarity
-    let mut rng = StdRng::seed_from_u64(0x5EA7_ED);
+    let mut rng = StdRng::seed_from_u64(0x005E_A7ED);
     let mean_gap = Ns::from_secs(1.0 / config.offered_load);
 
     // Warm the cache at an easy pace.
@@ -77,24 +124,57 @@ pub fn serve<S: EmbeddingCacheSystem>(
     }
 
     let mut latency = LatencyRecorder::new();
+    // Requests already handled (served or shed); the front pointer skips
+    // them.
+    let mut done_flag = vec![false; arrivals.len()];
     let mut next = 0usize;
     let mut batches = 0u64;
     let mut batched_samples = 0u64;
+    let mut shed_queue = 0u64;
+    let mut shed_deadline = 0u64;
     let mut busy = Ns::ZERO;
     let t_start = engine.gpu().now();
     while next < arrivals.len() {
+        if done_flag[next] {
+            next += 1;
+            continue;
+        }
         // The engine is idle at `now`; wait for at least one arrival.
         let now = engine.gpu().now();
         let ready_from = now.max(arrivals[next]);
-        // Batch everything that has arrived by `ready_from`.
-        let mut count = 0usize;
-        while next + count < arrivals.len()
-            && arrivals[next + count] <= ready_from
-            && count < config.max_batch
-        {
-            count += 1;
+        // The waiting window: everything that has arrived by `ready_from`.
+        let mut end = next + 1;
+        while end < arrivals.len() && arrivals[end] <= ready_from {
+            end += 1;
         }
-        let count = count.max(1);
+        // Deadline shedding: the oldest waiters may already have blown the
+        // SLA on queueing alone — serving them is wasted work.
+        if let Some(dl) = config.deadline {
+            while next < end && ready_from.saturating_sub(arrivals[next]) > dl {
+                if !done_flag[next] {
+                    shed_deadline += 1;
+                }
+                next += 1;
+            }
+            if next >= end {
+                continue;
+            }
+        }
+        let mut live: Vec<usize> = (next..end).filter(|&i| !done_flag[i]).collect();
+        // Bounded admission queue: the newest arrivals found it full and
+        // were rejected at arrival time.
+        if let Some(cap) = config.queue_capacity {
+            let cap = cap.max(1);
+            if live.len() > cap {
+                for &i in &live[cap..] {
+                    done_flag[i] = true;
+                }
+                shed_queue += (live.len() - cap) as u64;
+                live.truncate(cap);
+            }
+        }
+        live.truncate(config.max_batch);
+        let count = live.len();
         let batch: Batch = gen.next_batch(count);
         // Advance the host clock across the idle gap (arrival-driven).
         if arrivals[next] > now {
@@ -106,10 +186,10 @@ pub fn serve<S: EmbeddingCacheSystem>(
         engine.run_batch(&batch);
         let done = engine.gpu().now();
         busy += done - t0;
-        for k in 0..count {
-            latency.record(done - arrivals[next + k]);
+        for &i in &live {
+            latency.record(done - arrivals[i]);
+            done_flag[i] = true;
         }
-        next += count;
         batches += 1;
         batched_samples += count as u64;
     }
@@ -118,6 +198,11 @@ pub fn serve<S: EmbeddingCacheSystem>(
         achieved: batched_samples as f64 / elapsed.as_secs().max(1e-12),
         mean_batch: batched_samples as f64 / batches.max(1) as f64,
         utilization: (busy / elapsed).min(1.0),
+        offered: arrivals.len() as u64,
+        served: batched_samples,
+        shed_queue,
+        shed_deadline,
+        lifetime: engine.system().lifetime_stats(),
         latency,
     }
 }
@@ -131,6 +216,7 @@ fn engine_skip<S: EmbeddingCacheSystem>(engine: &mut InferenceEngine<S>, gap: Ns
 mod tests {
     use super::*;
     use crate::dense::DenseModel;
+    use crate::engine::ModelMode;
     use fleche_core::{FlecheConfig, FlecheSystem};
     use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
     use fleche_store::CpuStore;
@@ -153,19 +239,20 @@ mod tests {
         )
     }
 
+    fn open_config(load: f64) -> ServerConfig {
+        ServerConfig {
+            offered_load: load,
+            max_batch: 256,
+            requests: 2_000,
+            warmup_requests: 2_000,
+            queue_capacity: None,
+            deadline: None,
+        }
+    }
+
     fn run_at(load: f64) -> ServedRun {
         let (mut eng, mut gen) = engine();
-        serve(
-            &mut eng,
-            &mut gen,
-            ModelMode::EmbeddingOnly,
-            &ServerConfig {
-                offered_load: load,
-                max_batch: 256,
-                requests: 2_000,
-                warmup_requests: 2_000,
-            },
-        )
+        serve(&mut eng, &mut gen, &open_config(load))
     }
 
     #[test]
@@ -213,18 +300,81 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_run_serves_everything() {
+        let run = run_at(100_000.0);
+        assert_eq!(run.offered, 2_000);
+        assert_eq!(run.served, 2_000);
+        assert_eq!(run.shed_queue + run.shed_deadline, 0);
+        assert_eq!(run.shed_rate(), 0.0);
+        assert_eq!(run.availability(), 1.0, "flat store cannot fail");
+    }
+
+    #[test]
+    fn bounded_queue_sheds_under_overload() {
+        let (mut eng, mut gen) = engine();
+        let run = serve(
+            &mut eng,
+            &mut gen,
+            &ServerConfig {
+                queue_capacity: Some(64),
+                ..open_config(20_000_000.0)
+            },
+        );
+        assert!(run.shed_queue > 0, "overload must overflow a 64-deep queue");
+        assert_eq!(run.served + run.shed_queue + run.shed_deadline, run.offered);
+        assert_eq!(run.latency.len() as u64, run.served);
+        assert!(run.shed_rate() > 0.0);
+        assert!(run.availability() < 1.0);
+        // Admitted requests see a bounded queue, so their tail stays far
+        // below the unbounded run's.
+        let unbounded = run_at(20_000_000.0);
+        assert!(
+            run.latency.p99() < unbounded.latency.p99(),
+            "bounded p99 {} vs unbounded {}",
+            run.latency.p99(),
+            unbounded.latency.p99()
+        );
+    }
+
+    #[test]
+    fn deadline_sheds_stale_waiters_and_bounds_served_wait() {
+        let deadline = Ns::from_us(300.0);
+        let (mut eng, mut gen) = engine();
+        let run = serve(
+            &mut eng,
+            &mut gen,
+            &ServerConfig {
+                deadline: Some(deadline),
+                ..open_config(20_000_000.0)
+            },
+        );
+        assert!(run.shed_deadline > 0, "overload must age out waiters");
+        assert_eq!(run.served + run.shed_queue + run.shed_deadline, run.offered);
+        // Every served request waited at most the deadline before its
+        // batch started; its latency is that wait plus one service time.
+        let unbounded = run_at(20_000_000.0);
+        assert!(
+            run.latency.quantile(1.0) < unbounded.latency.quantile(1.0),
+            "deadline-shed max {} vs unbounded {}",
+            run.latency.quantile(1.0),
+            unbounded.latency.quantile(1.0)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "offered load")]
     fn zero_load_rejected() {
         let (mut eng, mut gen) = engine();
         serve(
             &mut eng,
             &mut gen,
-            ModelMode::EmbeddingOnly,
             &ServerConfig {
                 offered_load: 0.0,
                 max_batch: 16,
                 requests: 10,
                 warmup_requests: 0,
+                queue_capacity: None,
+                deadline: None,
             },
         );
     }

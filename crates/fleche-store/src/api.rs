@@ -53,6 +53,17 @@ pub struct BatchStats {
     pub unified_hits: u64,
     /// Keys that required a full CPU-DRAM query.
     pub misses: u64,
+    /// Keys the tiered backend could not fetch (served as zeros).
+    pub failed_keys: u64,
+    /// Keys served from a stale (evicted-but-unscrubbed) DRAM copy after
+    /// the remote fetch failed.
+    pub stale_keys: u64,
+    /// Cache hits whose checksum mismatched; the entry was quarantined and
+    /// the key refetched instead of serving corrupt bytes.
+    pub corrupt_detected: u64,
+    /// True when the circuit breaker diverted this batch to the DRAM-only
+    /// degraded path (the GPU cache was not consulted).
+    pub degraded: bool,
     /// Wall time of the whole batch on the host timeline.
     pub wall: Ns,
     /// Attributed phase timing.
@@ -109,6 +120,14 @@ pub struct LifetimeStats {
     pub unified_hits: u64,
     /// Full misses.
     pub misses: u64,
+    /// Keys that could not be fetched at all (served as zeros).
+    pub failed_keys: u64,
+    /// Keys served from stale DRAM copies.
+    pub stale_keys: u64,
+    /// Corrupt cache hits detected and quarantined.
+    pub corrupt_detected: u64,
+    /// Batches served through the degraded (DRAM-only) path.
+    pub degraded_batches: u64,
     /// Batches served.
     pub batches: u64,
 }
@@ -123,12 +142,35 @@ impl LifetimeStats {
         }
     }
 
+    /// Fraction of unique keys that were actually served with real bytes
+    /// (fresh or stale) rather than zero-filled after fetch failure.
+    pub fn availability(&self) -> f64 {
+        if self.unique_keys == 0 {
+            1.0
+        } else {
+            1.0 - self.failed_keys as f64 / self.unique_keys as f64
+        }
+    }
+
+    /// Fraction of unique keys served from stale DRAM copies.
+    pub fn stale_rate(&self) -> f64 {
+        if self.unique_keys == 0 {
+            0.0
+        } else {
+            self.stale_keys as f64 / self.unique_keys as f64
+        }
+    }
+
     /// Folds one batch's counters in.
     pub fn observe(&mut self, s: &BatchStats) {
         self.unique_keys += s.unique_keys;
         self.hits += s.hits;
         self.unified_hits += s.unified_hits;
         self.misses += s.misses;
+        self.failed_keys += s.failed_keys;
+        self.stale_keys += s.stale_keys;
+        self.corrupt_detected += s.corrupt_detected;
+        self.degraded_batches += s.degraded as u64;
         self.batches += 1;
     }
 }

@@ -29,5 +29,5 @@ pub use api::{
 };
 pub use dedup::{Deduped, DEDUP_NS_PER_ID};
 pub use pooling::Pooling;
-pub use remote::{RemoteSpec, TieredStats, TieredStore};
+pub use remote::{FetchReport, RemoteSpec, TieredStats, TieredStore};
 pub use table::{embedding_value, CpuStore, DRAM_INDEX_BYTES, DRAM_PROBES_PER_LOOKUP};

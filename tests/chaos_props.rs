@@ -1,0 +1,213 @@
+//! Property tests for the failure-handling machinery: epoch-based
+//! reclamation must keep decoupled copies safe while eviction and
+//! fault-induced quarantines retire slots underneath them, and the
+//! tiered store's retry/fallback path must never surface garbage bytes.
+
+use fleche_chaos::{FaultPlan, RetryPolicy};
+use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
+use fleche_core::{CacheAnswer, FlatCache, FlatCacheConfig, FlecheConfig, FlecheSystem};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_index::EpochGuard;
+use fleche_store::{CpuStore, EmbeddingCacheSystem, RemoteSpec, TieredStore};
+use fleche_workload::{spec, TraceGenerator};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const DIM: usize = 8;
+
+/// Deterministic per-key payload so a re-insert of the same key writes
+/// byte-identical data: any change observed through a pinned reader can
+/// only come from slot reuse, never from a legitimate refresh.
+fn value_of(t: u16, f: u64) -> Vec<f32> {
+    (0..DIM)
+        .map(|i| t as f32 * 4096.0 + f as f32 * 2.0 + i as f32 * 0.25)
+        .collect()
+}
+
+/// A decoupled copy in flight: pinned at capture time, verified (then
+/// unpinned) `due` rounds later — the delay standing in for the extra
+/// wall time a fault-induced retry adds between address capture and the
+/// actual reads.
+struct InFlight {
+    guard: EpochGuard,
+    captured: Vec<(FlatKey, u16, u32, Vec<f32>)>,
+    due: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Round {
+    inserts: Vec<(u16, u64)>,
+    start_reader: bool,
+    reader_delay: usize,
+    /// Index into the newest reader's captured set to quarantine (the
+    /// checksum-failure path retiring a slot while the copy is pinned).
+    quarantine_nth: Option<usize>,
+}
+
+fn rounds_strategy() -> impl Strategy<Value = Vec<Round>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0u16..4, 0u64..500), 1..12),
+            any::<bool>(),
+            0usize..5,
+            prop_oneof![Just(None), (0usize..8).prop_map(Some)],
+        )
+            .prop_map(
+                |(inserts, start_reader, reader_delay, quarantine_nth)| Round {
+                    inserts,
+                    start_reader,
+                    reader_delay,
+                    quarantine_nth,
+                },
+            ),
+        4..32,
+    )
+}
+
+fn verify_and_unpin(cache: &mut FlatCache, reader: InFlight) -> Result<(), TestCaseError> {
+    for (key, class, slot, expected) in &reader.captured {
+        let got = cache.read_hit(*class, *slot);
+        prop_assert_eq!(
+            got,
+            expected.as_slice(),
+            "decoupled copy of key {:?} at ({}, {}) observed reused bytes",
+            key,
+            class,
+            slot
+        );
+    }
+    cache.release_reader(reader.guard);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary interleavings of inserts, capacity evictions,
+    /// checksum quarantines, and epoch advances, a pinned decoupled copy
+    /// always reads exactly the bytes present at capture time: retired
+    /// slots are never reclaimed and reused while a reader can see them.
+    #[test]
+    fn decoupled_copies_never_observe_reused_slots(rounds in rounds_strategy()) {
+        let ds = spec::synthetic(4, 500, DIM as u32, -1.2);
+        let corpora: Vec<u64> = ds.tables.iter().map(|t| t.corpus).collect();
+        let codec = SizeAwareCodec::new(24, &corpora);
+        for t in 0..4u16 {
+            prop_assert!(codec.table_code(t).lossless, "collisions would break the byte model");
+        }
+        // Tiny pool (64 value slots) so eviction churns constantly.
+        let mut cache = FlatCache::new(
+            &ds,
+            (DIM * 4 * 64) as u64,
+            FlatCacheConfig { admission_probability: 1.0, ..FlatCacheConfig::default() },
+        );
+        let mut stamp = 0u32;
+        let mut inserted: Vec<(u16, u64)> = Vec::new();
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let total = rounds.len();
+        for (round_no, round) in rounds.into_iter().enumerate() {
+            for (t, f) in round.inserts {
+                stamp += 1;
+                if cache.insert_value(t, codec.encode(t, f), &value_of(t, f), stamp).0.is_some() {
+                    inserted.push((t, f));
+                }
+            }
+            if round.start_reader && !inserted.is_empty() {
+                // Capture the *oldest* inserted keys: the ones eviction is
+                // most likely to retire while this copy is still pinned.
+                let guard = cache.pin_reader();
+                let mut captured = Vec::new();
+                for &(t, f) in inserted.iter().take(8) {
+                    let key = codec.encode(t, f);
+                    if let CacheAnswer::Hit { class, slot } = cache.lookup(key, 0).0 {
+                        captured.push((key, class, slot, value_of(t, f)));
+                    }
+                }
+                in_flight.push(InFlight { guard, captured, due: round_no + round.reader_delay });
+            }
+            if let (Some(nth), Some(reader)) = (round.quarantine_nth, in_flight.last()) {
+                // The fault path: a checksum mismatch quarantines the slot
+                // (index removal + retire) while the copy is in flight.
+                if let Some(&(key, class, slot, _)) = reader.captured.get(nth) {
+                    if matches!(cache.lookup(key, 0).0, CacheAnswer::Hit { class: c, slot: s } if c == class && s == slot) {
+                        cache.quarantine(key, class, slot);
+                    }
+                }
+            }
+            if cache.needs_eviction() {
+                cache.evict_pass();
+            }
+            cache.end_batch();
+            let mut still_pinned = Vec::new();
+            for reader in in_flight {
+                if reader.due <= round_no {
+                    verify_and_unpin(&mut cache, reader)?;
+                } else {
+                    still_pinned.push(reader);
+                }
+            }
+            in_flight = still_pinned;
+            let _ = total;
+        }
+        // Drain every copy still in flight, then check liveness: with all
+        // readers gone, two epoch advances must actually reclaim retired
+        // slots (utilization falls back under control).
+        for reader in in_flight.drain(..) {
+            verify_and_unpin(&mut cache, reader)?;
+        }
+        if cache.needs_eviction() {
+            cache.evict_pass();
+        }
+        cache.end_batch();
+        cache.end_batch();
+        prop_assert!(
+            cache.effective_utilization() <= 1.0,
+            "retired slots were never reclaimed after all readers unpinned: {}",
+            cache.effective_utilization()
+        );
+    }
+
+    /// End to end through the faulty tiered path: whatever combination of
+    /// timeouts, retries, hedges, and stale fallbacks a seed produces, a
+    /// served row is always byte-exact truth or the zero fill of an
+    /// admitted failure — never stale-pointer garbage.
+    #[test]
+    fn faulty_tiered_system_never_serves_garbage(
+        seed in 0u64..512,
+        fault_rate in 0.0f64..0.9,
+        batches in 2usize..6,
+    ) {
+        let ds = spec::synthetic(4, 3_000, DIM as u32, -1.1);
+        let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let mut plan = FaultPlan::quiet(seed);
+        plan.remote.fetch_failure_rate = fault_rate;
+        let mut store = TieredStore::new(&ds, DramSpec::xeon_6252(), RemoteSpec::datacenter(), 0.1);
+        store.set_fault_injector(Some(plan.remote_injector()));
+        store.set_retry_policy(RetryPolicy::standard());
+        store.set_stale_serve(true);
+        let mut sys = FlecheSystem::with_tiered_store(
+            &ds,
+            store,
+            FlecheConfig { checksums: true, ..FlecheConfig::full(0.05) },
+        );
+        let mut gpu = Gpu::new(DeviceSpec::t4());
+        let mut gen = TraceGenerator::new(&ds);
+        for _ in 0..batches {
+            let batch = gen.next_batch(64);
+            let out = sys.query_batch(&mut gpu, &batch);
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    let row = &out.rows[k];
+                    let tv = truth.read(t as u16, id);
+                    prop_assert!(
+                        row == &tv || row.iter().all(|&v| v == 0.0),
+                        "table {} id {} served neither truth nor zeros under fault rate {}",
+                        t, id, fault_rate
+                    );
+                    k += 1;
+                }
+            }
+        }
+    }
+}
