@@ -1,0 +1,145 @@
+//! fleche-analyzer: workspace lints for the Fleche reproduction.
+//!
+//! The simulator's claims rest on two properties no compiler checks for us:
+//! *determinism* (same seed, same report, bit for bit) and *bounded tail
+//! latency* (no panics or wall-clock reads on serving paths). This crate
+//! enforces the repo policies that protect both, using a token-level lexer
+//! (no `syn` — the workspace builds offline) driven by
+//! `fleche-analyzer.toml`.
+//!
+//! The companion dynamic checker — the vector-clock happens-before race
+//! detector for the simulated GPU — lives in `fleche_gpu::race`, next to
+//! the event engine it instruments; this crate covers everything a static
+//! pass can see.
+//!
+//! Usage: `cargo run -p fleche-analyzer -- --root .` or via the
+//! `fleche-bench` `analyze` bin, which also drives the race checker.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{AnalyzerConfig, ConfigError, RuleConfig};
+pub use rules::Diagnostic;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned, regardless of config.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "results"];
+
+/// Recursively collects workspace-relative `/`-separated paths of `.rs`
+/// files under `root`, sorted, skipping build output and vendored code.
+pub fn workspace_rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel) = stack.pop() {
+        let dir = root.join(&rel);
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let child = if rel.as_os_str().is_empty() {
+                PathBuf::from(name.as_ref())
+            } else {
+                rel.join(name.as_ref())
+            };
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(child);
+                }
+            } else if ty.is_file() && name.ends_with(".rs") {
+                out.push(child.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Loads the config file at `path`.
+pub fn load_config(path: &Path) -> Result<AnalyzerConfig, String> {
+    let src =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    config::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs every configured rule over the workspace rooted at `root`.
+/// Diagnostics come back sorted by (file, line, rule) so output is stable
+/// across runs and platforms — the report doubles as a regression fixture.
+pub fn run(root: &Path, config: &AnalyzerConfig) -> io::Result<Vec<Diagnostic>> {
+    let files = workspace_rust_files(root)?;
+    let mut diagnostics = Vec::new();
+    let mut lock_order = rules::LockOrder::default();
+    let lock_rule = config.rule(rules::ids::LOCK_ORDER);
+
+    for file in &files {
+        let hash = config
+            .rule(rules::ids::HASH_ITERATION)
+            .is_some_and(|r| r.applies_to(file));
+        let panic = config
+            .rule(rules::ids::NO_PANIC_HOT_PATH)
+            .is_some_and(|r| r.applies_to(file));
+        let clock = config
+            .rule(rules::ids::NO_WALL_CLOCK)
+            .is_some_and(|r| r.applies_to(file));
+        let lock = lock_rule.is_some_and(|r| r.applies_to(file));
+        if !(hash || panic || clock || lock) {
+            continue;
+        }
+        let src = fs::read_to_string(root.join(file))?;
+        let lexed = lexer::lex(&src);
+        if hash {
+            diagnostics.extend(rules::hash_iteration(file, &lexed));
+        }
+        if panic {
+            diagnostics.extend(rules::no_panic_hot_path(file, &lexed));
+        }
+        if clock {
+            diagnostics.extend(rules::no_wall_clock(file, &lexed));
+        }
+        if lock {
+            lock_order.scan(file, &lexed);
+        }
+    }
+    diagnostics.extend(lock_order.finish());
+
+    if let Some(cc) = config.rule(rules::ids::COST_CONSTANTS) {
+        if let (Some(spec), Some(doc)) = (cc.settings.get("spec"), cc.settings.get("doc")) {
+            let spec_src = fs::read_to_string(root.join(spec))?;
+            let doc_src = fs::read_to_string(root.join(doc))?;
+            let structs = cc.lists.get("structs").cloned().unwrap_or_default();
+            diagnostics.extend(rules::cost_constants(
+                spec,
+                &lexer::lex(&spec_src),
+                &structs,
+                doc,
+                &doc_src,
+            ));
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diagnostics)
+}
+
+/// Renders diagnostics the way the CLI prints them, one per line, with a
+/// trailing summary line. Empty input renders the all-clear line only.
+pub fn render(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if diagnostics.is_empty() {
+        out.push_str("fleche-analyzer: workspace clean\n");
+    } else {
+        out.push_str(&format!(
+            "fleche-analyzer: {} violation(s)\n",
+            diagnostics.len()
+        ));
+    }
+    out
+}

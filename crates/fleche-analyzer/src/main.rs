@@ -1,0 +1,63 @@
+//! CLI for the workspace lints.
+//!
+//! ```text
+//! fleche-analyzer [--root DIR] [--config FILE]
+//! ```
+//!
+//! Prints `file:line: [rule-id] message` per violation plus a summary
+//! line, and exits non-zero when anything is flagged, so CI can gate on
+//! it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: fleche-analyzer [--root DIR] [--config FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let config_path = config_path.unwrap_or_else(|| root.join("fleche-analyzer.toml"));
+
+    let config = match fleche_analyzer::load_config(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fleche-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diagnostics = match fleche_analyzer::run(&root, &config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("fleche-analyzer: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", fleche_analyzer::render(&diagnostics));
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fleche-analyzer: {msg}");
+    eprintln!("usage: fleche-analyzer [--root DIR] [--config FILE]");
+    ExitCode::from(2)
+}

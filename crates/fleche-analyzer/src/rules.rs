@@ -1,0 +1,561 @@
+//! The lint rules.
+//!
+//! Every rule consumes the token stream of [`crate::lexer::lex`] plus the
+//! rule's [`crate::config::RuleConfig`] and emits [`Diagnostic`]s. Rules are token-level
+//! heuristics, deliberately conservative: they flag constructs whose mere
+//! *presence* in a determinism- or latency-critical file is a repo-policy
+//! violation, and the per-path / inline allow-lists carry the reviewed
+//! exceptions. Code inside `#[cfg(test)]` modules is exempt everywhere —
+//! tests may unwrap and hash freely.
+//!
+//! | id | policy |
+//! |---|---|
+//! | `hash-iteration` | no `HashMap`/`HashSet` in determinism-critical files (iteration order would leak into benchmark output) |
+//! | `no-panic-hot-path` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in serving hot paths |
+//! | `no-wall-clock` | no `Instant::now`/`SystemTime` inside the simulation (simulated time only) |
+//! | `lock-order` | every function must acquire `Mutex`/`RwLock` guards in one global order |
+//! | `cost-constants` | every public cost-model field of the GPU spec structs is documented in DESIGN.md |
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (stable, used in allow-lists).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule id constants (single source for code, config, and docs).
+pub mod ids {
+    /// No `HashMap`/`HashSet` in determinism-critical modules.
+    pub const HASH_ITERATION: &str = "hash-iteration";
+    /// No panicking calls in serving hot paths.
+    pub const NO_PANIC_HOT_PATH: &str = "no-panic-hot-path";
+    /// No wall-clock reads inside the simulation.
+    pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+    /// Consistent lock acquisition order.
+    pub const LOCK_ORDER: &str = "lock-order";
+    /// Cost-model constants must be documented.
+    pub const COST_CONSTANTS: &str = "cost-constants";
+}
+
+/// Marks the token ranges (by index) covered by `#[cfg(test)] mod ... { }`
+/// blocks so rules can skip test code. Returns a bool per token.
+fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Match the sequence: # [ cfg ( test ) ] ... mod ident {
+        if tokens[i].text == "#" && matches(tokens, i + 1, &["[", "cfg", "(", "test", ")", "]"]) {
+            // Find the `mod` that follows (attributes may stack).
+            let mut j = i + 7;
+            while j < tokens.len() && tokens[j].text != "mod" {
+                // Another attribute or doc comment tokens; stop if we hit
+                // something that clearly is not part of an item header.
+                if tokens[j].text == "{" || tokens[j].text == "}" {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "mod" {
+                // Find the opening brace, then mask to its matching close.
+                let mut k = j;
+                while k < tokens.len() && tokens[k].text != "{" {
+                    k += 1;
+                }
+                if k < tokens.len() {
+                    // The lexer stamps `{` with its pre-increment depth and
+                    // `}` with its pre-decrement depth, so the matching
+                    // close brace sits at open_depth + 1.
+                    let close_depth = tokens[k].depth + 1;
+                    let mut m = k;
+                    loop {
+                        mask[m] = true;
+                        m += 1;
+                        if m >= tokens.len() {
+                            break;
+                        }
+                        if tokens[m].text == "}" && tokens[m].depth == close_depth {
+                            mask[m] = true;
+                            break;
+                        }
+                    }
+                    // Also mask the attribute/header tokens themselves.
+                    for slot in mask.iter_mut().take(k).skip(i) {
+                        *slot = true;
+                    }
+                    i = m + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn matches(tokens: &[Token], start: usize, texts: &[&str]) -> bool {
+    texts
+        .iter()
+        .enumerate()
+        .all(|(k, t)| tokens.get(start + k).is_some_and(|tok| tok.text == *t))
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    lexed: &Lexed,
+    rule: &'static str,
+    file: &str,
+    line: u32,
+    message: String,
+) {
+    if !lexed.suppressed(rule, line) {
+        out.push(Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// `hash-iteration`: flags any `HashMap`/`HashSet` mention. Token-level
+/// analysis cannot prove a map is never iterated, so determinism-critical
+/// files must not use randomized-order containers at all; `BTreeMap`,
+/// `BTreeSet`, sorted `Vec`s, or an allow-list entry (for uses that sort
+/// before iterating) are the ways out.
+pub fn hash_iteration(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let mask = test_code_mask(&lexed.tokens);
+    let mut out = Vec::new();
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            push(
+                &mut out,
+                lexed,
+                ids::HASH_ITERATION,
+                file,
+                t.line,
+                format!(
+                    "`{}` in a determinism-critical module: iteration order is \
+                     randomized per process; use BTreeMap/BTreeSet or a sorted Vec",
+                    t.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+const PANIC_MACROS: [&str; 3] = ["panic", "unreachable", "todo"];
+
+/// `no-panic-hot-path`: flags `.unwrap()`, `.expect(`, `panic!`,
+/// `unreachable!`, and `todo!` outside test modules.
+pub fn no_panic_hot_path(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let mask = test_code_mask(tokens);
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_call = |name: &str| {
+            t.text == name
+                && i > 0
+                && tokens[i - 1].text == "."
+                && tokens.get(i + 1).is_some_and(|n| n.text == "(")
+        };
+        if is_call("unwrap") || is_call("expect") {
+            push(
+                &mut out,
+                lexed,
+                ids::NO_PANIC_HOT_PATH,
+                file,
+                t.line,
+                format!(
+                    "`.{}()` on a serving hot path: propagate the error or \
+                     degrade gracefully instead of panicking",
+                    t.text
+                ),
+            );
+        } else if PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            // `debug_assert!`/`assert!` are allowed (they express invariants,
+            // and debug_assert compiles out of release serving builds).
+            push(
+                &mut out,
+                lexed,
+                ids::NO_PANIC_HOT_PATH,
+                file,
+                t.line,
+                format!("`{}!` on a serving hot path", t.text),
+            );
+        }
+    }
+    out
+}
+
+/// `no-wall-clock`: flags `Instant`, `SystemTime`, and
+/// `std::time::*::now()` mentions. The simulation must derive every
+/// timestamp from `Ns` simulated time; a wall-clock read silently breaks
+/// replay determinism.
+pub fn no_wall_clock(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let mask = test_code_mask(&lexed.tokens);
+    let mut out = Vec::new();
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            push(
+                &mut out,
+                lexed,
+                ids::NO_WALL_CLOCK,
+                file,
+                t.line,
+                format!(
+                    "`{}` inside the simulation: all time must flow from the \
+                     simulated `Ns` clock, never the host's",
+                    t.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// `lock-order`: within each function body, records the order in which
+/// distinct named locks are acquired (`x.lock()`, `x.read()`, `x.write()`
+/// where `x` is the receiver identifier chain's last segment). Builds a
+/// global acquired-before graph across the workspace; a cycle means two
+/// functions take the same pair of locks in opposite orders — the classic
+/// deadlock and, in the simulator, a source of order-dependent behavior.
+///
+/// This is a cross-file rule: call [`LockOrder::scan`] per file, then
+/// [`LockOrder::finish`].
+#[derive(Default)]
+pub struct LockOrder {
+    /// Edge (a, b) -> first witness: lock a was held when b was acquired.
+    edges: BTreeMap<(String, String), (String, u32)>,
+}
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+impl LockOrder {
+    /// Scans one file, accumulating acquisition-order edges.
+    pub fn scan(&mut self, file: &str, lexed: &Lexed) {
+        let tokens = &lexed.tokens;
+        let mask = test_code_mask(tokens);
+        // Split into function bodies: a `fn` keyword, then its brace block.
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if mask[i] || tokens[i].text != "fn" {
+                i += 1;
+                continue;
+            }
+            // Find the body's opening brace at the same or deeper depth.
+            let mut k = i + 1;
+            while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+                k += 1;
+            }
+            if k >= tokens.len() || tokens[k].text == ";" {
+                i = k + 1;
+                continue;
+            }
+            let close_depth = tokens[k].depth + 1;
+            let mut m = k + 1;
+            let mut held: Vec<String> = Vec::new();
+            while m < tokens.len() {
+                if tokens[m].text == "}" && tokens[m].depth == close_depth {
+                    break;
+                }
+                // receiver . method ( )
+                if tokens[m].kind == TokenKind::Ident
+                    && LOCK_METHODS.contains(&tokens[m].text.as_str())
+                    && m > 1
+                    && tokens[m - 1].text == "."
+                    && tokens[m - 2].kind == TokenKind::Ident
+                    && tokens.get(m + 1).is_some_and(|n| n.text == "(")
+                    && tokens.get(m + 2).is_some_and(|n| n.text == ")")
+                {
+                    let receiver = tokens[m - 2].text.clone();
+                    // `.read()`/`.write()` are everywhere (io, channels);
+                    // only receivers that *name* a lock participate.
+                    let is_lock = tokens[m].text == "lock"
+                        || receiver.ends_with("lock")
+                        || receiver.ends_with("mutex")
+                        || receiver.ends_with("rwlock");
+                    if is_lock {
+                        for h in &held {
+                            if h != &receiver {
+                                self.edges
+                                    .entry((h.clone(), receiver.clone()))
+                                    .or_insert_with(|| (file.to_string(), tokens[m].line));
+                            }
+                        }
+                        held.push(receiver);
+                    }
+                }
+                m += 1;
+            }
+            i = m + 1;
+        }
+    }
+
+    /// Reports one diagnostic per opposite-order lock pair.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for ((a, b), (file, line)) in &self.edges {
+            if a < b {
+                if let Some((file2, line2)) = self.edges.get(&(b.clone(), a.clone())) {
+                    out.push(Diagnostic {
+                        rule: ids::LOCK_ORDER,
+                        file: file.clone(),
+                        line: *line,
+                        message: format!(
+                            "locks `{a}` and `{b}` are acquired in opposite orders \
+                             ({file}:{line} takes {a} then {b}; {file2}:{line2} takes \
+                             {b} then {a}): pick one global order"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `cost-constants`: every `pub` field of the configured structs in the
+/// spec file must be mentioned by name in the design doc. The cost model
+/// is the simulator's ground truth; an undocumented constant is an
+/// uncalibrated one.
+pub fn cost_constants(
+    spec_file: &str,
+    lexed: &Lexed,
+    structs: &[String],
+    doc_file: &str,
+    doc_text: &str,
+) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // pub struct Name {
+        if tokens[i].text == "pub"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "struct")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| structs.iter().any(|s| s == &t.text))
+        {
+            let mut k = i + 3;
+            while k < tokens.len() && tokens[k].text != "{" {
+                k += 1;
+            }
+            if k >= tokens.len() {
+                break;
+            }
+            let close_depth = tokens[k].depth + 1;
+            let mut m = k + 1;
+            while m < tokens.len() {
+                if tokens[m].text == "}" && tokens[m].depth == close_depth {
+                    break;
+                }
+                // pub field_name :
+                if tokens[m].text == "pub"
+                    && tokens
+                        .get(m + 1)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                    && tokens.get(m + 2).is_some_and(|t| t.text == ":")
+                {
+                    let field = &tokens[m + 1];
+                    if !doc_text.contains(&field.text) {
+                        out.push(Diagnostic {
+                            rule: ids::COST_CONSTANTS,
+                            file: spec_file.to_string(),
+                            line: field.line,
+                            message: format!(
+                                "cost-model constant `{}::{}` is not referenced in \
+                                 {doc_file}: document its calibration",
+                                tokens[i + 2].text,
+                                field.text
+                            ),
+                        });
+                    }
+                    m += 3;
+                    continue;
+                }
+                m += 1;
+            }
+            i = m;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn hash_rule_flags_and_suppresses() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let d = hash_iteration("x.rs", &lex(src));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].line, 1);
+        // Inline allow silences one line.
+        let src = "// analyzer: allow(hash-iteration)\nuse std::collections::HashSet;";
+        assert!(hash_iteration("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn hash_rule_skips_tests_strings_and_comments() {
+        let src = r#"
+fn f() { let s = "HashMap"; } // HashMap in comment
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn g() { let _m: HashMap<u8, u8> = HashMap::new(); }
+}
+"#;
+        assert!(hash_iteration("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_flags_calls_and_macros() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"boom\"); }\nfn h(r: Result<u8, u8>) { r.expect(\"msg\"); }";
+        let d = no_panic_hot_path("x.rs", &lex(src));
+        let rules: Vec<u32> = d.iter().map(|d| d.line).collect();
+        assert_eq!(rules, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_rule_ignores_idents_named_unwrap_and_asserts() {
+        // `unwrap_or`, a fn called `unwrap` without a receiver, and
+        // debug_assert! are all fine.
+        let src =
+            "fn f(x: Option<u8>) { x.unwrap_or(0); unwrap(); debug_assert!(true); assert!(true); }";
+        assert!(no_panic_hot_path("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let d = no_wall_clock("x.rs", &lex(src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Instant"));
+        assert!(no_wall_clock("x.rs", &lex("fn f() { now(); }")).is_empty());
+    }
+
+    #[test]
+    fn lock_order_detects_inversion() {
+        let mut lo = LockOrder::default();
+        lo.scan(
+            "a.rs",
+            &lex("fn f(a: M, b: M) { let g1 = alock.lock(); let g2 = block.lock(); }"),
+        );
+        lo.scan(
+            "b.rs",
+            &lex("fn g(a: M, b: M) { let g2 = block.lock(); let g1 = alock.lock(); }"),
+        );
+        let d = lo.finish();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, ids::LOCK_ORDER);
+        assert!(d[0].message.contains("opposite orders"));
+    }
+
+    #[test]
+    fn lock_order_consistent_is_clean() {
+        let mut lo = LockOrder::default();
+        lo.scan(
+            "a.rs",
+            &lex("fn f() { let g1 = alock.lock(); let g2 = block.lock(); }\nfn g() { let g1 = alock.lock(); let g2 = block.lock(); }"),
+        );
+        assert!(lo.finish().is_empty());
+    }
+
+    #[test]
+    fn lock_order_ignores_plain_io_read_write() {
+        let mut lo = LockOrder::default();
+        lo.scan(
+            "a.rs",
+            &lex("fn f() { file.read(); sock.write(); }\nfn g() { sock.write(); file.read(); }"),
+        );
+        assert!(lo.finish().is_empty());
+    }
+
+    #[test]
+    fn lock_order_rwlock_receivers_participate() {
+        let mut lo = LockOrder::default();
+        lo.scan(
+            "a.rs",
+            &lex("fn f() { index_rwlock.read(); pool_mutex.lock(); }"),
+        );
+        lo.scan(
+            "b.rs",
+            &lex("fn g() { pool_mutex.lock(); index_rwlock.write(); }"),
+        );
+        assert_eq!(lo.finish().len(), 1);
+    }
+
+    #[test]
+    fn cost_constants_flags_undocumented_fields() {
+        let spec = "pub struct DeviceSpec { pub hbm_bandwidth: f64, pub warp_size: u32 }";
+        let doc = "The `hbm_bandwidth` constant comes from Table 1.";
+        let d = cost_constants(
+            "spec.rs",
+            &lex(spec),
+            &["DeviceSpec".to_string()],
+            "DESIGN.md",
+            doc,
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("warp_size"));
+        // Documenting it clears the finding.
+        let doc2 = format!("{doc} And `warp_size` is 32.");
+        assert!(cost_constants(
+            "spec.rs",
+            &lex(spec),
+            &["DeviceSpec".to_string()],
+            "DESIGN.md",
+            &doc2
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cost_constants_ignores_other_structs() {
+        let spec = "pub struct Other { pub undocumented: u8 }";
+        assert!(cost_constants(
+            "spec.rs",
+            &lex(spec),
+            &["DeviceSpec".to_string()],
+            "DESIGN.md",
+            ""
+        )
+        .is_empty());
+    }
+}

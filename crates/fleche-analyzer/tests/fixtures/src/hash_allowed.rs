@@ -1,0 +1,13 @@
+//! Same construct as hash_violation.rs, but this path is on the config
+//! allow-list (it sorts before iterating), so the rule must stay silent.
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = Default::default();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u32, u32)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,11 @@
+//! Seeded hash-iteration violations: one import, one use site.
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = Default::default();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // The bug this lint exists for: iteration order is random per process.
+    counts.into_iter().collect()
+}

@@ -1,0 +1,21 @@
+//! Seeded lock-order violation: two functions acquire the same pair of
+//! locks in opposite orders (the classic deadlock shape).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub index_mutex: Mutex<u32>,
+    pub pool_mutex: Mutex<u32>,
+}
+
+pub fn forward(p: &Pair) -> u32 {
+    let a = p.index_mutex.lock();
+    let b = p.pool_mutex.lock();
+    *a.unwrap_or_else(|e| e.into_inner()) + *b.unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn backward(p: &Pair) -> u32 {
+    let b = p.pool_mutex.lock();
+    let a = p.index_mutex.lock();
+    *a.unwrap_or_else(|e| e.into_inner()) - *b.unwrap_or_else(|e| e.into_inner())
+}

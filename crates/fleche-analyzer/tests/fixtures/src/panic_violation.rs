@@ -1,0 +1,28 @@
+//! Seeded no-panic-hot-path violations: one `.unwrap()`, one `panic!`.
+//! The `.expect()` carries an inline allow marker and must not count.
+//! The test module at the bottom may panic freely.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn must_be_even(x: u32) -> u32 {
+    if x % 2 != 0 {
+        panic!("odd input");
+    }
+    x / 2
+}
+
+pub fn documented(xs: &[u32]) -> u32 {
+    // analyzer: allow(no-panic-hot-path)
+    *xs.last().expect("reviewed: caller guarantees non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

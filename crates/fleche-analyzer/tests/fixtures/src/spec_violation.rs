@@ -1,0 +1,13 @@
+//! Seeded cost-constants violation: `mystery_knob` is absent from doc.md
+//! while `hbm_bandwidth` is documented; `NotChecked` is not configured.
+
+pub struct Ns(pub f64);
+
+pub struct DeviceSpec {
+    pub hbm_bandwidth: f64,
+    pub mystery_knob: Ns,
+}
+
+pub struct NotChecked {
+    pub also_undocumented: u8,
+}

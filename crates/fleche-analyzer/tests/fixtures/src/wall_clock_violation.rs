@@ -1,0 +1,8 @@
+//! Seeded no-wall-clock violation: one `Instant` read. The string and
+//! comment mentions of Instant below must not count.
+
+pub fn stamp() -> std::time::Instant {
+    // A comment saying Instant is fine.
+    let _label = "Instant in a string is fine too";
+    std::time::Instant::now()
+}

@@ -1,0 +1,120 @@
+//! End-to-end lint tests over the seeded-violation fixture workspace in
+//! `tests/fixtures/`: one fixture file per rule, plus a config-allow-list
+//! case and an inline-allow case, plus the CLI's exit-code contract.
+
+use fleche_analyzer::{config, rules, run};
+use std::path::Path;
+use std::process::Command;
+
+fn fixture_root() -> &'static Path {
+    // Integration tests run with the crate directory as cwd.
+    Path::new("tests/fixtures")
+}
+
+fn fixture_diagnostics() -> Vec<fleche_analyzer::Diagnostic> {
+    let cfg_src = std::fs::read_to_string(fixture_root().join("analyzer.toml"))
+        .expect("fixture config readable");
+    let cfg = config::parse(&cfg_src).expect("fixture config parses");
+    run(fixture_root(), &cfg).expect("fixture workspace scans")
+}
+
+fn count(diags: &[fleche_analyzer::Diagnostic], rule: &str, file: &str) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule && d.file == file)
+        .count()
+}
+
+#[test]
+fn every_rule_flags_its_seeded_fixture() {
+    let diags = fixture_diagnostics();
+    assert_eq!(
+        count(&diags, rules::ids::HASH_ITERATION, "src/hash_violation.rs"),
+        2,
+        "import + use site"
+    );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::NO_PANIC_HOT_PATH,
+            "src/panic_violation.rs"
+        ),
+        2,
+        "unwrap + panic!; inline-allowed expect and test-mod unwrap excluded"
+    );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::NO_WALL_CLOCK,
+            "src/wall_clock_violation.rs"
+        ),
+        2,
+        "return type + now() call; string/comment mentions excluded"
+    );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::LOCK_ORDER,
+            "src/lock_order_violation.rs"
+        ),
+        1,
+        "one opposite-order pair"
+    );
+    assert_eq!(
+        count(&diags, rules::ids::COST_CONSTANTS, "src/spec_violation.rs"),
+        1,
+        "mystery_knob only; documented + unconfigured-struct fields excluded"
+    );
+    // Nothing beyond the seeded violations.
+    assert_eq!(diags.len(), 8, "unexpected extra diagnostics: {diags:?}");
+}
+
+#[test]
+fn config_allow_list_silences_a_covered_path() {
+    let diags = fixture_diagnostics();
+    assert_eq!(
+        count(&diags, rules::ids::HASH_ITERATION, "src/hash_allowed.rs"),
+        0,
+        "allow-listed file must not be flagged"
+    );
+}
+
+#[test]
+fn diagnostics_are_sorted_for_stable_reports() {
+    let diags = fixture_diagnostics();
+    let keys: Vec<_> = diags
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixture_and_zero_on_clean_workspace() {
+    let exe = env!("CARGO_BIN_EXE_fleche-analyzer");
+    let dirty = Command::new(exe)
+        .args([
+            "--root",
+            "tests/fixtures",
+            "--config",
+            "tests/fixtures/analyzer.toml",
+        ])
+        .output()
+        .expect("analyzer runs");
+    assert_eq!(dirty.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&dirty.stdout);
+    assert!(stdout.contains("[hash-iteration]"), "stdout: {stdout}");
+    assert!(stdout.contains("8 violation(s)"), "stdout: {stdout}");
+
+    // The real workspace (two directories up) must be clean — this is the
+    // committed regression guarantee behind results/analyzer_report.txt.
+    let clean = Command::new(exe)
+        .args(["--root", "../.."])
+        .output()
+        .expect("analyzer runs");
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert_eq!(clean.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("workspace clean"));
+}

@@ -1,0 +1,190 @@
+//! Correctness gate: custom workspace lints + happens-before race checking.
+//!
+//! Three phases, all of which must pass for exit code 0:
+//!
+//! 1. **Static lints** — run the `fleche-analyzer` rule set over the
+//!    workspace (`fleche-analyzer.toml`). Any violation fails the gate.
+//! 2. **Race-free serving** — run the default serving scenarios (coupled
+//!    fused kernel, and decoupled copy with unified index) with the GPU's
+//!    happens-before checker armed. The epoch-based reclamation scheme
+//!    must make every slot reuse *ordered after* the kernels that read the
+//!    slot, so the checker must report zero races.
+//! 3. **Checker self-test** — drive a deliberately mis-synchronized
+//!    read-after-delete (reclaim a slot while a copy kernel that reads it
+//!    is still in flight, no stream sync) and require that the checker
+//!    reports *exactly* the injected race; the properly synchronized twin
+//!    of the same schedule must report none. This guards against the
+//!    checker rotting into a vacuous pass.
+//!
+//! Run: `cargo run --release -p fleche-bench --bin analyze [--quick]`
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fleche_bench::{print_header, quick_mode};
+use fleche_core::{FlecheConfig, FlecheSystem};
+use fleche_gpu::{slot_resource, DeviceSpec, DramSpec, Gpu, KernelDesc, KernelWork};
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::CpuStore;
+use fleche_workload::{spec, TraceGenerator};
+
+const BATCH: usize = 256;
+
+/// Workspace root: this binary lives at `crates/fleche-bench`, two levels
+/// below it. `--root DIR` overrides (e.g. when running an installed copy).
+fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_lints(root: &Path) -> Result<(), String> {
+    let config_path = root.join("fleche-analyzer.toml");
+    let config = fleche_analyzer::load_config(&config_path)?;
+    let diagnostics =
+        fleche_analyzer::run(root, &config).map_err(|e| format!("analyzer walk failed: {e}"))?;
+    print!("{}", fleche_analyzer::render(&diagnostics));
+    if diagnostics.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", diagnostics.len()))
+    }
+}
+
+/// Runs `batches` query batches of a serving scenario with the race
+/// checker armed and returns the number of unordered conflicting accesses.
+fn run_serving_scenario(label: &str, config: FlecheConfig, batches: usize) -> usize {
+    let ds = spec::synthetic(4, 40_000, 16, -1.05);
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let mut sys = FlecheSystem::new(&ds, store, config);
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    gpu.enable_race_checker();
+    let mut gen = TraceGenerator::new(&ds);
+    for _ in 0..batches {
+        sys.query_batch(&mut gpu, &gen.next_batch(BATCH));
+    }
+    let checker = gpu.race_checker().expect("checker was enabled above");
+    let races = checker.race_count();
+    println!("  {label:<24} {batches} batches, {} races", races);
+    for race in checker.report() {
+        println!("    {race}");
+    }
+    races
+}
+
+fn run_serving_phase(batches: usize) -> Result<(), String> {
+    let scenarios = [
+        ("coupled (fused)", FlecheConfig::with_fusion(0.05)),
+        ("decoupled (full)", FlecheConfig::full(0.05)),
+        ("flat-cache only", FlecheConfig::flat_cache_only(0.05)),
+    ];
+    let mut total = 0;
+    for (label, config) in scenarios {
+        total += run_serving_scenario(label, config, batches);
+    }
+    if total == 0 {
+        Ok(())
+    } else {
+        Err(format!("{total} race(s) on default serving scenarios"))
+    }
+}
+
+/// The paper's read-after-delete hazard, replayed in miniature: a copy
+/// kernel on a side stream still holds a slot's address while the host
+/// reclaims the slot. With a stream sync in between the schedule is
+/// race-free; without it the checker must flag exactly one race.
+fn run_self_test() -> Result<(), String> {
+    let slot = slot_resource(0, 7);
+
+    // Mis-synchronized: reclaim races with the in-flight read.
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    gpu.enable_race_checker();
+    let side = gpu.create_stream();
+    let kid = gpu.launch(
+        side,
+        KernelDesc::new("fleche-copy", 256, KernelWork::streaming(4 << 10)),
+    );
+    if let Some(rc) = gpu.race_checker_mut() {
+        rc.kernel_read(kid, slot);
+        rc.note_epoch_advance();
+        rc.host_write("reclaim", slot);
+    }
+    let racy = gpu.race_checker().expect("enabled").race_count();
+    println!("  mis-synchronized reclaim: {racy} race(s) (want exactly 1)");
+    for race in gpu.race_checker().expect("enabled").report() {
+        println!("    {race}");
+    }
+
+    // Properly synchronized twin: same schedule plus the stream sync that
+    // the real system performs before end-of-batch reclamation.
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    gpu.enable_race_checker();
+    let side = gpu.create_stream();
+    let kid = gpu.launch(
+        side,
+        KernelDesc::new("fleche-copy", 256, KernelWork::streaming(4 << 10)),
+    );
+    if let Some(rc) = gpu.race_checker_mut() {
+        rc.kernel_read(kid, slot);
+    }
+    gpu.sync_stream(side);
+    if let Some(rc) = gpu.race_checker_mut() {
+        rc.note_epoch_advance();
+        rc.host_write("reclaim", slot);
+    }
+    let synced = gpu.race_checker().expect("enabled").race_count();
+    println!("  synchronized reclaim:     {synced} race(s) (want 0)");
+
+    match (racy, synced) {
+        (1, 0) => Ok(()),
+        _ => Err(format!(
+            "self-test expected (1, 0) races, got ({racy}, {synced})"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut args = std::env::args().skip(1);
+    let mut quick = quick_mode();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown argument `{other}`\nusage: analyze [--quick] [--root DIR]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let batches = if quick { 12 } else { 40 };
+
+    print_header("Correctness gate: workspace lints + happens-before race checker");
+    let mut failed = false;
+    let mut phase = |name: &str, result: Result<(), String>| match result {
+        Ok(()) => println!("  -> PASS\n"),
+        Err(why) => {
+            println!("  -> FAIL ({name}): {why}\n");
+            failed = true;
+        }
+    };
+    println!("phase: static lints");
+    phase("static lints", run_lints(&root));
+    println!("phase: serving race-freedom");
+    phase("serving race-freedom", run_serving_phase(batches));
+    println!("phase: checker self-test");
+    phase("checker self-test", run_self_test());
+    if failed {
+        eprintln!("analyze: correctness gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("analyze: correctness gate passed");
+        ExitCode::SUCCESS
+    }
+}

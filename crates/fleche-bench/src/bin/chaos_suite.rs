@@ -18,7 +18,12 @@
 //! procedural ground-truth store: a served row is *corrupt* when it is
 //! neither the true value nor the zero fill of an admitted failure.
 //!
-//! Run: `cargo run --release -p fleche-bench --bin chaos_suite [--quick]`
+//! Run: `cargo run --release -p fleche-bench --bin chaos_suite [--quick] [--analyze]`
+//!
+//! `--analyze` arms the GPU's happens-before race checker for every cell
+//! and fails the run (exit 1, with a sorted race report) if any pair of
+//! conflicting slot accesses is unordered — the determinism scenario
+//! doubles as a race-freedom regression test in CI.
 
 use fleche_bench::{fmt_ns, print_header, quick_mode, TextTable};
 use fleche_chaos::{BreakerConfig, FaultPlan, RetryPolicy};
@@ -80,7 +85,13 @@ fn dataset(outages: bool) -> DatasetSpec {
     }
 }
 
-fn run_cell(fault_rate: f64, outages: bool, recovery: Recovery, batches: usize) -> CellResult {
+fn run_cell(
+    fault_rate: f64,
+    outages: bool,
+    recovery: Recovery,
+    batches: usize,
+    analyze: bool,
+) -> CellResult {
     let ds = dataset(outages);
     let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
 
@@ -137,6 +148,9 @@ fn run_cell(fault_rate: f64, outages: bool, recovery: Recovery, batches: usize) 
     };
     let mut sys = FlecheSystem::with_tiered_store(&ds, store, config);
     let mut gpu = Gpu::new(DeviceSpec::t4());
+    if analyze {
+        gpu.enable_race_checker();
+    }
     if recovery == Recovery::Full {
         gpu.set_fault_hook(Some(Box::new(plan.gpu_injector())));
     }
@@ -178,6 +192,20 @@ fn run_cell(fault_rate: f64, outages: bool, recovery: Recovery, batches: usize) 
         }
     }
 
+    if let Some(rc) = gpu.race_checker() {
+        if rc.race_count() > 0 {
+            eprintln!(
+                "chaos_suite --analyze: {} race(s) in cell (rate {fault_rate}, {}, outages {outages}):",
+                rc.race_count(),
+                recovery.label()
+            );
+            for race in rc.report() {
+                eprintln!("  {race}");
+            }
+            std::process::exit(1);
+        }
+    }
+
     walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
     let p99 = walls[((walls.len() - 1) as f64 * 0.99).round() as usize];
     let life = sys.lifetime_stats();
@@ -192,10 +220,17 @@ fn run_cell(fault_rate: f64, outages: bool, recovery: Recovery, batches: usize) 
 }
 
 fn main() {
+    let mut analyze = false;
     for arg in std::env::args().skip(1) {
-        if arg != "--quick" {
-            eprintln!("error: unknown argument `{arg}`\nusage: chaos_suite [--quick]");
-            std::process::exit(2);
+        match arg.as_str() {
+            "--quick" => {}
+            "--analyze" => analyze = true,
+            _ => {
+                eprintln!(
+                    "error: unknown argument `{arg}`\nusage: chaos_suite [--quick] [--analyze]"
+                );
+                std::process::exit(2);
+            }
         }
     }
     print_header("Chaos suite: availability vs latency vs staleness under injected faults");
@@ -224,7 +259,7 @@ fn main() {
     let mut total_corrupt_detected_full = 0u64;
     for &rate in &rates {
         for &rec in &configs {
-            let r = run_cell(rate, false, rec, batches);
+            let r = run_cell(rate, false, rec, batches, analyze);
             if rate == *rates.last().expect("nonempty") {
                 match rec {
                     Recovery::None => worst_none_avail = r.availability,
@@ -254,7 +289,7 @@ fn main() {
     println!("no per-fetch faults — retries cannot outlast a window, stale-serve can.");
     let mut drill = TextTable::new(&["recovery", "avail", "p99 batch", "stale", "degraded"]);
     for &rec in &[Recovery::None, Recovery::Retry, Recovery::RetryStale] {
-        let r = run_cell(0.0, true, rec, batches);
+        let r = run_cell(0.0, true, rec, batches, analyze);
         drill.row(&[
             rec.label().to_string(),
             format!("{:.2}%", r.availability * 100.0),
@@ -294,4 +329,7 @@ fn main() {
     println!("fallback absorbs what is left; checksums turn silent HBM corruption into");
     println!("detected quarantines (corrupt srv stays 0), and the breaker converts a");
     println!("faulty GPU into DRAM-only batches instead of retry storms.");
+    if analyze {
+        println!("\nanalyze: happens-before checker observed zero races across every cell.");
+    }
 }

@@ -146,9 +146,12 @@ impl FlatCache {
             .tables
             .iter()
             .map(|t| {
-                dims.iter()
-                    .position(|&d| d == t.dim)
-                    .expect("dim registered above") as u16
+                // Every table dim was registered into `dims` above; if that
+                // invariant ever breaks, class 0 keeps serving (wrong-sized
+                // rows are caught by checksums) instead of panicking.
+                let class = dims.iter().position(|&d| d == t.dim).unwrap_or(0);
+                debug_assert_eq!(dims.get(class), Some(&t.dim), "dim registered above");
+                class as u16
             })
             .collect();
         let index: Box<dyn GpuIndex> = match config.index {
@@ -222,6 +225,7 @@ impl FlatCache {
     pub fn quarantine(&mut self, key: FlatKey, class: u16, slot: u32) {
         self.index.remove(key.0);
         self.epochs.retire((class, slot));
+        self.pool.note_retired(class, slot);
         if let Some(map) = &mut self.checksums {
             map.remove(&(class, slot));
         }
@@ -239,9 +243,10 @@ impl FlatCache {
             let live = self.pool.live_slots(class);
             if (n as usize) < live.len() {
                 let slot = live[n as usize];
-                self.pool
-                    .corrupt_bit(class, slot, word, bit)
-                    .expect("enumerated slot is live");
+                // `live_slots` just enumerated it, so the flip can only
+                // fail if the pool is corrupted itself; report a miss
+                // rather than panic inside the fault injector.
+                self.pool.corrupt_bit(class, slot, word, bit).ok()?;
                 return Some((class, slot));
             }
             n -= live.len() as u64;
@@ -334,6 +339,10 @@ impl FlatCache {
     pub fn read_hit(&self, class: u16, slot: u32) -> &[f32] {
         self.pool
             .read_during_grace(class, slot)
+            // Documented panic: an out-of-bounds hit location means the
+            // index handed out a slot the pool never had — memory-safety
+            // grade corruption, not a servable fault.
+            // analyzer: allow(no-panic-hot-path)
             .expect("hit location must be in bounds")
     }
 
@@ -379,10 +388,16 @@ impl FlatCache {
             }
             Err(_) => return (None, stats),
         };
-        let s = self
-            .pool
-            .write(class, slot, value)
-            .expect("freshly allocated slot");
+        // A freshly allocated slot is always writable; if the pool
+        // disagrees, undo the allocation and bypass the cache this round.
+        let s = match self.pool.write(class, slot, value) {
+            Ok(s) => s,
+            Err(_) => {
+                debug_assert!(false, "freshly allocated slot must be writable");
+                let _ = self.pool.free(class, slot);
+                return (None, stats);
+            }
+        };
         stats.merge(&s);
         if let Some(map) = &mut self.checksums {
             map.insert((class, slot), checksum_of(value));
@@ -399,8 +414,10 @@ impl FlatCache {
             }
             IndexInsert::Rejected => {
                 // The index could not place the key: undo the allocation
-                // and report a bypass.
-                self.pool.free(class, slot).expect("just allocated");
+                // and report a bypass. The free cannot fail for a slot
+                // allocated two steps up; a leaked slot beats a panic.
+                let freed = self.pool.free(class, slot);
+                debug_assert!(freed.is_ok(), "just-allocated slot must free");
                 return (None, stats);
             }
             IndexInsert::Inserted | IndexInsert::Updated { .. } => {}
@@ -412,7 +429,10 @@ impl FlatCache {
     /// (cuckoo kick-out overflow).
     fn release_displaced(&mut self, victim: fleche_index::ScanEntry) {
         match victim.loc.unpack() {
-            Loc::Hbm { class, slot } => self.epochs.retire((class, slot)),
+            Loc::Hbm { class, slot } => {
+                self.epochs.retire((class, slot));
+                self.pool.note_retired(class, slot);
+            }
             Loc::Dram { .. } => {
                 self.unified_count = self.unified_count.saturating_sub(1);
             }
@@ -517,6 +537,7 @@ impl FlatCache {
                             );
                             stats.merge(&s);
                             self.epochs.retire((class, slot));
+                            self.pool.note_retired(class, slot);
                             self.unified_count += 1;
                             projected = projected.saturating_sub(bytes);
                             projected += UNIFIED_ENTRY_BYTES;
@@ -526,6 +547,7 @@ impl FlatCache {
                     let (_, s) = self.index.remove(e.key);
                     stats.merge(&s);
                     self.epochs.retire((class, slot));
+                    self.pool.note_retired(class, slot);
                     projected = projected.saturating_sub(bytes);
                 }
                 Loc::Dram { .. } => {
@@ -556,11 +578,21 @@ impl FlatCache {
     /// Ends a batch: advances the epoch and physically frees every retired
     /// slot no live reader can reach. Returns how many slots were freed.
     pub fn end_batch(&mut self) -> usize {
+        self.end_batch_with(|_, _| {})
+    }
+
+    /// Like [`FlatCache::end_batch`], but calls `on_free(class, slot)` for
+    /// every slot physically reclaimed. The happens-before race checker
+    /// hooks this to record reclamation as a host-side write to the slot.
+    pub fn end_batch_with(&mut self, mut on_free: impl FnMut(u16, u32)) -> usize {
         self.epochs.advance();
         let pool = &mut self.pool;
         self.epochs.try_reclaim(|(class, slot)| {
-            pool.free(class, slot)
-                .expect("retired slot was live when retired");
+            // A retired slot was live when retired; tolerate (and count) a
+            // double-free rather than bring the server down.
+            let freed = pool.free(class, slot);
+            debug_assert!(freed.is_ok(), "retired slot was live when retired");
+            on_free(class, slot);
         })
     }
 

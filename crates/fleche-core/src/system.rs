@@ -16,14 +16,13 @@ use crate::fusion::{FusionMember, FusionPlan};
 use crate::tuner::UnifiedIndexTuner;
 use fleche_chaos::{BreakerConfig, CircuitBreaker};
 use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
-use fleche_gpu::{CopyApi, FaultCounters, Gpu, KernelDesc, KernelWork, Ns};
+use fleche_gpu::{slot_resource, CopyApi, FaultCounters, Gpu, KernelDesc, KernelWork, Ns};
 use fleche_index::{ProbeStats, SLAB_WIDTH};
 use fleche_store::api::{
     dedup_charged, BatchStats, EmbeddingCacheSystem, LifetimeStats, PhaseBreakdown, QueryOutput,
 };
 use fleche_store::{CpuStore, FetchReport, TieredStore};
 use fleche_workload::{Batch, DatasetSpec};
-use std::collections::HashSet;
 
 /// Host-side cost of re-encoding one key (a cached table-code fetch plus
 /// shift/mask work — the paper calls this "ultra-fast").
@@ -513,14 +512,35 @@ impl EmbeddingCacheSystem for FlecheSystem {
                     self.config.metadata_copy,
                 );
                 let s = gpu.default_stream();
-                gpu.launch(s, plan.fused);
+                let kid = gpu.launch(s, plan.fused);
+                // Coupled mode: the fused query kernel copies hit values
+                // itself, so it reads every hit slot. (Decoupled index
+                // kernels only touch the index.)
+                if !self.config.decoupling {
+                    if let Some(rc) = gpu.race_checker_mut() {
+                        for ans in &answers {
+                            if let CacheAnswer::Hit { class, slot } = *ans {
+                                rc.kernel_read(kid, slot_resource(class, slot));
+                            }
+                        }
+                    }
+                }
                 gpu.sync_stream(s);
             }
         } else {
             let streams = gpu.streams(groups.len().max(1));
             for (gi, m) in members.iter().enumerate() {
                 gpu.elapse_host("kernel-args", PER_KERNEL_PREP);
-                gpu.launch(streams[gi], KernelDesc::new("fc-query", m.threads, m.work));
+                let kid = gpu.launch(streams[gi], KernelDesc::new("fc-query", m.threads, m.work));
+                if !self.config.decoupling {
+                    if let Some(rc) = gpu.race_checker_mut() {
+                        for &(pos, _) in &groups[gi].1 {
+                            if let CacheAnswer::Hit { class, slot } = answers[pos] {
+                                rc.kernel_read(kid, slot_resource(class, slot));
+                            }
+                        }
+                    }
+                }
             }
             gpu.sync_all();
         }
@@ -562,7 +582,17 @@ impl EmbeddingCacheSystem for FlecheSystem {
             };
             gpu.elapse_host("copy-prep", PER_KERNEL_PREP);
             let c0 = gpu.now();
-            gpu.launch(copy_stream, KernelDesc::new("fleche-copy", threads, work));
+            let kid = gpu.launch(copy_stream, KernelDesc::new("fleche-copy", threads, work));
+            // The decoupled copy kernel reads every hit slot while the host
+            // overlaps the DRAM query below — exactly the window the epoch
+            // pin protects, and the window the race checker watches.
+            if let Some(rc) = gpu.race_checker_mut() {
+                for ans in &answers {
+                    if let CacheAnswer::Hit { class, slot } = *ans {
+                        rc.kernel_read(kid, slot_resource(class, slot));
+                    }
+                }
+            }
             phases.cache_copy += gpu.now() - c0; // launch cost; exec overlaps
         }
         // CPU-DRAM query for misses; unified hits skip the CPU index.
@@ -599,29 +629,36 @@ impl EmbeddingCacheSystem for FlecheSystem {
         let r0 = gpu.now();
         let mut insert_stats = ProbeStats::new();
         let mut admitted: u64 = 0;
+        let mut admitted_slots: Vec<(u16, u32)> = Vec::new();
         // Keys whose fetch failed (zero-filled rows) or was served stale
         // must not be promoted into the GPU cache as if they were fresh.
-        let unfetched: HashSet<usize> = fetch_report
+        // Sorted Vec + binary search instead of a HashSet: membership is
+        // the only operation, and determinism-critical modules avoid
+        // randomized-order containers entirely (hash-iteration lint).
+        let mut unfetched: Vec<usize> = fetch_report
             .failed
             .iter()
             .chain(&fetch_report.stale)
             .copied()
             .collect();
+        unfetched.sort_unstable();
+        unfetched.dedup();
         for (i, (&(t, f), row)) in full_miss_keys
             .iter()
             .zip(&miss_rows)
             .chain(unified_keys.iter().zip(&unified_rows))
             .enumerate()
         {
-            if i < full_miss_keys.len() && unfetched.contains(&i) {
+            if i < full_miss_keys.len() && unfetched.binary_search(&i).is_ok() {
                 continue;
             }
             let key = self.codec.encode(t, f);
             if self.cache.admit() {
                 let (loc, s) = self.cache.insert_value(t, key, row, self.clock);
                 insert_stats.merge(&s);
-                if loc.is_some() {
+                if let Some(slot) = loc {
                     admitted += 1;
+                    admitted_slots.push(slot);
                 }
             } else if self.config.unified_index {
                 let s = self.cache.insert_dram_ptr(t, f, key, self.clock);
@@ -638,7 +675,7 @@ impl EmbeddingCacheSystem for FlecheSystem {
                 .map(|&(t, _)| self.cache.dim_of(t) as u64 * 4)
                 .sum();
             let s = gpu.default_stream();
-            gpu.launch(
+            let kid = gpu.launch(
                 s,
                 KernelDesc::new(
                     "replace-copy",
@@ -646,6 +683,15 @@ impl EmbeddingCacheSystem for FlecheSystem {
                     KernelWork::streaming(value_bytes + copy_bytes),
                 ),
             );
+            // The replacement copy kernel writes the newly admitted slots
+            // (stream order serializes it behind the in-flight decoupled
+            // copy on the same stream — that ordering is what makes a
+            // same-batch reuse safe, and what the checker verifies).
+            if let Some(rc) = gpu.race_checker_mut() {
+                for &(class, slot) in &admitted_slots {
+                    rc.kernel_write(kid, slot_resource(class, slot));
+                }
+            }
             gpu.launch(
                 s,
                 KernelDesc::new(
@@ -693,6 +739,9 @@ impl EmbeddingCacheSystem for FlecheSystem {
         for (pos, &(t, f)) in unique.iter().enumerate() {
             if let CacheAnswer::Hit { class, slot } = answers[pos] {
                 unique_rows[pos] = self.cache.read_hit(class, slot).to_vec();
+                if let Some(rc) = gpu.race_checker_mut() {
+                    rc.host_read("restore-gather", slot_resource(class, slot));
+                }
                 let _ = (t, f);
             }
         }
@@ -729,7 +778,18 @@ impl EmbeddingCacheSystem for FlecheSystem {
             // The decoupled copy kernel has fully completed by this sync.
             self.cache.release_reader(guard);
         }
-        self.cache.end_batch();
+        // Epoch reclamation frees retired slots — a host-side write to
+        // each. The sync_all above is the happens-before edge that makes
+        // this safe against the in-flight copy; remove it and the race
+        // checker reports every reclaimed-while-read slot.
+        if let Some(rc) = gpu.race_checker_mut() {
+            rc.note_epoch_advance();
+        }
+        self.cache.end_batch_with(|class, slot| {
+            if let Some(rc) = gpu.race_checker_mut() {
+                rc.host_write("reclaim", slot_resource(class, slot));
+            }
+        });
         // Giant-model mode: embeddings evicted from the DRAM layer are no
         // longer where the unified index says — drop those pointers
         // (paper §5's invalidation corner case).

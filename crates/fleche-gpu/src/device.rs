@@ -10,6 +10,7 @@
 use crate::engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
 use crate::fault::{FaultCounters, LaunchFault, LaunchFaultHook};
 use crate::kernel::KernelDesc;
+use crate::race::RaceChecker;
 use crate::spec::{CopyApi, DeviceSpec};
 use crate::time::Ns;
 use crate::timeline::{Category, Timeline, Track};
@@ -56,6 +57,7 @@ pub struct Gpu {
     default_stream: StreamId,
     fault_hook: Option<Box<dyn LaunchFaultHook>>,
     fault_counters: FaultCounters,
+    race: Option<RaceChecker>,
 }
 
 impl Gpu {
@@ -72,7 +74,27 @@ impl Gpu {
             default_stream,
             fault_hook: None,
             fault_counters: FaultCounters::default(),
+            race: None,
         }
+    }
+
+    /// Turns on happens-before race checking. Sync edges (launch, stream
+    /// order, stream/device sync) are recorded automatically from here on;
+    /// instrumented callers declare slot accesses via
+    /// [`Gpu::race_checker_mut`]. Costs nothing when never enabled.
+    pub fn enable_race_checker(&mut self) {
+        self.race = Some(RaceChecker::new());
+    }
+
+    /// The active race checker, for declaring accesses and event-sync
+    /// edges. `None` unless [`Gpu::enable_race_checker`] was called.
+    pub fn race_checker_mut(&mut self) -> Option<&mut RaceChecker> {
+        self.race.as_mut()
+    }
+
+    /// Read access to the active race checker (reports, counts).
+    pub fn race_checker(&self) -> Option<&RaceChecker> {
+        self.race.as_ref()
     }
 
     /// Installs (or clears) the per-launch fault decision source. The
@@ -161,10 +183,16 @@ impl Gpu {
         }
         let t0 = self.host_now;
         self.host_now += self.spec.kernel_launch_overhead;
+        let label = desc.label;
         self.timeline
-            .record(Track::Host, Category::Launch, desc.label, t0, self.host_now);
-        self.engine
-            .enqueue(stream, desc, self.host_now + eligible_delay)
+            .record(Track::Host, Category::Launch, label, t0, self.host_now);
+        let id = self
+            .engine
+            .enqueue(stream, desc, self.host_now + eligible_delay);
+        if let Some(race) = self.race.as_mut() {
+            race.on_launch(stream, id, label);
+        }
+        id
     }
 
     /// Launches a pre-captured graph of kernels: one fixed cost plus a small
@@ -195,7 +223,12 @@ impl Gpu {
             .enumerate()
             .map(|(i, k)| {
                 let s = streams[i % streams.len()];
-                self.engine.enqueue(s, k, self.host_now)
+                let label = k.label;
+                let id = self.engine.enqueue(s, k, self.host_now);
+                if let Some(race) = self.race.as_mut() {
+                    race.on_launch(s, id, label);
+                }
+                id
             })
             .collect()
     }
@@ -218,8 +251,16 @@ impl Gpu {
             self.spec.saturation_threads,
             crate::kernel::KernelWork::streaming(bytes),
         );
-        self.engine
-            .enqueue_transfer(stream, desc, self.host_now, self.spec.copy_bandwidth(api))
+        let id = self.engine.enqueue_transfer(
+            stream,
+            desc,
+            self.host_now,
+            self.spec.copy_bandwidth(api),
+        );
+        if let Some(race) = self.race.as_mut() {
+            race.on_launch(stream, id, label);
+        }
+        id
     }
 
     /// Blocking host<->device copy: fixed API cost plus wire time, all on
@@ -246,6 +287,9 @@ impl Gpu {
     pub fn sync_stream(&mut self, stream: StreamId) -> Ns {
         let done = self.engine.drain_stream(stream);
         self.absorb_completions();
+        if let Some(race) = self.race.as_mut() {
+            race.on_sync_stream(stream);
+        }
         let woke = self.host_now.max(done);
         let end = woke + self.spec.stream_sync_overhead;
         self.timeline.record(
@@ -263,6 +307,9 @@ impl Gpu {
     pub fn sync_all(&mut self) -> Ns {
         let done = self.engine.drain_all();
         self.absorb_completions();
+        if let Some(race) = self.race.as_mut() {
+            race.on_sync_all();
+        }
         let woke = self.host_now.max(done);
         let end = woke + self.spec.stream_sync_overhead;
         self.timeline.record(

@@ -40,6 +40,7 @@ pub mod device;
 pub mod engine;
 pub mod fault;
 pub mod kernel;
+pub mod race;
 pub mod spec;
 pub mod time;
 pub mod timeline;
@@ -49,6 +50,7 @@ pub use device::{Gpu, GpuError};
 pub use engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
 pub use fault::{FaultCounters, LaunchFault, LaunchFaultHook};
 pub use kernel::{KernelDesc, KernelWork};
+pub use race::{slot_resource, Access, Actor, Race, RaceChecker, VectorClock};
 pub use spec::{CopyApi, DeviceSpec, DramSpec};
 pub use time::{BytesPerNs, Ns};
 pub use timeline::{Category, Span, Timeline, Track};

@@ -78,6 +78,10 @@ impl<T> EpochManager<T> {
     pub fn pin(&mut self) -> EpochGuard {
         let id = self.next_guard;
         self.next_guard += 1;
+        debug_assert!(
+            self.active.iter().all(|&(_, e)| e <= self.global),
+            "pinned epochs may never exceed the global epoch"
+        );
         self.active.push((id, self.global));
         EpochGuard {
             id,
@@ -102,6 +106,12 @@ impl<T> EpochManager<T> {
 
     /// Marks `item` logically deleted at the current epoch.
     pub fn retire(&mut self, item: T) {
+        // The queue stays sorted by retirement epoch because the global
+        // epoch is monotone; try_reclaim's front-only scan relies on it.
+        debug_assert!(
+            self.retired.back().map_or(true, |&(e, _)| e <= self.global),
+            "retirement epochs must be monotone"
+        );
         self.retired.push_back((self.global, item));
     }
 
@@ -115,6 +125,10 @@ impl<T> EpochManager<T> {
             .map(|&(_, e)| e)
             .min()
             .unwrap_or(self.global);
+        debug_assert!(
+            horizon <= self.global,
+            "horizon is bounded by the global epoch"
+        );
         let mut n = 0;
         while let Some(&(e, _)) = self.retired.front() {
             if e < horizon {

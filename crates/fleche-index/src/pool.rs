@@ -64,6 +64,10 @@ struct SizeClass {
     free: Vec<u32>,
     /// Liveness bitmap (one bool per slot) guarding double-free.
     live: Vec<bool>,
+    /// Retirement bitmap: set between logical retirement (eviction,
+    /// quarantine) and physical reclamation. A retired slot may only be
+    /// read through the grace-period path.
+    retired: Vec<bool>,
     capacity_slots: u32,
 }
 
@@ -93,6 +97,7 @@ impl SlabPool {
                 data: vec![0.0; s.slots as usize * s.dim as usize],
                 free: (0..s.slots).rev().collect(),
                 live: vec![false; s.slots as usize],
+                retired: vec![false; s.slots as usize],
                 capacity_slots: s.slots,
             })
             .collect();
@@ -158,7 +163,12 @@ impl SlabPool {
             .get_mut(class as usize)
             .ok_or(PoolError::UnknownClass { class })?;
         let slot = c.free.pop().ok_or(PoolError::ClassFull { class })?;
+        debug_assert!(
+            !c.live[slot as usize] && !c.retired[slot as usize],
+            "free-list slot must be neither live nor retired"
+        );
         c.live[slot as usize] = true;
+        c.retired[slot as usize] = false;
         let stats = ProbeStats {
             atomics: 1,
             bytes_touched: 8,
@@ -177,6 +187,7 @@ impl SlabPool {
             return Err(PoolError::InvalidSlot { class, slot });
         }
         c.live[slot as usize] = false;
+        c.retired[slot as usize] = false;
         c.free.push(slot);
         Ok(ProbeStats {
             atomics: 1,
@@ -217,8 +228,35 @@ impl SlabPool {
         if slot >= c.capacity_slots || !c.live[slot as usize] {
             return Err(PoolError::InvalidSlot { class, slot });
         }
+        debug_assert!(
+            !c.retired[slot as usize],
+            "read of a retired slab (class {class}, slot {slot}): grace-period \
+             readers must use read_during_grace"
+        );
         let off = slot as usize * c.dim as usize;
         Ok(&c.data[off..off + c.dim as usize])
+    }
+
+    /// Marks a live slot as logically retired (awaiting epoch
+    /// reclamation). Plain [`SlabPool::read`] debug-asserts against
+    /// retired slots from then on; [`SlabPool::read_during_grace`] stays
+    /// valid. Cleared by the eventual [`SlabPool::free`] (or a re-alloc).
+    pub fn note_retired(&mut self, class: u16, slot: u32) {
+        if let Some(c) = self.classes.get_mut(class as usize) {
+            if (slot as usize) < c.retired.len() {
+                debug_assert!(c.live[slot as usize], "retiring a non-live slot");
+                c.retired[slot as usize] = true;
+            }
+        }
+    }
+
+    /// True when `slot` is retired but not yet reclaimed.
+    pub fn is_retired(&self, class: u16, slot: u32) -> bool {
+        self.classes
+            .get(class as usize)
+            .and_then(|c| c.retired.get(slot as usize))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Live slots of `class` in slot order. Fault-injection harnesses use
@@ -365,6 +403,36 @@ mod tests {
         assert_eq!(p.class_for_dim(4), Some(0));
         assert_eq!(p.class_for_dim(8), Some(1));
         assert_eq!(p.class_for_dim(99), None);
+    }
+
+    #[test]
+    fn retired_bitmap_tracks_lifecycle() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        assert!(!p.is_retired(0, slot));
+        p.note_retired(0, slot);
+        assert!(p.is_retired(0, slot));
+        // Grace-period reads stay legal on a retired slot.
+        assert!(p.read_during_grace(0, slot).is_ok());
+        // Reclamation clears the flag...
+        p.free(0, slot).unwrap();
+        assert!(!p.is_retired(0, slot));
+        // ...and so does re-allocation of the same slot.
+        let (slot2, _) = p.alloc(0).unwrap();
+        assert!(!p.is_retired(0, slot2));
+        // Out-of-range queries are just false, never a panic.
+        assert!(!p.is_retired(7, 0));
+        assert!(!p.is_retired(0, 999));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "retired slab")]
+    fn plain_read_of_retired_slot_asserts() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        p.note_retired(0, slot);
+        let _ = p.read(0, slot);
     }
 
     #[test]
