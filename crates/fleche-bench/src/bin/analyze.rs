@@ -9,7 +9,12 @@
 //!    happens-before checker armed. The epoch-based reclamation scheme
 //!    must make every slot reuse *ordered after* the kernels that read the
 //!    slot, so the checker must report zero races.
-//! 3. **Checker self-test** — drive a deliberately mis-synchronized
+//! 3. **Recovery race-freedom** — interleave serving with the crash
+//!    recovery kernels (checkpoint scan, cache wipe, restore replay,
+//!    warm-up prefetch), all of which declare their slot accesses; the
+//!    batch-boundary syncs must order a snapshot scan against both the
+//!    preceding copy kernels and the subsequent reclaims, so zero races.
+//! 4. **Checker self-test** — drive a deliberately mis-synchronized
 //!    read-after-delete (reclaim a slot while a copy kernel that reads it
 //!    is still in flight, no stream sync) and require that the checker
 //!    reports *exactly* the injected race; the properly synchronized twin
@@ -84,6 +89,51 @@ fn run_serving_phase(batches: usize) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{total} race(s) on default serving scenarios"))
+    }
+}
+
+/// Serving interleaved with the recovery workflow: periodic checkpoints
+/// mid-sweep, then a simulated crash (wipe), a restore replay of the
+/// latest image, a workload-stats warm-up, and more serving on top. The
+/// checkpoint scan reads every captured slot, the restore replay writes
+/// every restored slot, and the wipe reclaims everything — all declared
+/// to the checker, all required to be ordered by the batch-boundary
+/// syncs.
+fn run_recovery_phase(batches: usize) -> Result<(), String> {
+    let ds = spec::synthetic(4, 40_000, 16, -1.05);
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let mut sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+    let mut gpu = Gpu::new(DeviceSpec::t4());
+    gpu.enable_race_checker();
+    let mut gen = TraceGenerator::new(&ds);
+    let mut stats = fleche_workload::WorkloadStats::new();
+    let mut snapshot = None;
+    for b in 0..batches {
+        let batch = gen.next_batch(BATCH);
+        stats.observe(&batch);
+        sys.query_batch(&mut gpu, &batch);
+        if (b + 1) % 4 == 0 {
+            snapshot = Some(sys.checkpoint(&mut gpu));
+        }
+    }
+    let snap = snapshot.ok_or_else(|| "no checkpoint taken".to_string())?;
+    sys.wipe_cache(&mut gpu);
+    sys.restore_from(&mut gpu, &snap)
+        .map_err(|e| format!("intact checkpoint rejected: {e}"))?;
+    sys.warm_up(&mut gpu, &stats.hottest(512), BATCH);
+    for _ in 0..batches / 2 {
+        sys.query_batch(&mut gpu, &gen.next_batch(BATCH));
+    }
+    let checker = gpu.race_checker().expect("checker was enabled above");
+    let races = checker.race_count();
+    println!("  checkpoint/wipe/restore/warm-up interleaved with {batches} batches, {races} races");
+    for race in checker.report() {
+        println!("    {race}");
+    }
+    if races == 0 {
+        Ok(())
+    } else {
+        Err(format!("{races} race(s) on the recovery workflow"))
     }
 }
 
@@ -178,6 +228,8 @@ fn main() -> ExitCode {
     phase("static lints", run_lints(&root));
     println!("phase: serving race-freedom");
     phase("serving race-freedom", run_serving_phase(batches));
+    println!("phase: recovery race-freedom");
+    phase("recovery race-freedom", run_recovery_phase(batches));
     println!("phase: checker self-test");
     phase("checker self-test", run_self_test());
     if failed {

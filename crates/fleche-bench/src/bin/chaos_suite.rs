@@ -26,7 +26,7 @@
 //! doubles as a race-freedom regression test in CI.
 
 use fleche_bench::{fmt_ns, print_header, quick_mode, TextTable};
-use fleche_chaos::{BreakerConfig, FaultPlan, RetryPolicy};
+use fleche_chaos::{BreakerConfig, BreakerTransitions, FaultPlan, RetryPolicy};
 use fleche_core::{FlecheConfig, FlecheSystem};
 use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
 use fleche_store::api::EmbeddingCacheSystem;
@@ -69,6 +69,8 @@ struct CellResult {
     corrupt_served: u64,
     corrupt_detected: u64,
     degraded_batches: u64,
+    degraded_wall: Ns,
+    breaker: BreakerTransitions,
 }
 
 fn dataset(outages: bool) -> DatasetSpec {
@@ -209,6 +211,10 @@ fn run_cell(
     walls.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
     let p99 = walls[((walls.len() - 1) as f64 * 0.99).round() as usize];
     let life = sys.lifetime_stats();
+    let breaker = sys
+        .breaker()
+        .map(|b| b.transitions_at(gpu.now()))
+        .unwrap_or_default();
     CellResult {
         availability: life.availability(),
         p99_batch: Ns(p99),
@@ -216,6 +222,8 @@ fn run_cell(
         corrupt_served,
         corrupt_detected: life.corrupt_detected,
         degraded_batches: life.degraded_batches,
+        degraded_wall: life.degraded_wall,
+        breaker,
     }
 }
 
@@ -257,6 +265,7 @@ fn main() {
     let mut worst_recovered_avail: f64 = 1.0;
     let mut total_corrupt_served_full = 0u64;
     let mut total_corrupt_detected_full = 0u64;
+    let mut full_cells: Vec<(f64, CellResult)> = Vec::new();
     for &rate in &rates {
         for &rec in &configs {
             let r = run_cell(rate, false, rec, batches, analyze);
@@ -281,9 +290,36 @@ fn main() {
                 format!("{}", r.corrupt_detected),
                 format!("{}", r.degraded_batches),
             ]);
+            if rec == Recovery::Full {
+                full_cells.push((rate, r));
+            }
         }
     }
     println!("{}", table.render());
+
+    println!("breaker + degraded-path surface (full-recovery cells; state transitions");
+    println!("and how long the system actually ran in each fallback regime):");
+    let mut bt = TextTable::new(&[
+        "fault rate",
+        "opened",
+        "half-opened",
+        "closed",
+        "time open",
+        "time half-open",
+        "time degraded",
+    ]);
+    for (rate, r) in &full_cells {
+        bt.row(&[
+            format!("{rate:.1}"),
+            format!("{}", r.breaker.opened),
+            format!("{}", r.breaker.half_opened),
+            format!("{}", r.breaker.closed),
+            fmt_ns(r.breaker.time_open),
+            fmt_ns(r.breaker.time_half_open),
+            fmt_ns(r.degraded_wall),
+        ]);
+    }
+    println!("{}", bt.render());
 
     println!("outage drill: periodic hard parameter-server outages (1.4ms every 2ms),");
     println!("no per-fetch faults — retries cannot outlast a window, stale-serve can.");

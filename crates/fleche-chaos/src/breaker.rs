@@ -48,6 +48,24 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// Counts of every transition a breaker has made, plus accumulated time
+/// in the non-closed states. Drills surface these so a reader sees *why*
+/// a run degraded (tripped N times, probed M times, spent T open), not
+/// just that it did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BreakerTransitions {
+    /// Closed/half-open → open trips.
+    pub opened: u64,
+    /// Open → half-open cooldown expiries (probe windows started).
+    pub half_opened: u64,
+    /// Half-open → closed recoveries (probe windows that succeeded).
+    pub closed: u64,
+    /// Total simulated time spent open (protected path bypassed).
+    pub time_open: Ns,
+    /// Total simulated time spent half-open (probing).
+    pub time_half_open: Ns,
+}
+
 /// The breaker state machine. Time is simulated [`Ns`] supplied by the
 /// caller, so behaviour replays deterministically.
 #[derive(Clone, Debug)]
@@ -58,7 +76,9 @@ pub struct CircuitBreaker {
     window: Vec<bool>,
     opened_at: Ns,
     probe_successes: u32,
-    trips: u64,
+    transitions: BreakerTransitions,
+    /// When the current state was entered (for time-in-state accounting).
+    state_since: Ns,
 }
 
 impl CircuitBreaker {
@@ -70,7 +90,8 @@ impl CircuitBreaker {
             window: Vec::new(),
             opened_at: Ns::ZERO,
             probe_successes: 0,
-            trips: 0,
+            transitions: BreakerTransitions::default(),
+            state_since: Ns::ZERO,
         }
     }
 
@@ -82,6 +103,9 @@ impl CircuitBreaker {
         {
             self.state = BreakerState::HalfOpen;
             self.probe_successes = 0;
+            self.transitions.half_opened += 1;
+            self.transitions.time_open += now.saturating_sub(self.state_since);
+            self.state_since = now;
         }
         self.state
     }
@@ -122,6 +146,9 @@ impl CircuitBreaker {
                     if self.probe_successes >= self.config.probes_to_close {
                         self.state = BreakerState::Closed;
                         self.window.clear();
+                        self.transitions.closed += 1;
+                        self.transitions.time_half_open += now.saturating_sub(self.state_since);
+                        self.state_since = now;
                     }
                 }
             }
@@ -132,16 +159,34 @@ impl CircuitBreaker {
     }
 
     fn trip(&mut self, now: Ns) {
+        if self.state == BreakerState::HalfOpen {
+            self.transitions.time_half_open += now.saturating_sub(self.state_since);
+        }
         self.state = BreakerState::Open;
         self.opened_at = now;
         self.window.clear();
         self.probe_successes = 0;
-        self.trips += 1;
+        self.transitions.opened += 1;
+        self.state_since = now;
     }
 
     /// How many times the breaker has tripped open.
     pub fn trips(&self) -> u64 {
-        self.trips
+        self.transitions.opened
+    }
+
+    /// Transition counts and time-in-state totals up to `now`. Passing the
+    /// caller's current clock closes out the in-progress open/half-open
+    /// span, so a breaker still open at report time is fully accounted.
+    pub fn transitions_at(&self, now: Ns) -> BreakerTransitions {
+        let mut t = self.transitions;
+        let tail = now.saturating_sub(self.state_since);
+        match self.state {
+            BreakerState::Open => t.time_open += tail,
+            BreakerState::HalfOpen => t.time_half_open += tail,
+            BreakerState::Closed => {}
+        }
+        t
     }
 }
 
@@ -204,6 +249,32 @@ mod tests {
         // A fresh cooldown applies from the re-trip.
         assert!(!b.allow(after + Ns::from_us(500.0)));
         assert!(b.allow(after + Ns::from_ms(1.1)));
+    }
+
+    #[test]
+    fn transitions_and_time_in_state_are_accounted() {
+        let mut b = quick();
+        for _ in 0..4 {
+            b.record(Ns::ZERO, true); // trips at t=0
+        }
+        let probe = Ns::from_ms(1.5); // cooldown (1ms) elapsed
+        assert!(b.allow(probe));
+        b.record(probe, false);
+        let close = Ns::from_ms(1.8);
+        b.record(close, false); // second probe closes
+        let t = b.transitions_at(close);
+        assert_eq!((t.opened, t.half_opened, t.closed), (1, 1, 1));
+        assert_eq!(t.time_open, Ns::from_ms(1.5));
+        assert!((t.time_half_open - Ns::from_ms(0.3)).as_ns().abs() < 1e-6);
+        // A breaker still open at report time is accounted up to `now`.
+        for _ in 0..4 {
+            b.record(close, true);
+        }
+        let later = close + Ns::from_us(400.0);
+        let t2 = b.transitions_at(later);
+        assert_eq!(t2.opened, 2);
+        assert_eq!(t2.time_open, Ns::from_ms(1.5) + Ns::from_us(400.0));
+        assert_eq!(b.trips(), 2);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!
 //! * **Injection** — a [`FaultPlan`] describes the fault environment (remote
 //!   parameter-server outages and per-fetch failures, transient GPU launch
-//!   faults and stream stalls, slab-pool bit flips) and hands out per-domain
+//!   faults and stream stalls, slab-pool bit flips, whole-device losses,
+//!   process restarts, snapshot-image rot) and hands out per-domain
 //!   injectors seeded from independent substreams.
 //! * **Recovery policy** — [`RetryPolicy`] (exponential backoff + jitter,
 //!   hedged second fetch, per-batch deadline) and [`CircuitBreaker`]
@@ -27,10 +28,11 @@ pub mod plan;
 pub mod retry;
 pub mod rng;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
 pub use plan::{
-    CorruptionInjector, CorruptionSpec, FaultPlan, FetchOutcome, GpuFaultInjector, GpuFaultSpec,
-    RemoteFaultInjector, RemoteFaultSpec,
+    CorruptionInjector, CorruptionSpec, DeviceLossInjector, DeviceLossSpec, FaultPlan,
+    FetchOutcome, GpuFaultInjector, GpuFaultSpec, RemoteFaultInjector, RemoteFaultSpec,
+    RestartSpec, SnapshotFaultInjector, SnapshotFaultSpec,
 };
 pub use retry::RetryPolicy;
 pub use rng::ChaosRng;

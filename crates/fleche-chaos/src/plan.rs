@@ -2,7 +2,7 @@
 
 use crate::in_periodic_window;
 use crate::rng::ChaosRng;
-use fleche_gpu::{LaunchFault, LaunchFaultHook, Ns};
+use fleche_gpu::{DeviceFault, LaunchFault, LaunchFaultHook, Ns};
 
 /// Remote parameter-server fault model.
 #[derive(Clone, Debug)]
@@ -53,6 +53,44 @@ pub struct CorruptionSpec {
     pub bitflips_per_batch: f64,
 }
 
+/// Whole-device loss schedule. Unlike the rate-based domains, losses are
+/// scheduled at exact batch indices: recovery drills need the kill to
+/// land at a reproducible point in the sweep, and batch boundaries are
+/// the only points at which a multi-GPU owner re-routes anyway.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceLossSpec {
+    /// Shard index of the victim device.
+    pub victim: usize,
+    /// Batch index at which the device drops (`None` = never).
+    pub lost_at_batch: Option<u64>,
+    /// Batch index at which it returns after reset (`None` = stays dead).
+    pub restored_at_batch: Option<u64>,
+}
+
+/// Process kill-and-warm-restart schedule for single-system drills.
+#[derive(Clone, Debug, Default)]
+pub struct RestartSpec {
+    /// Batch index after which the process is killed and restarted from
+    /// its latest checkpoint (`None` = never).
+    pub kill_after_batch: Option<u64>,
+}
+
+impl RestartSpec {
+    /// True when the kill lands right after batch `batch`.
+    pub fn kill_due(&self, batch: u64) -> bool {
+        self.kill_after_batch == Some(batch)
+    }
+}
+
+/// Snapshot (checkpoint image) corruption model: bit rot between the
+/// write and the restore read-back.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotFaultSpec {
+    /// Probability that a snapshot image is corrupted — one byte flipped
+    /// at a seeded offset — before restore reads it.
+    pub corruption_rate: f64,
+}
+
 /// A complete, seeded description of the fault environment.
 ///
 /// Each injector draws from an independent substream of `seed`, so turning
@@ -68,11 +106,18 @@ pub struct FaultPlan {
     pub gpu: GpuFaultSpec,
     /// Slab-pool corruption.
     pub corruption: CorruptionSpec,
+    /// Whole-device loss schedule.
+    pub device_loss: DeviceLossSpec,
+    /// Process kill/warm-restart schedule.
+    pub restart: RestartSpec,
+    /// Snapshot-image corruption.
+    pub snapshot: SnapshotFaultSpec,
 }
 
 const DOMAIN_REMOTE: u64 = 0x01;
 const DOMAIN_GPU: u64 = 0x02;
 const DOMAIN_CORRUPTION: u64 = 0x03;
+const DOMAIN_SNAPSHOT: u64 = 0x04;
 
 impl FaultPlan {
     /// A plan that injects nothing (all rates zero).
@@ -82,6 +127,9 @@ impl FaultPlan {
             remote: RemoteFaultSpec::default(),
             gpu: GpuFaultSpec::default(),
             corruption: CorruptionSpec::default(),
+            device_loss: DeviceLossSpec::default(),
+            restart: RestartSpec::default(),
+            snapshot: SnapshotFaultSpec::default(),
         }
     }
 
@@ -107,6 +155,22 @@ impl FaultPlan {
         CorruptionInjector {
             spec: self.corruption.clone(),
             rng: ChaosRng::substream(self.seed, DOMAIN_CORRUPTION),
+        }
+    }
+
+    /// The device-loss injector for this plan. Schedule-only (no RNG):
+    /// the spec pins exact batch indices.
+    pub fn device_loss_injector(&self) -> DeviceLossInjector {
+        DeviceLossInjector {
+            spec: self.device_loss.clone(),
+        }
+    }
+
+    /// The snapshot-corruption injector for this plan.
+    pub fn snapshot_injector(&self) -> SnapshotFaultInjector {
+        SnapshotFaultInjector {
+            spec: self.snapshot.clone(),
+            rng: ChaosRng::substream(self.seed, DOMAIN_SNAPSHOT),
         }
     }
 }
@@ -205,6 +269,66 @@ impl CorruptionInjector {
     }
 }
 
+/// Applies the scheduled device-loss window to a victim shard's `Gpu`.
+#[derive(Clone, Debug)]
+pub struct DeviceLossInjector {
+    spec: DeviceLossSpec,
+}
+
+impl DeviceLossInjector {
+    /// The shard index of the victim device.
+    pub fn victim(&self) -> usize {
+        self.spec.victim
+    }
+
+    /// Whether the victim should be lost while serving batch `batch`.
+    pub fn lost_for_batch(&self, batch: u64) -> bool {
+        let Some(lost_at) = self.spec.lost_at_batch else {
+            return false;
+        };
+        if batch < lost_at {
+            return false;
+        }
+        match self.spec.restored_at_batch {
+            // A restore scheduled at or before the loss means the device
+            // never comes back.
+            Some(back) if back > lost_at => batch < back,
+            _ => true,
+        }
+    }
+
+    /// The fault to apply before batch `batch`, given the device's current
+    /// state — `None` when no state change is due.
+    pub fn transition(&self, currently_lost: bool, batch: u64) -> Option<DeviceFault> {
+        let should = self.lost_for_batch(batch);
+        match (currently_lost, should) {
+            (false, true) => Some(DeviceFault::Lost),
+            (true, false) => Some(DeviceFault::Restored),
+            _ => None,
+        }
+    }
+}
+
+/// Draws snapshot-image corruption: which byte of a checkpoint flips
+/// between write and restore.
+#[derive(Clone, Debug)]
+pub struct SnapshotFaultInjector {
+    spec: SnapshotFaultSpec,
+    rng: ChaosRng,
+}
+
+impl SnapshotFaultInjector {
+    /// For a snapshot of `len` bytes: `Some(offset)` of the byte to flip
+    /// when this image rots, `None` when it survives intact. One draw per
+    /// snapshot written.
+    pub fn corrupt_offset(&mut self, len: u64) -> Option<u64> {
+        if len == 0 || !self.rng.chance(self.spec.corruption_rate) {
+            return None;
+        }
+        Some(self.rng.below(len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,7 +336,6 @@ mod tests {
     #[test]
     fn plans_replay_identically() {
         let plan = FaultPlan {
-            seed: 77,
             remote: RemoteFaultSpec {
                 fetch_failure_rate: 0.3,
                 slow_rate: 0.2,
@@ -227,6 +350,10 @@ mod tests {
             corruption: CorruptionSpec {
                 bitflips_per_batch: 0.5,
             },
+            snapshot: SnapshotFaultSpec {
+                corruption_rate: 0.5,
+            },
+            ..FaultPlan::quiet(77)
         };
         let mut a = plan.remote_injector();
         let mut b = plan.remote_injector();
@@ -246,6 +373,66 @@ mod tests {
             assert_eq!(ca.pick(1000), cb.pick(1000));
             assert_eq!(ca.pick_bit(), cb.pick_bit());
         }
+        let mut sa = plan.snapshot_injector();
+        let mut sb = plan.snapshot_injector();
+        for _ in 0..64 {
+            assert_eq!(sa.corrupt_offset(4096), sb.corrupt_offset(4096));
+        }
+    }
+
+    #[test]
+    fn device_loss_window_is_a_pure_schedule() {
+        let plan = FaultPlan {
+            device_loss: DeviceLossSpec {
+                victim: 2,
+                lost_at_batch: Some(40),
+                restored_at_batch: Some(60),
+            },
+            ..FaultPlan::quiet(3)
+        };
+        let inj = plan.device_loss_injector();
+        assert_eq!(inj.victim(), 2);
+        assert!(!inj.lost_for_batch(39));
+        assert!(inj.lost_for_batch(40));
+        assert!(inj.lost_for_batch(59));
+        assert!(!inj.lost_for_batch(60));
+        assert_eq!(
+            inj.transition(false, 40),
+            Some(fleche_gpu::DeviceFault::Lost)
+        );
+        assert_eq!(inj.transition(true, 45), None);
+        assert_eq!(
+            inj.transition(true, 60),
+            Some(fleche_gpu::DeviceFault::Restored)
+        );
+        assert_eq!(inj.transition(false, 61), None);
+
+        // No restore scheduled: dead stays dead.
+        let forever = FaultPlan {
+            device_loss: DeviceLossSpec {
+                victim: 0,
+                lost_at_batch: Some(5),
+                restored_at_batch: None,
+            },
+            ..FaultPlan::quiet(3)
+        };
+        assert!(forever.device_loss_injector().lost_for_batch(1_000_000));
+    }
+
+    #[test]
+    fn snapshot_corruption_offsets_stay_in_bounds() {
+        let plan = FaultPlan {
+            snapshot: SnapshotFaultSpec {
+                corruption_rate: 1.0,
+            },
+            ..FaultPlan::quiet(9)
+        };
+        let mut inj = plan.snapshot_injector();
+        for _ in 0..256 {
+            let off = inj.corrupt_offset(100).expect("rate 1.0 always corrupts");
+            assert!(off < 100);
+        }
+        assert_eq!(inj.corrupt_offset(0), None, "empty images cannot rot");
     }
 
     #[test]
@@ -254,25 +441,28 @@ mod tests {
         let mut remote = plan.remote_injector();
         let mut gpu = plan.gpu_injector();
         let mut corr = plan.corruption_injector();
+        let mut snap = plan.snapshot_injector();
+        let loss = plan.device_loss_injector();
         for i in 0..128 {
             let t = Ns::from_ms(i as f64);
             assert_eq!(remote.fetch_outcome(t), FetchOutcome::Ok);
             assert_eq!(gpu.on_launch(t, "k"), LaunchFault::None);
             assert_eq!(corr.flips_this_batch(), 0);
+            assert_eq!(snap.corrupt_offset(1024), None);
+            assert!(!loss.lost_for_batch(i));
+            assert!(!plan.restart.kill_due(i));
         }
     }
 
     #[test]
     fn outage_windows_time_out_every_attempt() {
         let plan = FaultPlan {
-            seed: 5,
             remote: RemoteFaultSpec {
                 outage_period: Ns::from_ms(10.0),
                 outage_duration: Ns::from_ms(1.0),
                 ..RemoteFaultSpec::default()
             },
-            gpu: GpuFaultSpec::default(),
-            corruption: CorruptionSpec::default(),
+            ..FaultPlan::quiet(5)
         };
         let mut inj = plan.remote_injector();
         assert!(!inj.in_outage(Ns::from_ms(5.0)));
@@ -286,13 +476,11 @@ mod tests {
     #[test]
     fn fetch_failure_rate_is_respected() {
         let plan = FaultPlan {
-            seed: 11,
             remote: RemoteFaultSpec {
                 fetch_failure_rate: 0.25,
                 ..RemoteFaultSpec::default()
             },
-            gpu: GpuFaultSpec::default(),
-            corruption: CorruptionSpec::default(),
+            ..FaultPlan::quiet(11)
         };
         let mut inj = plan.remote_injector();
         let timeouts = (0..10_000)
@@ -307,12 +495,10 @@ mod tests {
     #[test]
     fn corruption_rate_above_one_flips_multiple() {
         let plan = FaultPlan {
-            seed: 13,
-            remote: RemoteFaultSpec::default(),
-            gpu: GpuFaultSpec::default(),
             corruption: CorruptionSpec {
                 bitflips_per_batch: 2.5,
             },
+            ..FaultPlan::quiet(13)
         };
         let mut inj = plan.corruption_injector();
         let total: u32 = (0..1_000).map(|_| inj.flips_this_batch()).sum();

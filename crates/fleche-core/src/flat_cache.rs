@@ -10,6 +10,7 @@
 //! never read freed slots; and (optionally) index entries may hold tagged
 //! CPU-DRAM pointers — the unified index.
 
+use crate::recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError};
 use fleche_coding::FlatKey;
 use fleche_index::{
     ClassSpec, EpochGuard, EpochManager, GpuIndex, IndexInsert, Loc, MegaKv, PackedLoc, ProbeStats,
@@ -362,6 +363,21 @@ impl FlatCache {
         stamp: u32,
     ) -> (Option<(u16, u32)>, ProbeStats) {
         let class = self.class_of(table);
+        self.insert_at_class(class, key, value, stamp)
+    }
+
+    /// The insert workflow under an explicit pool class. [`Self::insert_value`]
+    /// resolves the class from the table; [`Self::restore`] replays snapshot
+    /// entries (which record their class directly) through this same path, so
+    /// recovery exercises the admission-free subset of the normal workflow
+    /// rather than a parallel one.
+    fn insert_at_class(
+        &mut self,
+        class: u16,
+        key: FlatKey,
+        value: &[f32],
+        stamp: u32,
+    ) -> (Option<(u16, u32)>, ProbeStats) {
         let mut stats = ProbeStats::new();
         // If the key is already present (collision or re-insert), refresh
         // in place when it holds an HBM slot.
@@ -599,6 +615,103 @@ impl FlatCache {
     /// Scan-kernel streaming bytes (for pricing the eviction pass).
     pub fn scan_bytes(&self) -> u64 {
         self.index.device_bytes()
+    }
+
+    /// Captures an epoch-consistent checkpoint of every HBM-resident value.
+    ///
+    /// Call at a batch boundary (after [`FlatCache::end_batch`], with no
+    /// decoupled copy kernel in flight): the image then contains exactly the
+    /// live, reachable entries — no retired slot awaiting reclamation, no
+    /// in-flight replace-copy. Defensively, retired-but-unreclaimed slots
+    /// are skipped even if an index entry still reaches one. Unified-index
+    /// DRAM pointers are skipped too: they are location hints, cheap to
+    /// rebuild, not warm value state.
+    ///
+    /// Entries are sorted by flat key so the byte image is identical across
+    /// index backends and scan orders — two checkpoints of the same cache
+    /// state are bit-identical.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        self.snapshot_with_slots().0
+    }
+
+    /// Like [`FlatCache::snapshot`], also returning the pool locations the
+    /// capture read — the system layer declares these to the race checker
+    /// as the snapshot kernel's reads.
+    pub fn snapshot_with_slots(&self) -> (CacheSnapshot, Vec<(u16, u32)>) {
+        let (scan, _) = self.index.scan();
+        let mut captured: Vec<(SnapshotEntry, (u16, u32))> = scan
+            .iter()
+            .filter_map(|e| match e.loc.unpack() {
+                Loc::Hbm { class, slot } => {
+                    if self.pool.is_retired(class, slot) {
+                        return None;
+                    }
+                    let value = self.pool.read(class, slot).ok()?;
+                    Some((
+                        SnapshotEntry {
+                            key: e.key,
+                            class,
+                            stamp: e.stamp,
+                            value: value.to_vec(),
+                        },
+                        (class, slot),
+                    ))
+                }
+                Loc::Dram { .. } => None,
+            })
+            .collect();
+        captured.sort_unstable_by_key(|(e, _)| e.key);
+        let slots = captured.iter().map(|(_, loc)| *loc).collect();
+        let entries: Vec<SnapshotEntry> = captured.into_iter().map(|(e, _)| e).collect();
+        (CacheSnapshot::from_entries(&entries), slots)
+    }
+
+    /// Replays a checkpoint through the normal insert workflow.
+    ///
+    /// The image is checksum-verified and fully decoded *before* any
+    /// mutation: a corrupt snapshot returns `Err` and leaves the cache
+    /// exactly as it was, so the caller can fall back to a cold warm-up
+    /// without ever risking garbage bytes in the pool. Entries replay
+    /// hottest-first (stamp descending, key ascending for determinism), so
+    /// if capacity shrank since the checkpoint the hottest band survives.
+    /// Entries whose dimension no longer matches their class (changed
+    /// dataset geometry) or that find the pool full bypass and are counted,
+    /// not errors.
+    pub fn restore(&mut self, snap: &CacheSnapshot) -> Result<RestoreReport, SnapshotError> {
+        let mut entries = snap.decode()?;
+        entries.sort_unstable_by(|a, b| b.stamp.cmp(&a.stamp).then(a.key.cmp(&b.key)));
+        let mut report = RestoreReport::default();
+        for e in &entries {
+            report.max_stamp = report.max_stamp.max(e.stamp);
+            if self.pool.dim_of(e.class) != Some(e.value.len() as u32) {
+                report.bypassed += 1;
+                continue;
+            }
+            let (loc, _) = self.insert_at_class(e.class, FlatKey(e.key), &e.value, e.stamp);
+            match loc {
+                Some(loc) => {
+                    report.restored += 1;
+                    report.slots.push(loc);
+                }
+                None => report.bypassed += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Drops every entry and value, as a device loss does: the index is
+    /// cleared, every pool slot freed and zeroed, the epoch machinery
+    /// re-armed. Call at a batch boundary with no pinned readers — a wiped
+    /// pool has no grace period to protect in-flight kernels.
+    pub fn wipe(&mut self) {
+        debug_assert_eq!(self.epochs.readers(), 0, "wipe with pinned readers");
+        self.index.clear();
+        self.pool.reset();
+        self.epochs = EpochManager::new();
+        self.unified_count = 0;
+        if let Some(map) = &mut self.checksums {
+            map.clear();
+        }
     }
 }
 
@@ -846,6 +959,145 @@ mod tests {
         assert_eq!(c.live_value_count(), 1);
         assert!(c.corrupt_nth_live(0, 0, 0).is_some());
         assert_eq!(c.corrupt_nth_live(1, 0, 0), None);
+    }
+
+    #[test]
+    fn snapshot_round_trips_into_fresh_cache() {
+        let (mut c, codec, ds) = mk();
+        for f in 0..20u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        c.end_batch();
+        let snap = c.snapshot();
+        let mut fresh = FlatCache::new(&ds, 8 * 4 * 200, FlatCacheConfig::default());
+        let report = fresh.restore(&snap).expect("clean image restores");
+        assert_eq!(report.restored, c.live_value_count());
+        assert_eq!(report.bypassed, 0);
+        assert_eq!(report.max_stamp, 19);
+        assert_eq!(report.slots.len() as u64, report.restored);
+        // Checkpoints of identical logical state are bit-identical, even
+        // though the restored cache assigned different physical slots.
+        // (Checked before the lookups below, which bump LRU stamps.)
+        assert_eq!(snap.as_bytes(), fresh.snapshot().as_bytes());
+        for f in 0..20u64 {
+            let k = codec.encode(0, f);
+            let (ans, _) = fresh.lookup(k, 100);
+            let CacheAnswer::Hit { class, slot } = ans else {
+                panic!("restored key {f} must hit");
+            };
+            assert_eq!(fresh.read_hit(class, slot), val(f as f32).as_slice());
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_and_cache_untouched() {
+        let (mut c, codec, _) = mk();
+        for f in 0..8u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        c.end_batch();
+        let mut snap = c.snapshot();
+        assert!(snap.corrupt_byte(snap.byte_len() / 2));
+        let before = c.len();
+        assert!(c.restore(&snap).is_err(), "rotted image must be refused");
+        assert_eq!(c.len(), before, "failed restore must not mutate");
+    }
+
+    #[test]
+    fn snapshot_excludes_dram_pointers_and_is_key_sorted() {
+        let (mut c, codec, _) = mk();
+        c.set_unified_target(4);
+        for f in 0..4u64 {
+            c.insert_dram_ptr(0, 100 + f, codec.encode(0, 100 + f), 1);
+        }
+        for f in 0..10u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        let entries = c.snapshot().decode().expect("valid image");
+        assert_eq!(entries.len(), 10, "only HBM values are captured");
+        assert!(
+            entries.windows(2).all(|w| w[0].key < w[1].key),
+            "image sorted by flat key"
+        );
+    }
+
+    #[test]
+    fn snapshot_mid_grace_excludes_evicted_entries() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut c = FlatCache::new(
+            &ds,
+            8 * 4 * 10,
+            FlatCacheConfig {
+                evict_high_watermark: 0.8,
+                evict_low_watermark: 0.4,
+                admission_probability: 1.0,
+                index: IndexBackend::default(),
+            },
+        );
+        let codec = SizeAwareCodec::new(20, &[1_000]);
+        for f in 0..10u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        c.evict_pass();
+        // Mid-grace: evicted bytes are still physically present in retired
+        // slots, but the image must hold only the surviving entries.
+        let survivors = c.len() as u64;
+        assert!(survivors < 10, "eviction removed something");
+        let snap = c.snapshot();
+        assert_eq!(snap.entry_count_hint(), survivors);
+        assert_eq!(snap.decode().expect("valid").len() as u64, survivors);
+    }
+
+    #[test]
+    fn restore_into_smaller_pool_keeps_hottest_band() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut big = FlatCache::new(
+            &ds,
+            8 * 4 * 16,
+            FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+        );
+        let codec = SizeAwareCodec::new(20, &[1_000]);
+        for f in 0..16u64 {
+            big.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        let snap = big.snapshot();
+        let mut small = FlatCache::new(&ds, 8 * 4 * 4, FlatCacheConfig::default());
+        let report = small.restore(&snap).expect("valid image");
+        assert_eq!(report.restored, 4);
+        assert_eq!(report.bypassed, 12);
+        for f in 12..16u64 {
+            assert!(
+                matches!(
+                    small.lookup(codec.encode(0, f), 100).0,
+                    CacheAnswer::Hit { .. }
+                ),
+                "hottest stamps must survive the shrink"
+            );
+        }
+    }
+
+    #[test]
+    fn wipe_returns_cache_to_fresh_state() {
+        let (mut c, codec, _) = mk();
+        c.enable_checksums();
+        c.set_unified_target(2);
+        c.insert_dram_ptr(0, 50, codec.encode(0, 50), 1);
+        for f in 0..6u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        c.wipe();
+        assert!(c.is_empty());
+        assert_eq!(c.live_value_count(), 0);
+        assert_eq!(c.unified_count(), 0);
+        assert_eq!(c.lookup(codec.encode(0, 3), 9).0, CacheAnswer::Miss);
+        // And it serves cleanly again afterwards.
+        let (loc, _) = c.insert_value(0, codec.encode(0, 3), &val(3.0), 10);
+        let (class, slot) = loc.expect("fresh pool has room");
+        assert!(c.verify_hit(class, slot));
+        assert_eq!(c.read_hit(class, slot), val(3.0).as_slice());
     }
 
     #[test]

@@ -34,11 +34,13 @@
 pub mod flat_cache;
 pub mod fusion;
 pub mod multi_gpu;
+pub mod recovery;
 pub mod system;
 pub mod tuner;
 
 pub use flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig, IndexBackend, UNIFIED_ENTRY_BYTES};
 pub use fusion::{FusionError, FusionMember, FusionPlan, ARGS_ENTRY_BYTES, WARP};
-pub use multi_gpu::{InterconnectSpec, MultiGpuFleche, ShardedTiming};
+pub use multi_gpu::{FailoverStats, InterconnectSpec, MultiGpuFleche, ShardedTiming};
+pub use recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError};
 pub use system::{FlecheConfig, FlecheSystem, MissBackend};
 pub use tuner::{TunerState, UnifiedIndexTuner};

@@ -9,12 +9,55 @@
 //! aggregate capacity) at the price of the gather and of per-shard kernel
 //! maintenance — exactly the trade the paper predicts, measurable here.
 
+use crate::recovery::CacheSnapshot;
 use crate::system::{FlecheConfig, FlecheSystem};
 use fleche_coding::{FlatKeyCodec, SizeAwareCodec};
 use fleche_gpu::{BytesPerNs, DeviceSpec, DramSpec, Gpu, Ns};
 use fleche_store::api::{BatchStats, LifetimeStats};
 use fleche_store::CpuStore;
 use fleche_workload::{Batch, DatasetSpec};
+
+/// Rendezvous (highest-random-weight) score of `key` on `shard`: a
+/// splitmix64-style finalizer over the pair. Each shard's score stream is
+/// independent, so removing one shard re-homes *only* that shard's keys —
+/// the property that makes failover cheap (a modulo partition would
+/// reshuffle nearly every key when the divisor changes).
+fn rendezvous_weight(key: u64, shard: u64) -> u64 {
+    let mut x = key ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Counters describing every device-loss/failover event a
+/// [`MultiGpuFleche`] has absorbed. Drills print these so a reader sees
+/// the failure timeline (lost, re-routed, re-warmed), not just the final
+/// hit rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FailoverStats {
+    /// Device-loss transitions observed.
+    pub device_losses: u64,
+    /// Device-restore transitions observed.
+    pub device_restores: u64,
+    /// Entries re-warmed from a checkpoint on device restore.
+    pub rewarm_restored_entries: u64,
+    /// Restores that had to start cold (no checkpoint, or a rejected one).
+    pub rewarm_cold_starts: u64,
+    /// Checkpoints refused at rewarm time (corrupt image detected).
+    pub snapshot_rejected: u64,
+    /// Accesses served by a takeover shard while their home shard was
+    /// dead (the moved key range).
+    pub moved_keys: u64,
+    /// Batches served with at least one shard dead.
+    pub degraded_batches: u64,
+    /// Wall time of those degraded batches.
+    pub time_degraded: Ns,
+    /// Simulated time spent replaying checkpoints into restored devices.
+    pub rewarm_time: Ns,
+}
 
 /// Interconnect cost model for the all-gather.
 #[derive(Clone, Debug)]
@@ -62,6 +105,12 @@ pub struct MultiGpuFleche {
     interconnect: InterconnectSpec,
     spec: DatasetSpec,
     lifetime: LifetimeStats,
+    /// Liveness per shard, maintained by [`MultiGpuFleche::poll_devices`].
+    alive: Vec<bool>,
+    /// Latest checkpoint per shard (dead shards keep their last one — it
+    /// is exactly what the re-warm replays when the device returns).
+    snapshots: Vec<Option<CacheSnapshot>>,
+    failover: FailoverStats,
 }
 
 impl MultiGpuFleche {
@@ -96,11 +145,14 @@ impl MultiGpuFleche {
             })
             .collect();
         MultiGpuFleche {
+            alive: vec![true; gpus],
+            snapshots: vec![None; gpus],
             shards,
             codec,
             interconnect,
             spec: spec.clone(),
             lifetime: LifetimeStats::default(),
+            failover: FailoverStats::default(),
         }
     }
 
@@ -109,10 +161,40 @@ impl MultiGpuFleche {
         self.shards.len()
     }
 
-    /// Which shard owns a `(table, feature)` pair (hash of its flat key).
+    /// Shards currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Highest-weight shard for `key` among either the alive subset or
+    /// all shards. Ties break toward the lower index (deterministic).
+    fn best_shard(&self, key: u64, alive_only: bool) -> usize {
+        let mut best: Option<(u64, usize)> = None;
+        for s in 0..self.shards.len() {
+            if alive_only && !self.alive[s] {
+                continue;
+            }
+            let w = rendezvous_weight(key, s as u64);
+            if best.map_or(true, |(bw, _)| w > bw) {
+                best = Some((w, s));
+            }
+        }
+        best.map_or(0, |(_, s)| s)
+    }
+
+    /// Which shard serves a `(table, feature)` pair right now: rendezvous
+    /// hashing of its flat key over the *alive* shards. With every device
+    /// up this equals [`MultiGpuFleche::home_shard_of`]; when a device is
+    /// lost, only its keys re-route (to their next-highest-weight shard)
+    /// and every other key stays put.
     pub fn shard_of(&self, table: u16, feature: u64) -> usize {
-        let k = self.codec.encode(table, feature).0;
-        (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize % self.shards.len()
+        self.best_shard(self.codec.encode(table, feature).0, true)
+    }
+
+    /// The shard that owns a pair when every device is alive (liveness-
+    /// blind; used to account the moved key range during failover).
+    pub fn home_shard_of(&self, table: u16, feature: u64) -> usize {
+        self.best_shard(self.codec.encode(table, feature).0, false)
     }
 
     /// Lifetime cache statistics aggregated over shards.
@@ -120,10 +202,112 @@ impl MultiGpuFleche {
         self.lifetime
     }
 
+    /// Failover counters (device losses, moved keys, rewarm outcomes).
+    pub fn failover_stats(&self) -> FailoverStats {
+        self.failover
+    }
+
+    /// One shard's device, for fault injection and clock reads.
+    pub fn shard_gpu_mut(&mut self, s: usize) -> &mut Gpu {
+        &mut self.shards[s].0
+    }
+
+    /// One shard's cache system (diagnostics).
+    pub fn shard_system(&self, s: usize) -> &FlecheSystem {
+        &self.shards[s].1
+    }
+
+    /// Arms the happens-before race checker on every shard's device.
+    pub fn enable_race_checkers(&mut self) {
+        for (gpu, _) in &mut self.shards {
+            gpu.enable_race_checker();
+        }
+    }
+
+    /// Total races observed across every shard's checker.
+    pub fn race_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(gpu, _)| gpu.race_checker().map_or(0, |rc| rc.race_count()))
+            .sum()
+    }
+
+    /// Checkpoints every *alive* shard's cache (dead shards keep their
+    /// previous image — that is what the re-warm will replay). Returns
+    /// the slowest shard's checkpoint time; devices snapshot in parallel.
+    pub fn checkpoint(&mut self) -> Ns {
+        let mut slowest = Ns::ZERO;
+        for (s, (gpu, sys)) in self.shards.iter_mut().enumerate() {
+            if !self.alive[s] {
+                continue;
+            }
+            let t0 = gpu.now();
+            self.snapshots[s] = Some(sys.checkpoint(gpu));
+            slowest = slowest.max(gpu.now() - t0);
+        }
+        slowest
+    }
+
+    /// Reconciles shard liveness with each device's fault state. Newly
+    /// lost devices are marked dead and their cache state dropped (HBM is
+    /// gone); traffic re-routes away from them on the next batch. Newly
+    /// restored devices re-warm from their latest checkpoint — a corrupt
+    /// image is detected, counted, and degrades to a cold start rather
+    /// than seeding the cache with garbage. Returns
+    /// `(losses, restores)` observed by this poll.
+    pub fn poll_devices(&mut self) -> (usize, usize) {
+        let mut losses = 0;
+        let mut restores = 0;
+        for (s, (gpu, sys)) in self.shards.iter_mut().enumerate() {
+            let lost = gpu.device_lost();
+            if self.alive[s] && lost {
+                self.alive[s] = false;
+                sys.wipe_cache(gpu);
+                self.failover.device_losses += 1;
+                losses += 1;
+            } else if !self.alive[s] && !lost {
+                self.alive[s] = true;
+                self.failover.device_restores += 1;
+                restores += 1;
+                let t0 = gpu.now();
+                match &self.snapshots[s] {
+                    Some(snap) => match sys.restore_from(gpu, snap) {
+                        Ok(report) => {
+                            self.failover.rewarm_restored_entries += report.restored;
+                        }
+                        Err(_) => {
+                            self.failover.snapshot_rejected += 1;
+                            self.failover.rewarm_cold_starts += 1;
+                        }
+                    },
+                    None => self.failover.rewarm_cold_starts += 1,
+                }
+                self.failover.rewarm_time += gpu.now() - t0;
+            }
+        }
+        (losses, restores)
+    }
+
     /// Runs one batch: split by shard owner, query shards (in parallel —
     /// the slowest one gates), all-gather the remote rows. Returns the
     /// per-access rows in batch order plus timing.
+    ///
+    /// Device liveness is reconciled first: keys whose home shard died
+    /// re-route to their rendezvous successor (initially cold for them —
+    /// the degraded regime, served from that shard's DRAM), and restored
+    /// devices re-warm from their last checkpoint before taking traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every device is lost — there is no shard left to serve
+    /// from, which a real deployment escalates rather than absorbs.
     pub fn query_batch(&mut self, batch: &Batch) -> (Vec<Vec<f32>>, ShardedTiming, BatchStats) {
+        self.poll_devices();
+        assert!(
+            self.alive.iter().any(|&a| a),
+            "all devices lost: nothing can serve"
+        );
+        let any_dead = self.alive.iter().any(|&a| !a);
         let g = self.shards.len();
         // Split the batch per shard, remembering where each access goes.
         let mut shard_batches: Vec<Batch> = (0..g)
@@ -138,6 +322,9 @@ impl MultiGpuFleche {
         for (t, ids) in batch.table_ids.iter().enumerate() {
             for &id in ids {
                 let s = self.shard_of(t as u16, id);
+                if any_dead && s != self.home_shard_of(t as u16, id) {
+                    self.failover.moved_keys += 1;
+                }
                 shard_batches[s].table_ids[t].push(id);
                 routing.push((s, t, counts[s][t]));
                 counts[s][t] += 1;
@@ -167,10 +354,15 @@ impl MultiGpuFleche {
         }
         let shard_critical = shard_times.iter().copied().fold(Ns::ZERO, Ns::max);
 
-        // All-gather: every shard except the dense-layer host (shard 0)
-        // ships its output rows.
+        // All-gather: every shard except the dense-layer host ships its
+        // output rows. The host is the first *alive* shard — if device 0
+        // is lost, the dense layers fail over with the cache traffic.
+        let host = self.alive.iter().position(|&a| a).unwrap_or(0);
         let mut gather = Ns::ZERO;
-        for rows in shard_rows.iter().skip(1) {
+        for (s, rows) in shard_rows.iter().enumerate() {
+            if s == host {
+                continue;
+            }
             let bytes: u64 = rows.iter().map(|r| r.len() as u64 * 4).sum();
             if bytes > 0 {
                 gather += self.interconnect.per_transfer
@@ -195,6 +387,11 @@ impl MultiGpuFleche {
             .collect();
 
         agg.wall = shard_critical + gather;
+        agg.degraded = any_dead;
+        if any_dead {
+            self.failover.degraded_batches += 1;
+            self.failover.time_degraded += agg.wall;
+        }
         self.lifetime.observe(&agg);
         let timing = ShardedTiming {
             shard_critical,
@@ -304,6 +501,132 @@ mod tests {
             stats.unique_keys
         );
         assert!(stats.unique_keys <= batch.total_ids() as u64);
+    }
+
+    #[test]
+    fn dead_shard_moves_only_its_own_keys() {
+        use fleche_gpu::DeviceFault;
+        let (mut mg, _, ds) = build(4);
+        let mut before = Vec::new();
+        for t in 0..ds.table_count() as u16 {
+            for f in 0..300u64 {
+                before.push(mg.shard_of(t, f));
+            }
+        }
+        mg.shard_gpu_mut(2).inject_device_fault(DeviceFault::Lost);
+        mg.poll_devices();
+        let mut k = 0;
+        let mut moved = 0usize;
+        for t in 0..ds.table_count() as u16 {
+            for f in 0..300u64 {
+                let after = mg.shard_of(t, f);
+                if before[k] == 2 {
+                    assert_ne!(after, 2, "dead shard's keys must re-home");
+                    moved += 1;
+                } else {
+                    assert_eq!(after, before[k], "({t},{f}) must not move");
+                }
+                assert_eq!(mg.home_shard_of(t, f), before[k], "home ignores liveness");
+                k += 1;
+            }
+        }
+        assert!(moved > 0, "shard 2 owned some of the sampled keys");
+        // Restore: routing returns exactly to the original assignment.
+        mg.shard_gpu_mut(2)
+            .inject_device_fault(DeviceFault::Restored);
+        mg.poll_devices();
+        let mut k = 0;
+        for t in 0..ds.table_count() as u16 {
+            for f in 0..300u64 {
+                assert_eq!(mg.shard_of(t, f), before[k], "restore reverts routing");
+                k += 1;
+            }
+        }
+        assert_eq!(mg.failover_stats().device_losses, 1);
+        assert_eq!(mg.failover_stats().device_restores, 1);
+    }
+
+    #[test]
+    fn failover_serves_ground_truth_throughout() {
+        use fleche_gpu::DeviceFault;
+        let (mut mg, mut gen, ds) = build(3);
+        let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+        for i in 0..10 {
+            if i == 3 {
+                mg.shard_gpu_mut(1).inject_device_fault(DeviceFault::Lost);
+            }
+            if i == 7 {
+                mg.shard_gpu_mut(1)
+                    .inject_device_fault(DeviceFault::Restored);
+            }
+            let batch = gen.next_batch(96);
+            let (rows, _, stats) = mg.query_batch(&batch);
+            let mut k = 0;
+            for (t, ids) in batch.table_ids.iter().enumerate() {
+                for &id in ids {
+                    assert_eq!(rows[k], truth.read(t as u16, id), "batch {i} row {k}");
+                    k += 1;
+                }
+            }
+            assert_eq!(stats.degraded, (3..7).contains(&i), "batch {i}");
+        }
+        let f = mg.failover_stats();
+        assert_eq!(f.device_losses, 1);
+        assert_eq!(f.device_restores, 1);
+        assert!(
+            f.moved_keys > 0,
+            "the dead shard's range was served elsewhere"
+        );
+        assert_eq!(f.degraded_batches, 4);
+        assert_eq!(mg.lifetime_stats().degraded_batches, 4);
+        assert!(f.time_degraded > Ns::ZERO);
+        assert_eq!(mg.alive_count(), 3);
+    }
+
+    #[test]
+    fn restored_device_rewarms_from_its_checkpoint() {
+        use fleche_gpu::DeviceFault;
+        let (mut mg, mut gen, _) = build(2);
+        for _ in 0..8 {
+            mg.query_batch(&gen.next_batch(256));
+        }
+        let ckpt_time = mg.checkpoint();
+        assert!(ckpt_time > Ns::ZERO);
+        mg.shard_gpu_mut(1).inject_device_fault(DeviceFault::Lost);
+        mg.query_batch(&gen.next_batch(64));
+        mg.shard_gpu_mut(1)
+            .inject_device_fault(DeviceFault::Restored);
+        mg.query_batch(&gen.next_batch(64));
+        let f = mg.failover_stats();
+        assert!(f.rewarm_restored_entries > 0, "checkpoint replayed: {f:?}");
+        assert_eq!(f.snapshot_rejected, 0);
+        assert_eq!(f.rewarm_cold_starts, 0);
+        assert!(f.rewarm_time > Ns::ZERO);
+    }
+
+    #[test]
+    fn restore_without_checkpoint_is_a_cold_start() {
+        use fleche_gpu::DeviceFault;
+        let (mut mg, mut gen, _) = build(2);
+        mg.query_batch(&gen.next_batch(64));
+        mg.shard_gpu_mut(0).inject_device_fault(DeviceFault::Lost);
+        mg.query_batch(&gen.next_batch(64));
+        mg.shard_gpu_mut(0)
+            .inject_device_fault(DeviceFault::Restored);
+        mg.query_batch(&gen.next_batch(64));
+        let f = mg.failover_stats();
+        assert_eq!(f.rewarm_cold_starts, 1);
+        assert_eq!(f.rewarm_restored_entries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all devices lost")]
+    fn losing_every_device_panics() {
+        use fleche_gpu::DeviceFault;
+        let (mut mg, mut gen, _) = build(2);
+        mg.shard_gpu_mut(0).inject_device_fault(DeviceFault::Lost);
+        mg.shard_gpu_mut(1).inject_device_fault(DeviceFault::Lost);
+        mg.query_batch(&gen.next_batch(16));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig};
 use crate::fusion::{FusionMember, FusionPlan};
+use crate::recovery::{CacheSnapshot, RestoreReport, SnapshotError};
 use crate::tuner::UnifiedIndexTuner;
 use fleche_chaos::{BreakerConfig, CircuitBreaker};
 use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
@@ -354,6 +355,118 @@ impl FlecheSystem {
         };
         self.lifetime.observe(&stats);
         QueryOutput { rows, stats }
+    }
+
+    /// Captures a checkpoint of the GPU cache at a batch boundary.
+    ///
+    /// Synchronizes the device, closes out the epoch (so no retired slot
+    /// or in-flight replace-copy can leak into the image), scans the live
+    /// entries, and prices the scan kernel plus the D2H copy of the image
+    /// on the simulated timeline. Every captured slot is declared to the
+    /// race checker as a read of the snapshot kernel.
+    pub fn checkpoint(&mut self, gpu: &mut Gpu) -> CacheSnapshot {
+        gpu.sync_all();
+        if let Some(rc) = gpu.race_checker_mut() {
+            rc.note_epoch_advance();
+        }
+        self.cache.end_batch_with(|class, slot| {
+            if let Some(rc) = gpu.race_checker_mut() {
+                rc.host_write("reclaim", slot_resource(class, slot));
+            }
+        });
+        let (snap, slots) = self.cache.snapshot_with_slots();
+        let s = gpu.default_stream();
+        let kid = gpu.launch(
+            s,
+            KernelDesc::new(
+                "snapshot-scan",
+                16_384,
+                KernelWork::streaming(self.cache.scan_bytes() + snap.byte_len()),
+            ),
+        );
+        if let Some(rc) = gpu.race_checker_mut() {
+            for &(class, slot) in &slots {
+                rc.kernel_read(kid, slot_resource(class, slot));
+            }
+        }
+        gpu.sync_stream(s);
+        gpu.copy_blocking("snapshot-d2h", snap.byte_len().max(1), CopyApi::CudaMemcpy);
+        snap
+    }
+
+    /// Warm-restarts the cache from a checkpoint image.
+    ///
+    /// The image is checksum-verified on the host *before* any device
+    /// state changes; a corrupt image returns `Err` with the cache
+    /// untouched, and the caller falls back to a cold warm-up. On success
+    /// the logical clock fast-forwards past the image's newest stamp, the
+    /// image is copied H2D, and one replay kernel writes the restored
+    /// slots (declared to the race checker as kernel writes).
+    pub fn restore_from(
+        &mut self,
+        gpu: &mut Gpu,
+        snap: &CacheSnapshot,
+    ) -> Result<RestoreReport, SnapshotError> {
+        // Host-side verification cost (~FNV over the image at DRAM speed)
+        // is paid whether or not the image turns out to be clean.
+        gpu.elapse_host("snapshot-verify", Ns(snap.byte_len() as f64 * 0.1));
+        let report = self.cache.restore(snap)?;
+        self.clock = self.clock.max(report.max_stamp);
+        gpu.copy_blocking("snapshot-h2d", snap.byte_len().max(1), CopyApi::CudaMemcpy);
+        let s = gpu.default_stream();
+        let kid = gpu.launch(
+            s,
+            KernelDesc::new(
+                "restore-replay",
+                (report.restored as u32).saturating_mul(32).max(128),
+                KernelWork::streaming(snap.byte_len()),
+            ),
+        );
+        if let Some(rc) = gpu.race_checker_mut() {
+            for &(class, slot) in &report.slots {
+                rc.kernel_write(kid, slot_resource(class, slot));
+            }
+        }
+        gpu.sync_stream(s);
+        Ok(report)
+    }
+
+    /// Drops all cached state, as a device loss does: after this the cache
+    /// is cold and the next batches refill it through the normal workflow.
+    /// Synchronizes first so no kernel is in flight over the wiped pool.
+    pub fn wipe_cache(&mut self, gpu: &mut Gpu) {
+        gpu.sync_all();
+        if let Some(rc) = gpu.race_checker_mut() {
+            rc.note_epoch_advance();
+        }
+        self.cache.end_batch_with(|_, _| {});
+        self.cache.wipe();
+    }
+
+    /// Bounded cold-start warm-up: prefetches `hot` (hottest-first, e.g.
+    /// from [`fleche_workload::WorkloadStats::hottest`]) through the
+    /// normal query workflow in synthetic batches of `chunk` keys.
+    /// Returns the number of warm-up batches run. Admission still applies,
+    /// so a probabilistic filter may need more than one pass; warm-up
+    /// batches land in lifetime stats like any other (callers typically
+    /// `reset_stats` afterwards).
+    pub fn warm_up(&mut self, gpu: &mut Gpu, hot: &[(u16, u64)], chunk: usize) -> u64 {
+        let mut batches = 0u64;
+        for keys in hot.chunks(chunk.max(1)) {
+            let mut table_ids: Vec<Vec<u64>> = vec![Vec::new(); self.n_tables];
+            for &(t, f) in keys {
+                if let Some(ids) = table_ids.get_mut(t as usize) {
+                    ids.push(f);
+                }
+            }
+            let batch = Batch {
+                samples: Vec::new(),
+                table_ids,
+            };
+            self.query_batch(gpu, &batch);
+            batches += 1;
+        }
+        batches
     }
 
     /// Index-lookup pass over per-table key groups. Returns per-key
@@ -1114,6 +1227,111 @@ mod tests {
         assert!(s.failed_keys > 0);
         assert_eq!(s.failed_keys, s.misses);
         assert!(sys.lifetime_stats().availability() < 1.0);
+    }
+
+    #[test]
+    fn checkpoint_restores_warm_state_into_a_fresh_process() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.2));
+        for _ in 0..12 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let warm = sys
+            .query_batch(&mut gpu, &gen.next_batch(256))
+            .stats
+            .hit_rate();
+        let snap = sys.checkpoint(&mut gpu);
+        assert!(snap.entry_count_hint() > 0);
+        // Simulated process restart: fresh system, fresh device, same spec.
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let mut sys2 = FlecheSystem::new(&ds, store, FlecheConfig::full(0.2));
+        let mut gpu2 = Gpu::new(DeviceSpec::t4());
+        let report = sys2.restore_from(&mut gpu2, &snap).expect("clean image");
+        assert!(report.restored > 0);
+        assert_eq!(report.bypassed, 0);
+        let restored = sys2
+            .query_batch(&mut gpu2, &gen.next_batch(256))
+            .stats
+            .hit_rate();
+        assert!(
+            restored > warm * 0.8,
+            "warm-restart hit rate {restored} vs steady {warm}"
+        );
+        // Restored bytes still match ground truth.
+        let truth = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let batch = gen.next_batch(128);
+        let out = sys2.query_batch(&mut gpu2, &batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(out.rows[k], truth.read(t as u16, id), "row {k}");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_refused_and_cache_survives() {
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig::full(0.2));
+        for _ in 0..8 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let mut snap = sys.checkpoint(&mut gpu);
+        assert!(snap.corrupt_byte(snap.byte_len() / 3));
+        let before = sys.cache().len();
+        assert!(sys.restore_from(&mut gpu, &snap).is_err());
+        assert_eq!(
+            sys.cache().len(),
+            before,
+            "refused restore must not touch state"
+        );
+        // The system keeps serving ground truth afterwards.
+        let truth = CpuStore::new(&spec::synthetic(8, 5_000, 16, -1.3), DramSpec::xeon_6252());
+        let batch = gen.next_batch(64);
+        let out = sys.query_batch(&mut gpu, &batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(out.rows[k], truth.read(t as u16, id), "row {k}");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn wipe_then_warm_up_rebuilds_hit_rate() {
+        use fleche_workload::WorkloadStats;
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig {
+            cache: FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+            ..FlecheConfig::full(0.2)
+        });
+        let mut stats = WorkloadStats::new();
+        for _ in 0..10 {
+            let b = gen.next_batch(256);
+            stats.observe(&b);
+            sys.query_batch(&mut gpu, &b);
+        }
+        sys.wipe_cache(&mut gpu);
+        assert_eq!(sys.cache().len(), 0);
+        // Cold after the wipe…
+        let cold = sys
+            .query_batch(&mut gpu, &gen.next_batch(256))
+            .stats
+            .hit_rate();
+        // …then a bounded warm-up from observed hot keys restores hits.
+        let batches = sys.warm_up(&mut gpu, &stats.hottest(512), 128);
+        assert_eq!(batches, 4);
+        let warmed = sys
+            .query_batch(&mut gpu, &gen.next_batch(256))
+            .stats
+            .hit_rate();
+        assert!(
+            warmed > cold,
+            "warm-up ({warmed}) must beat cold restart ({cold})"
+        );
     }
 
     #[test]

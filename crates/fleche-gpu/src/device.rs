@@ -8,7 +8,7 @@
 //! kernel without any special-case code.
 
 use crate::engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
-use crate::fault::{FaultCounters, LaunchFault, LaunchFaultHook};
+use crate::fault::{DeviceFault, FaultCounters, LaunchFault, LaunchFaultHook};
 use crate::kernel::KernelDesc;
 use crate::race::RaceChecker;
 use crate::spec::{CopyApi, DeviceSpec};
@@ -58,6 +58,7 @@ pub struct Gpu {
     fault_hook: Option<Box<dyn LaunchFaultHook>>,
     fault_counters: FaultCounters,
     race: Option<RaceChecker>,
+    lost: bool,
 }
 
 impl Gpu {
@@ -75,6 +76,7 @@ impl Gpu {
             fault_hook: None,
             fault_counters: FaultCounters::default(),
             race: None,
+            lost: false,
         }
     }
 
@@ -108,6 +110,36 @@ impl Gpu {
     /// after and use [`FaultCounters::since`].
     pub fn fault_counters(&self) -> FaultCounters {
         self.fault_counters
+    }
+
+    /// Applies a whole-device fault. `Lost` marks the device unreachable
+    /// (its HBM contents are gone); `Restored` brings it back after a
+    /// reset with empty HBM. Repeated applications of the current state
+    /// are no-ops. The simulated clocks are untouched: a lost device is a
+    /// routing decision for the owner, not a timeline event.
+    pub fn inject_device_fault(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::Lost => {
+                if !self.lost {
+                    self.fault_counters.device_losses += 1;
+                }
+                self.lost = true;
+            }
+            DeviceFault::Restored => {
+                if self.lost {
+                    self.fault_counters.device_restores += 1;
+                }
+                self.lost = false;
+            }
+        }
+    }
+
+    /// Whether the device is currently lost (see
+    /// [`Gpu::inject_device_fault`]). Owners poll this before routing a
+    /// batch — launching on a lost device is a caller bug in production
+    /// and a modeling error here.
+    pub fn device_lost(&self) -> bool {
+        self.lost
     }
 
     /// The calibration constants this device runs with.
@@ -564,14 +596,34 @@ mod tests {
             transient_launch_failures: 3,
             stream_stalls: 2,
             stall_time: Ns::from_us(10.0),
+            ..Default::default()
         };
         let b = crate::fault::FaultCounters {
             transient_launch_failures: 5,
             stream_stalls: 4,
             stall_time: Ns::from_us(30.0),
+            // Device losses are failover events, not breaker events: they
+            // must not show up in the per-batch delta.
+            device_losses: 7,
+            device_restores: 7,
         };
         assert_eq!(b.since(a), 4);
         assert_eq!(a.since(a), 0);
+    }
+
+    #[test]
+    fn device_loss_is_a_state_with_transition_counters() {
+        let mut g = gpu();
+        assert!(!g.device_lost());
+        g.inject_device_fault(DeviceFault::Lost);
+        g.inject_device_fault(DeviceFault::Lost); // idempotent
+        assert!(g.device_lost());
+        assert_eq!(g.fault_counters().device_losses, 1);
+        g.inject_device_fault(DeviceFault::Restored);
+        assert!(!g.device_lost());
+        assert_eq!(g.fault_counters().device_restores, 1);
+        // A restore does not feed the breaker delta.
+        assert_eq!(g.fault_counters().since(FaultCounters::default()), 0);
     }
 
     #[test]

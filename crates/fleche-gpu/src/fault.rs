@@ -32,6 +32,22 @@ pub trait LaunchFaultHook: fmt::Debug {
     fn on_launch(&mut self, now: Ns, label: &str) -> LaunchFault;
 }
 
+/// A whole-device fault, as when a GPU falls off the bus (Xid errors,
+/// `cudaErrorDevicesUnavailable`) and later comes back after a reset.
+///
+/// Unlike [`LaunchFault`]s, which are absorbed in-band by the launch path,
+/// a device loss is a state change: the owner observes it via
+/// [`crate::Gpu::device_lost`] and must stop routing work to the device.
+/// HBM contents do not survive the loss — on restore the owner re-warms
+/// the device (e.g. from a checkpoint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// The device becomes unreachable; its HBM contents are gone.
+    Lost,
+    /// The device returns after a reset, with empty HBM.
+    Restored,
+}
+
 /// Running totals of faults the device facade has absorbed.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultCounters {
@@ -41,10 +57,17 @@ pub struct FaultCounters {
     pub stream_stalls: u64,
     /// Total injected stall time.
     pub stall_time: Ns,
+    /// Whole-device losses ([`DeviceFault::Lost`] transitions).
+    pub device_losses: u64,
+    /// Whole-device recoveries ([`DeviceFault::Restored`] transitions).
+    pub device_restores: u64,
 }
 
 impl FaultCounters {
-    /// Fault events in `self` that happened after `earlier` was sampled.
+    /// In-band fault events in `self` that happened after `earlier` was
+    /// sampled. Device losses are deliberately excluded: a lost device is
+    /// handled by failover (re-routing away from it), not by the per-batch
+    /// circuit breaker this delta feeds.
     pub fn since(&self, earlier: FaultCounters) -> u64 {
         (self.transient_launch_failures - earlier.transient_launch_failures)
             + (self.stream_stalls - earlier.stream_stalls)

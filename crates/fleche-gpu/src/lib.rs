@@ -48,7 +48,7 @@ pub mod trace_export;
 
 pub use device::{Gpu, GpuError};
 pub use engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
-pub use fault::{FaultCounters, LaunchFault, LaunchFaultHook};
+pub use fault::{DeviceFault, FaultCounters, LaunchFault, LaunchFaultHook};
 pub use kernel::{KernelDesc, KernelWork};
 pub use race::{slot_resource, Access, Actor, Race, RaceChecker, VectorClock};
 pub use spec::{CopyApi, DeviceSpec, DramSpec};

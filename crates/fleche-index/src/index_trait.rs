@@ -47,6 +47,12 @@ pub trait GpuIndex: Send + std::fmt::Debug {
     /// Removes `key`, returning its location if present.
     fn remove(&mut self, key: u64) -> (Option<PackedLoc>, ProbeStats);
 
+    /// Drops every entry, returning the index to its freshly-built state
+    /// without reallocating device structures. Recovery uses this when a
+    /// device loss wipes HBM: the slabs survive as capacity, the mappings
+    /// do not.
+    fn clear(&mut self);
+
     /// Full scan of live entries (the eviction pass).
     fn scan(&self) -> (Vec<ScanEntry>, ProbeStats);
 
@@ -126,5 +132,16 @@ pub(crate) mod conformance {
         }
         assert!(index.device_bytes() > 0);
         assert!(index.bucket_count() > 0);
+        // Clearing empties the map but keeps its capacity usable.
+        let buckets = index.bucket_count();
+        index.clear();
+        assert!(index.is_empty());
+        assert_eq!(index.scan().0.len(), 0);
+        assert_eq!(index.bucket_count(), buckets);
+        assert!(matches!(
+            index.insert(1, hbm(1), 1).0,
+            IndexInsert::Inserted
+        ));
+        assert_eq!(index.peek(1), Some(hbm(1)));
     }
 }

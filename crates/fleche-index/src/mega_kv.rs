@@ -211,6 +211,13 @@ impl GpuIndex for MegaKv {
         (None, stats)
     }
 
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            *b = Bucket::empty();
+        }
+        self.len = 0;
+    }
+
     fn scan(&self) -> (Vec<ScanEntry>, ProbeStats) {
         let mut out = Vec::with_capacity(self.len);
         let mut stats = ProbeStats::new();

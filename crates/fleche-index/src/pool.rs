@@ -306,6 +306,19 @@ impl SlabPool {
         Ok(before)
     }
 
+    /// Returns every class to its freshly-built state: all slots free, no
+    /// live or retired entries, payload bytes zeroed. Models a device loss
+    /// wiping HBM — the pre-allocated slabs survive as capacity (no
+    /// `cudaMalloc` on the recovery path), their contents do not.
+    pub fn reset(&mut self) {
+        for c in &mut self.classes {
+            c.data.fill(0.0);
+            c.free = (0..c.capacity_slots).rev().collect();
+            c.live.fill(false);
+            c.retired.fill(false);
+        }
+    }
+
     /// Reads a slot that may have been logically retired but not yet
     /// reclaimed (the epoch grace period makes this safe); only bounds are
     /// checked. Decoupled copy kernels use this path.
@@ -488,6 +501,29 @@ mod tests {
         p.free(0, a).unwrap();
         assert_eq!(p.live_slots(0), vec![b]);
         assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut p = pool();
+        let (a, _) = p.alloc(0).unwrap();
+        p.write(0, a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (b, _) = p.alloc(0).unwrap();
+        p.note_retired(0, b);
+        p.reset();
+        assert_eq!(p.live_count(), 0);
+        assert_eq!(p.allocated_bytes(), 0);
+        assert!(!p.is_retired(0, b));
+        // Allocation order matches a freshly built pool.
+        let fresh_first = SlabPool::new(&[ClassSpec { dim: 4, slots: 8 }])
+            .alloc(0)
+            .unwrap()
+            .0;
+        let (c, _) = p.alloc(0).unwrap();
+        assert_eq!(c, fresh_first);
+        // Old payload bytes are gone.
+        p.write(0, c, &[5.0; 4]).unwrap();
+        assert_eq!(p.read(0, c).unwrap(), &[5.0; 4]);
     }
 
     #[test]

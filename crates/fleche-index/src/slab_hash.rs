@@ -256,6 +256,16 @@ impl SlabHash {
         (None, stats)
     }
 
+    /// Drops every entry and slab chain, keeping the bucket array. The
+    /// recovery path uses this after a device loss: chains were HBM
+    /// contents and are gone, the bucket heads are re-initialized state.
+    pub fn clear(&mut self) {
+        for chain in &mut self.buckets {
+            chain.clear();
+        }
+        self.len = 0;
+    }
+
     /// Full-table scan in storage order (the eviction pass). The returned
     /// stats model one streaming kernel over all slabs.
     pub fn scan(&self) -> (Vec<ScanEntry>, ProbeStats) {
@@ -353,6 +363,10 @@ impl crate::index_trait::GpuIndex for SlabHash {
 
     fn remove(&mut self, key: u64) -> (Option<PackedLoc>, ProbeStats) {
         SlabHash::remove(self, key)
+    }
+
+    fn clear(&mut self) {
+        SlabHash::clear(self)
     }
 
     fn scan(&self) -> (Vec<ScanEntry>, ProbeStats) {

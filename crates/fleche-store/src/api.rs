@@ -128,6 +128,10 @@ pub struct LifetimeStats {
     pub corrupt_detected: u64,
     /// Batches served through the degraded (DRAM-only) path.
     pub degraded_batches: u64,
+    /// Wall time of those degraded batches (time-in-degraded; drills
+    /// report it alongside the count so a reader sees how long the
+    /// system ran in the fallback regime, not just how often).
+    pub degraded_wall: Ns,
     /// Batches served.
     pub batches: u64,
 }
@@ -170,7 +174,10 @@ impl LifetimeStats {
         self.failed_keys += s.failed_keys;
         self.stale_keys += s.stale_keys;
         self.corrupt_detected += s.corrupt_detected;
-        self.degraded_batches += s.degraded as u64;
+        if s.degraded {
+            self.degraded_batches += 1;
+            self.degraded_wall += s.wall;
+        }
         self.batches += 1;
     }
 }

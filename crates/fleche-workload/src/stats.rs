@@ -103,6 +103,18 @@ impl WorkloadStats {
         out
     }
 
+    /// The up-to-`k` hottest `(table, id)` keys, hottest first. Ties break
+    /// on ascending `(table, id)` so the order is deterministic despite
+    /// the underlying `HashMap` — recovery's warm-up replayer feeds these
+    /// straight into prefetch batches that must replay identically.
+    pub fn hottest(&self, k: usize) -> Vec<(u16, u64)> {
+        let mut ranked: Vec<((u16, u64), u64)> =
+            self.counts.iter().map(|(&key, &n)| (key, n)).collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(key, _)| key).collect()
+    }
+
     /// Fraction of each table's corpus that the trace touched.
     pub fn corpus_coverage(&self, spec: &DatasetSpec) -> Vec<f64> {
         self.distinct_per_table()
@@ -179,5 +191,33 @@ mod tests {
         assert_eq!(st.reuse_factor(), 0.0);
         assert_eq!(st.head_share(0.5), 0.0);
         assert!(st.table_shares().is_empty());
+        assert!(st.hottest(10).is_empty());
+    }
+
+    #[test]
+    fn hottest_ranks_by_count_with_deterministic_ties() {
+        let mut st = WorkloadStats::new();
+        // Table 0: id 7 three times, id 3 once. Table 1: id 7 three times
+        // (tie with (0,7) broken by table), id 9 twice.
+        let batch = Batch {
+            samples: Vec::new(),
+            table_ids: vec![vec![7, 7, 7, 3], vec![7, 9, 7, 9, 7]],
+        };
+        st.observe(&batch);
+        assert_eq!(
+            st.hottest(3),
+            vec![(0u16, 7u64), (1, 7), (1, 9)],
+            "count desc, then (table, id) asc"
+        );
+        // Asking for more than exists returns everything once.
+        assert_eq!(st.hottest(100).len(), st.distinct());
+    }
+
+    #[test]
+    fn hottest_is_bounded_and_repeatable_on_generated_traces() {
+        let (st, _) = collect(10, 200);
+        let hot = st.hottest(50);
+        assert_eq!(hot.len(), 50);
+        assert_eq!(hot, st.hottest(50), "repeat calls agree");
     }
 }
