@@ -107,17 +107,26 @@ pub fn run(root: &Path, config: &AnalyzerConfig) -> io::Result<Vec<Diagnostic>> 
     diagnostics.extend(lock_order.finish());
 
     if let Some(cc) = config.rule(rules::ids::COST_CONSTANTS) {
-        if let (Some(spec), Some(doc)) = (cc.settings.get("spec"), cc.settings.get("doc")) {
-            let spec_src = fs::read_to_string(root.join(spec))?;
+        // One doc, one or more spec files: `specs = [...]` lists every
+        // file holding calibration structs; the singular `spec = "..."`
+        // form is still accepted for single-file configs.
+        let mut spec_files = cc.lists.get("specs").cloned().unwrap_or_default();
+        if spec_files.is_empty() {
+            spec_files.extend(cc.settings.get("spec").cloned());
+        }
+        if let Some(doc) = cc.settings.get("doc") {
             let doc_src = fs::read_to_string(root.join(doc))?;
             let structs = cc.lists.get("structs").cloned().unwrap_or_default();
-            diagnostics.extend(rules::cost_constants(
-                spec,
-                &lexer::lex(&spec_src),
-                &structs,
-                doc,
-                &doc_src,
-            ));
+            for spec in &spec_files {
+                let spec_src = fs::read_to_string(root.join(spec))?;
+                diagnostics.extend(rules::cost_constants(
+                    spec,
+                    &lexer::lex(&spec_src),
+                    &structs,
+                    doc,
+                    &doc_src,
+                ));
+            }
         }
     }
 

@@ -25,7 +25,7 @@
 //! conflicting slot accesses is unordered — the determinism scenario
 //! doubles as a race-freedom regression test in CI.
 
-use fleche_bench::{fmt_ns, print_header, quick_mode, TextTable};
+use fleche_bench::{fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
 use fleche_chaos::{BreakerConfig, BreakerTransitions, FaultPlan, RetryPolicy};
 use fleche_core::{FlecheConfig, FlecheSystem};
 use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
@@ -62,6 +62,7 @@ impl Recovery {
     }
 }
 
+#[derive(Clone)]
 struct CellResult {
     availability: f64,
     p99_batch: Ns,
@@ -266,6 +267,7 @@ fn main() {
     let mut total_corrupt_served_full = 0u64;
     let mut total_corrupt_detected_full = 0u64;
     let mut full_cells: Vec<(f64, CellResult)> = Vec::new();
+    let mut all_cells: Vec<(f64, &'static str, CellResult)> = Vec::new();
     for &rate in &rates {
         for &rec in &configs {
             let r = run_cell(rate, false, rec, batches, analyze);
@@ -290,12 +292,15 @@ fn main() {
                 format!("{}", r.corrupt_detected),
                 format!("{}", r.degraded_batches),
             ]);
-            if rec == Recovery::Full {
-                full_cells.push((rate, r));
-            }
+            all_cells.push((rate, rec.label(), r));
         }
     }
     println!("{}", table.render());
+    for (rate, label, r) in &all_cells {
+        if *label == "full" {
+            full_cells.push((*rate, r.clone()));
+        }
+    }
 
     println!("breaker + degraded-path surface (full-recovery cells; state transitions");
     println!("and how long the system actually ran in each fallback regime):");
@@ -324,6 +329,7 @@ fn main() {
     println!("outage drill: periodic hard parameter-server outages (1.4ms every 2ms),");
     println!("no per-fetch faults — retries cannot outlast a window, stale-serve can.");
     let mut drill = TextTable::new(&["recovery", "avail", "p99 batch", "stale", "degraded"]);
+    let mut outage_cells: Vec<(&'static str, CellResult)> = Vec::new();
     for &rec in &[Recovery::None, Recovery::Retry, Recovery::RetryStale] {
         let r = run_cell(0.0, true, rec, batches, analyze);
         drill.row(&[
@@ -333,6 +339,7 @@ fn main() {
             format!("{:.2}%", r.stale_rate * 100.0),
             format!("{}", r.degraded_batches),
         ]);
+        outage_cells.push((rec.label(), r));
     }
     println!("{}", drill.render());
 
@@ -360,6 +367,37 @@ fn main() {
             "FAIL"
         }
     );
+    let mut j = JsonEmitter::new();
+    j.field_str("bench", "chaos_suite");
+    j.field_bool("quick", quick_mode());
+    j.begin_arr("cells");
+    for (rate, label, r) in &all_cells {
+        j.begin_elem();
+        j.field_f64("fault_rate", *rate);
+        j.field_str("recovery", label);
+        j.field_f64("availability", r.availability);
+        j.field_f64("p99_batch_ns", r.p99_batch.as_ns());
+        j.field_f64("stale_rate", r.stale_rate);
+        j.field_u64("corrupt_served", r.corrupt_served);
+        j.field_u64("corrupt_detected", r.corrupt_detected);
+        j.field_u64("degraded_batches", r.degraded_batches);
+        j.field_u64("breaker_opened", r.breaker.opened);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.begin_arr("outage_drill");
+    for (label, r) in &outage_cells {
+        j.begin_elem();
+        j.field_str("recovery", label);
+        j.field_f64("availability", r.availability);
+        j.field_f64("p99_batch_ns", r.p99_batch.as_ns());
+        j.field_f64("stale_rate", r.stale_rate);
+        j.field_u64("degraded_batches", r.degraded_batches);
+        j.end_obj();
+    }
+    j.end_arr();
+    write_bench_json("BENCH_chaos.json", j.finish());
+
     println!("\nexpected: the no-recovery column degrades linearly with the fault rate");
     println!("while retries+hedging push failures into the tail and the stale-serve");
     println!("fallback absorbs what is left; checksums turn silent HBM corruption into");

@@ -29,7 +29,7 @@
 //! re-warms all declare their slot accesses) and fails the run (exit 1)
 //! if any conflicting pair is unordered.
 
-use fleche_bench::{fmt_ns, print_header, quick_mode, TextTable};
+use fleche_bench::{fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
 use fleche_chaos::{DeviceLossSpec, FaultPlan};
 use fleche_core::{CacheSnapshot, FlecheConfig, FlecheSystem, InterconnectSpec, MultiGpuFleche};
 use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
@@ -518,6 +518,43 @@ fn main() {
             "FAIL"
         }
     );
+
+    let mut j = JsonEmitter::new();
+    j.field_str("bench", "recovery_drill");
+    j.field_bool("quick", quick_mode());
+    j.begin_obj("drill_a");
+    j.field_f64("steady_hit_rate", a.steady_hit);
+    j.field_u64("snapshot_bytes", a.snapshot_bytes);
+    j.field_u64("snapshot_entries", a.snapshot_entries);
+    j.field_f64("checkpoint_ns", a.checkpoint_time.as_ns());
+    j.field_f64("restore_ns", a.restore_time.as_ns());
+    j.begin_arr("restarts");
+    for c in &a.cells {
+        j.begin_elem();
+        j.field_str("restart", c.label);
+        j.field_u64("prefetch_batches", c.prefetch_batches);
+        j.field_u64("batches_to_95pct_steady", c.batches_to_95);
+        j.field_f64("first_batch_hit_rate", c.first_batch_hit);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.field_bool("corrupt_rejected", a.corrupt_rejected);
+    j.end_obj();
+    j.begin_obj("drill_b");
+    j.field_f64("steady_hit_rate", b.steady_hit);
+    j.field_u64("lost_at", b.lost_at);
+    j.field_u64("restored_at", b.restored_at);
+    j.field_u64("corrupt_rows", b.corrupt_rows);
+    j.field_u64("degraded_batches", f.degraded_batches);
+    j.field_u64("rewarm_restored_entries", f.rewarm_restored_entries);
+    j.field_f64("rewarm_ns", f.rewarm_time.as_ns());
+    match b.recovery_batches {
+        Some(n) => j.field_u64("recovery_batches", n),
+        None => j.field_str("recovery_batches", "not reached"),
+    }
+    j.field_f64("recovery_ns", b.recovery_time.as_ns());
+    j.end_obj();
+    write_bench_json("BENCH_recovery.json", j.finish());
 
     println!("\nexpected: a warm restart replays the checkpoint into the insert workflow");
     println!("and starts within a rolling window of steady state, while a cold restart");

@@ -267,6 +267,138 @@ impl TextTable {
     }
 }
 
+/// Minimal hand-rolled JSON writer for the machine-readable `BENCH_*.json`
+/// artifacts (the workspace vendors no serde, so harnesses assemble their
+/// reports by hand). Keys are emitted in call order and every value comes
+/// from the deterministic simulation, so two runs of a drill produce
+/// byte-identical files — CI can diff them like stdout.
+#[derive(Default)]
+pub struct JsonEmitter {
+    buf: String,
+    /// One entry per open `{`/`[`: whether a comma is due before the next
+    /// element at that level.
+    stack: Vec<bool>,
+}
+
+impl JsonEmitter {
+    /// Starts a report: the root object is opened immediately.
+    pub fn new() -> JsonEmitter {
+        JsonEmitter {
+            buf: String::from("{"),
+            stack: vec![false],
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(due) = self.stack.last_mut() {
+            if *due {
+                self.buf.push(',');
+            }
+            *due = true;
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.comma();
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    /// Opens a nested object under `k`.
+    pub fn begin_obj(&mut self, k: &str) {
+        self.key(k);
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Opens an anonymous object (an array element).
+    pub fn begin_elem(&mut self) {
+        self.comma();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    /// Opens an array under `k`.
+    pub fn begin_arr(&mut self, k: &str) {
+        self.key(k);
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    /// Writes an unsigned-integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Writes a float field (Rust's shortest-roundtrip formatting, which
+    /// is deterministic).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Writes a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes a string field (escapes quotes and backslashes; the drills
+    /// emit no control characters).
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                _ => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Closes the root object and returns the document.
+    pub fn finish(mut self) -> String {
+        while self.stack.pop().is_some() {
+            self.buf.push('}');
+        }
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+/// Writes a `BENCH_*.json` report into `results/`, creating the directory
+/// when missing, and prints the canonical `wrote <path>` line (which is
+/// part of the drill's determinism-diffed stdout).
+pub fn write_bench_json(name: &str, json: String) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create results/: {e}");
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Formats a simulated duration compactly.
 pub fn fmt_ns(t: Ns) -> String {
     format!("{t}")
@@ -328,6 +460,40 @@ mod tests {
         let md = t.render_markdown();
         assert!(md.starts_with("| x | y |"));
         assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn json_emitter_builds_nested_documents() {
+        let mut j = JsonEmitter::new();
+        j.field_str("drill", "update");
+        j.begin_obj("a");
+        j.field_u64("torn", 0);
+        j.field_f64("hit", 0.5);
+        j.field_bool("pass", true);
+        j.end_obj();
+        j.begin_arr("rows");
+        j.begin_elem();
+        j.field_u64("batch", 1);
+        j.end_obj();
+        j.begin_elem();
+        j.field_u64("batch", 2);
+        j.end_obj();
+        j.end_arr();
+        assert_eq!(
+            j.finish(),
+            "{\"drill\":\"update\",\"a\":{\"torn\":0,\"hit\":0.5,\"pass\":true},\
+             \"rows\":[{\"batch\":1},{\"batch\":2}]}\n"
+        );
+    }
+
+    #[test]
+    fn json_emitter_escapes_strings_and_closes_open_scopes() {
+        let mut j = JsonEmitter::new();
+        j.field_str("note", "a \"b\" \\ c");
+        j.begin_obj("open");
+        j.field_u64("x", 1);
+        let s = j.finish();
+        assert_eq!(s, "{\"note\":\"a \\\"b\\\" \\\\ c\",\"open\":{\"x\":1}}\n");
     }
 
     #[test]

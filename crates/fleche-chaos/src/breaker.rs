@@ -190,6 +190,100 @@ impl CircuitBreaker {
     }
 }
 
+/// Bounded-staleness policy knobs for the online-update pipeline.
+///
+/// Lag is measured in *versions*: the parameter server's committed version
+/// of a key minus the version of the bytes the cache would serve for it.
+#[derive(Clone, Copy, Debug)]
+pub struct StalenessConfig {
+    /// Largest per-hit version lag the system may serve silently. A batch
+    /// whose worst hit exceeds this enters staleness-degraded mode, and
+    /// while degraded, any hit over the bound is demoted to a miss (served
+    /// fresh from the parameter server) and refreshed at the batch
+    /// boundary.
+    pub max_lag: u64,
+    /// Worst batch lag at or below which a degraded system resumes normal
+    /// serving. Kept below `max_lag` for hysteresis, so the mode does not
+    /// flap at the bound.
+    pub resume_lag: u64,
+}
+
+impl Default for StalenessConfig {
+    fn default() -> StalenessConfig {
+        StalenessConfig {
+            max_lag: 8,
+            resume_lag: 2,
+        }
+    }
+}
+
+/// The staleness-degraded mode state machine — a lag-domain breaker.
+///
+/// Unlike [`CircuitBreaker`], which bypasses a faulty path, this policy
+/// never stops serving: degraded mode only changes *how* over-bound hits
+/// are served (refetched fresh instead of served stale). It observes each
+/// batch's worst version lag and declares mode transitions with
+/// hysteresis.
+#[derive(Clone, Debug, Default)]
+pub struct StalenessPolicy {
+    config: StalenessConfig,
+    degraded: bool,
+    entries: u64,
+    exits: u64,
+    worst_lag: u64,
+}
+
+impl StalenessPolicy {
+    /// A policy in normal mode.
+    pub fn new(config: StalenessConfig) -> StalenessPolicy {
+        StalenessPolicy {
+            config,
+            ..StalenessPolicy::default()
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> StalenessConfig {
+        self.config
+    }
+
+    /// Feeds one batch's worst observed hit lag; returns whether the
+    /// system is in staleness-degraded mode *after* this observation.
+    pub fn observe(&mut self, batch_max_lag: u64) -> bool {
+        self.worst_lag = self.worst_lag.max(batch_max_lag);
+        if self.degraded {
+            if batch_max_lag <= self.config.resume_lag {
+                self.degraded = false;
+                self.exits += 1;
+            }
+        } else if batch_max_lag > self.config.max_lag {
+            self.degraded = true;
+            self.entries += 1;
+        }
+        self.degraded
+    }
+
+    /// Whether the system is currently in staleness-degraded mode.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Times the policy entered degraded mode.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Times the policy exited degraded mode (caught up).
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// Worst batch lag ever observed.
+    pub fn worst_lag(&self) -> u64 {
+        self.worst_lag
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +369,23 @@ mod tests {
         assert_eq!(t2.opened, 2);
         assert_eq!(t2.time_open, Ns::from_ms(1.5) + Ns::from_us(400.0));
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn staleness_policy_has_hysteresis() {
+        let mut p = StalenessPolicy::new(StalenessConfig {
+            max_lag: 4,
+            resume_lag: 1,
+        });
+        assert!(!p.observe(4), "at the bound is still normal");
+        assert!(p.observe(5), "over the bound degrades");
+        assert!(p.observe(3), "between resume and max stays degraded");
+        assert!(p.observe(2), "hysteresis holds");
+        assert!(!p.observe(1), "at resume lag recovers");
+        assert_eq!(p.entries(), 1);
+        assert_eq!(p.exits(), 1);
+        assert_eq!(p.worst_lag(), 5);
+        assert!(!p.degraded());
     }
 
     #[test]

@@ -28,11 +28,14 @@ pub mod plan;
 pub mod retry;
 pub mod rng;
 
-pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+pub use breaker::{
+    BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, StalenessConfig,
+    StalenessPolicy,
+};
 pub use plan::{
     CorruptionInjector, CorruptionSpec, DeviceLossInjector, DeviceLossSpec, FaultPlan,
     FetchOutcome, GpuFaultInjector, GpuFaultSpec, RemoteFaultInjector, RemoteFaultSpec,
-    RestartSpec, SnapshotFaultInjector, SnapshotFaultSpec,
+    RestartSpec, SnapshotFaultInjector, SnapshotFaultSpec, UpdateFaultInjector, UpdateFaultSpec,
 };
 pub use retry::RetryPolicy;
 pub use rng::ChaosRng;

@@ -91,6 +91,32 @@ pub struct SnapshotFaultSpec {
     pub corruption_rate: f64,
 }
 
+/// Trainer-push channel fault model: what the lossy update stream between
+/// the training side and the serving cache can do to pushes in flight.
+/// Commits to the parameter-server version ledger are reliable; only the
+/// cache-bound push channel rots.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateFaultSpec {
+    /// Probability one push is silently dropped in flight.
+    pub drop_rate: f64,
+    /// Probability one delivered push is duplicated (at-least-once
+    /// delivery showing through).
+    pub duplicate_rate: f64,
+    /// Probability two adjacent delivered pushes swap order.
+    pub reorder_rate: f64,
+    /// An update-burst storm lands every this many batches (0 = never):
+    /// the trainer emits `burst_factor`× the nominal push volume.
+    pub burst_every: u64,
+    /// Push-volume multiplier on storm batches.
+    pub burst_factor: u64,
+    /// An update-stream outage opens every this many batches (0 = never).
+    /// During an outage no push reaches the cache at all; ledger commits
+    /// keep flowing, so staleness lag climbs.
+    pub outage_every: u64,
+    /// Length of each outage in batches.
+    pub outage_batches: u64,
+}
+
 /// A complete, seeded description of the fault environment.
 ///
 /// Each injector draws from an independent substream of `seed`, so turning
@@ -112,12 +138,15 @@ pub struct FaultPlan {
     pub restart: RestartSpec,
     /// Snapshot-image corruption.
     pub snapshot: SnapshotFaultSpec,
+    /// Trainer-push channel faults.
+    pub update: UpdateFaultSpec,
 }
 
 const DOMAIN_REMOTE: u64 = 0x01;
 const DOMAIN_GPU: u64 = 0x02;
 const DOMAIN_CORRUPTION: u64 = 0x03;
 const DOMAIN_SNAPSHOT: u64 = 0x04;
+const DOMAIN_UPDATE: u64 = 0x05;
 
 impl FaultPlan {
     /// A plan that injects nothing (all rates zero).
@@ -130,6 +159,7 @@ impl FaultPlan {
             device_loss: DeviceLossSpec::default(),
             restart: RestartSpec::default(),
             snapshot: SnapshotFaultSpec::default(),
+            update: UpdateFaultSpec::default(),
         }
     }
 
@@ -171,6 +201,17 @@ impl FaultPlan {
         SnapshotFaultInjector {
             spec: self.snapshot.clone(),
             rng: ChaosRng::substream(self.seed, DOMAIN_SNAPSHOT),
+        }
+    }
+
+    /// The trainer-push channel injector for this plan.
+    pub fn update_injector(&self) -> UpdateFaultInjector {
+        UpdateFaultInjector {
+            spec: self.update.clone(),
+            rng: ChaosRng::substream(self.seed, DOMAIN_UPDATE),
+            dropped: 0,
+            duplicated: 0,
+            reordered: 0,
         }
     }
 }
@@ -329,6 +370,80 @@ impl SnapshotFaultInjector {
     }
 }
 
+/// Applies the push-channel fault model to each batch's push traffic.
+/// Generic over the push type so the crate stays decoupled from the
+/// store-side `UpdatePush` — any cloneable item works.
+#[derive(Clone, Debug)]
+pub struct UpdateFaultInjector {
+    spec: UpdateFaultSpec,
+    rng: ChaosRng,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+}
+
+impl UpdateFaultInjector {
+    /// True when batch `batch` falls inside a scheduled update-stream
+    /// outage (first window opens at batch `outage_every`, matching the
+    /// time-domain outage convention).
+    pub fn in_outage(&self, batch: u64) -> bool {
+        let every = self.spec.outage_every;
+        every > 0 && batch >= every && batch % every < self.spec.outage_batches
+    }
+
+    /// Push-volume multiplier for batch `batch` (1 off-storm).
+    pub fn burst_multiplier(&self, batch: u64) -> u64 {
+        let every = self.spec.burst_every;
+        if every > 0 && batch >= every && batch % every == 0 {
+            self.spec.burst_factor.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Runs one batch's pushes through the channel: drops, duplicates,
+    /// then adjacent reorders, all from the plan's seeded substream.
+    /// Returns what actually arrives at the cache, in arrival order.
+    pub fn filter<T: Clone>(&mut self, pushes: Vec<T>) -> Vec<T> {
+        let mut delivered = Vec::with_capacity(pushes.len());
+        for p in pushes {
+            if self.rng.chance(self.spec.drop_rate) {
+                self.dropped += 1;
+                continue;
+            }
+            if self.rng.chance(self.spec.duplicate_rate) {
+                self.duplicated += 1;
+                delivered.push(p.clone());
+            }
+            delivered.push(p);
+        }
+        if delivered.len() >= 2 {
+            for i in 0..delivered.len() - 1 {
+                if self.rng.chance(self.spec.reorder_rate) {
+                    delivered.swap(i, i + 1);
+                    self.reordered += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Pushes dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pushes duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Adjacent swaps applied so far.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +467,15 @@ mod tests {
             },
             snapshot: SnapshotFaultSpec {
                 corruption_rate: 0.5,
+            },
+            update: UpdateFaultSpec {
+                drop_rate: 0.2,
+                duplicate_rate: 0.1,
+                reorder_rate: 0.1,
+                burst_every: 16,
+                burst_factor: 4,
+                outage_every: 32,
+                outage_batches: 4,
             },
             ..FaultPlan::quiet(77)
         };
@@ -378,6 +502,78 @@ mod tests {
         for _ in 0..64 {
             assert_eq!(sa.corrupt_offset(4096), sb.corrupt_offset(4096));
         }
+        let mut ua = plan.update_injector();
+        let mut ub = plan.update_injector();
+        for batch in 0..64u64 {
+            let pushes: Vec<u64> = (0..8).map(|i| batch * 8 + i).collect();
+            assert_eq!(ua.filter(pushes.clone()), ub.filter(pushes));
+            assert_eq!(ua.in_outage(batch), ub.in_outage(batch));
+            assert_eq!(ua.burst_multiplier(batch), ub.burst_multiplier(batch));
+        }
+        assert_eq!(ua.dropped(), ub.dropped());
+        assert_eq!(ua.duplicated(), ub.duplicated());
+        assert_eq!(ua.reordered(), ub.reordered());
+    }
+
+    #[test]
+    fn update_channel_faults_behave_as_specified() {
+        let plan = FaultPlan {
+            update: UpdateFaultSpec {
+                drop_rate: 0.25,
+                duplicate_rate: 0.1,
+                reorder_rate: 0.0,
+                burst_every: 10,
+                burst_factor: 8,
+                outage_every: 20,
+                outage_batches: 3,
+            },
+            ..FaultPlan::quiet(21)
+        };
+        let mut inj = plan.update_injector();
+        // Outage windows: first at batch 20, none before.
+        assert!(!inj.in_outage(0));
+        assert!(!inj.in_outage(19));
+        assert!(inj.in_outage(20));
+        assert!(inj.in_outage(22));
+        assert!(!inj.in_outage(23));
+        assert!(inj.in_outage(40));
+        // Burst storms: batches 10, 20, 30...
+        assert_eq!(inj.burst_multiplier(0), 1);
+        assert_eq!(inj.burst_multiplier(9), 1);
+        assert_eq!(inj.burst_multiplier(10), 8);
+        assert_eq!(inj.burst_multiplier(15), 1);
+        // Drop/duplicate rates hold over volume.
+        let mut delivered = 0usize;
+        for _ in 0..1_000 {
+            delivered += inj.filter(vec![0u8; 10]).len();
+        }
+        // E[delivered per push] = (1 - 0.25) * (1 + 0.1) = 0.825.
+        assert!(
+            (7_900..8_600).contains(&delivered),
+            "delivered {delivered} far from expected ~8250"
+        );
+        assert!(inj.dropped() > 2_000);
+        assert!(inj.duplicated() > 500);
+        assert_eq!(inj.reordered(), 0, "reorder rate zero");
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_pushes() {
+        let plan = FaultPlan {
+            update: UpdateFaultSpec {
+                reorder_rate: 1.0,
+                ..UpdateFaultSpec::default()
+            },
+            ..FaultPlan::quiet(4)
+        };
+        let mut inj = plan.update_injector();
+        // Every adjacent pair swaps in sequence: [1,2,3] → [2,3,1].
+        assert_eq!(inj.filter(vec![1, 2, 3]), vec![2, 3, 1]);
+        assert_eq!(inj.reordered(), 2);
+        // Nothing is ever lost or invented by reordering.
+        let mut out = inj.filter((0..100u64).collect());
+        out.sort_unstable();
+        assert_eq!(out, (0..100u64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! never read freed slots; and (optionally) index entries may hold tagged
 //! CPU-DRAM pointers — the unified index.
 
-use crate::recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError};
+use crate::recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError, SnapshotKind};
 use fleche_coding::FlatKey;
 use fleche_index::{
     ClassSpec, EpochGuard, EpochManager, GpuIndex, IndexInsert, Loc, MegaKv, PackedLoc, ProbeStats,
@@ -112,6 +112,43 @@ pub struct FlatCache {
     /// next write, and grace-period reads still see the retired bytes.
     checksums: Option<HashMap<(u16, u32), u32>>,
     corruptions_detected: u64,
+    /// Per-(class, slot) online-update version (absent = 0, the frozen
+    /// table value). Reset on every write through the normal insert
+    /// workflow — the caller that knows the true version stamps it with
+    /// [`FlatCache::set_slot_version`] — and advanced by
+    /// [`FlatCache::apply_updates`] and delta restores, which only ever
+    /// move a slot's version forward.
+    versions: HashMap<(u16, u32), u64>,
+}
+
+/// One resolved trainer push ready for batch-boundary application: the
+/// flat key it targets, the version it advances the key to, and the new
+/// value bytes. Built by the system layer from accepted update pushes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotUpdate {
+    /// Size-aware coded flat key of the embedding to update.
+    pub key: FlatKey,
+    /// Version this update advances the key to.
+    pub version: u64,
+    /// The full new value (must match the key's class dimension).
+    pub value: Vec<f32>,
+}
+
+/// What one [`FlatCache::apply_updates`] pass accomplished.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UpdateApplyReport {
+    /// Updates written into resident slots (version advanced).
+    pub applied: u64,
+    /// Updates skipped because the resident slot already held the same or
+    /// a newer version (duplicated/reordered pushes are idempotent).
+    pub superseded: u64,
+    /// Updates whose key was not HBM-resident (not cached, unified
+    /// pointer, retired slot, or dimension mismatch) — the next miss-fill
+    /// fetches the fresh value instead.
+    pub absent: u64,
+    /// Pool locations written — the system layer declares these to the
+    /// race checker as the update-apply kernel's writes.
+    pub slots: Vec<(u16, u32)>,
 }
 
 impl FlatCache {
@@ -176,6 +213,7 @@ impl FlatCache {
             evict_passes: 0,
             checksums: None,
             corruptions_detected: 0,
+            versions: HashMap::new(),
         }
     }
 
@@ -230,6 +268,7 @@ impl FlatCache {
         if let Some(map) = &mut self.checksums {
             map.remove(&(class, slot));
         }
+        self.versions.remove(&(class, slot));
         self.corruptions_detected += 1;
     }
 
@@ -352,6 +391,67 @@ impl FlatCache {
         self.rng.gen::<f64>() < self.config.admission_probability
     }
 
+    /// Online-update version of the value in `(class, slot)`; 0 means the
+    /// frozen table value (or a slot never stamped).
+    pub fn slot_version(&self, class: u16, slot: u32) -> u64 {
+        self.versions.get(&(class, slot)).copied().unwrap_or(0)
+    }
+
+    /// Stamps the version of a slot that was just written through the
+    /// normal insert workflow (the writer knows which version it fetched
+    /// — e.g. a miss-fill that served the parameter server's latest).
+    pub fn set_slot_version(&mut self, class: u16, slot: u32, version: u64) {
+        if version == 0 {
+            self.versions.remove(&(class, slot));
+        } else {
+            self.versions.insert((class, slot), version);
+        }
+    }
+
+    /// Applies a batch of resolved trainer pushes to resident slots — the
+    /// batch-boundary visibility point of the update pipeline.
+    ///
+    /// Must be called at a batch boundary (no in-flight kernel reading the
+    /// pool): values are overwritten in place, exactly like the replace-
+    /// copy workflow, and the system layer declares every written slot to
+    /// the race checker. Per slot the write happens only when the pushed
+    /// version is *strictly newer* than the resident one, so duplicated or
+    /// reordered pushes are idempotent and a slot's version never moves
+    /// backwards. Checksums are recomputed on every write; keys that are
+    /// not HBM-resident (or whose dimension does not match) are counted
+    /// absent and left to the next miss-fill.
+    pub fn apply_updates(&mut self, updates: &[SlotUpdate]) -> UpdateApplyReport {
+        let mut report = UpdateApplyReport::default();
+        for u in updates {
+            let Some(Loc::Hbm { class, slot }) = self.index.peek(u.key.0).map(PackedLoc::unpack)
+            else {
+                report.absent += 1;
+                continue;
+            };
+            if self.pool.is_retired(class, slot)
+                || self.pool.dim_of(class) != Some(u.value.len() as u32)
+            {
+                report.absent += 1;
+                continue;
+            }
+            if self.slot_version(class, slot) >= u.version {
+                report.superseded += 1;
+                continue;
+            }
+            if self.pool.write(class, slot, &u.value).is_err() {
+                report.absent += 1;
+                continue;
+            }
+            if let Some(map) = &mut self.checksums {
+                map.insert((class, slot), checksum_of(&u.value));
+            }
+            self.versions.insert((class, slot), u.version);
+            report.applied += 1;
+            report.slots.push((class, slot));
+        }
+        report
+    }
+
     /// Inserts an embedding for `(table, feature)` under flat key `key`.
     /// Returns `None` (plus stats) if the pool class is full even after an
     /// eviction attempt — the key simply bypasses the cache this round.
@@ -387,6 +487,7 @@ impl FlatCache {
                     if let Some(map) = &mut self.checksums {
                         map.insert((c, slot), checksum_of(value));
                     }
+                    self.versions.remove(&(c, slot));
                     let (_, s) = self.index.insert(key.0, loc, stamp);
                     stats.merge(&s);
                     return (Some((c, slot)), stats);
@@ -418,6 +519,9 @@ impl FlatCache {
         if let Some(map) = &mut self.checksums {
             map.insert((class, slot), checksum_of(value));
         }
+        // A reused slot must not inherit the version of whatever lived
+        // there before it was reclaimed.
+        self.versions.remove(&(class, slot));
         let (outcome, s2) = self
             .index
             .insert(key.0, Loc::Hbm { class, slot }.pack(), stamp);
@@ -638,12 +742,62 @@ impl FlatCache {
     /// capture read — the system layer declares these to the race checker
     /// as the snapshot kernel's reads.
     pub fn snapshot_with_slots(&self) -> (CacheSnapshot, Vec<(u16, u32)>) {
+        self.snapshot_at_with_slots(0)
+    }
+
+    /// Captures a full checkpoint stamped with checkpoint epoch `epoch`
+    /// (the base a later delta chain patches).
+    pub fn snapshot_at_with_slots(&self, epoch: u64) -> (CacheSnapshot, Vec<(u16, u32)>) {
+        let captured = self.capture_live(|_, _| true);
+        let slots = captured.iter().map(|(_, loc)| *loc).collect();
+        let entries: Vec<SnapshotEntry> = captured.into_iter().map(|(e, _)| e).collect();
+        (
+            CacheSnapshot::from_entries_with(SnapshotKind::Full, epoch, 0, &entries),
+            slots,
+        )
+    }
+
+    /// Captures an incremental checkpoint delta against the base at
+    /// `base_epoch`: exactly the live entries whose update version
+    /// advanced past what the base recorded for their key.
+    /// `base_versions` is the base's `(flat key, version)` list sorted by
+    /// key (keys absent from it are at version 0); `seq` is the delta's
+    /// 1-based position in the chain. Entries are key-sorted, so two delta
+    /// captures of the same state are bit-identical.
+    pub fn snapshot_delta_with_slots(
+        &self,
+        base_epoch: u64,
+        seq: u64,
+        base_versions: &[(u64, u64)],
+    ) -> (CacheSnapshot, Vec<(u16, u32)>) {
+        let base_of = |key: u64| match base_versions.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => base_versions[i].1,
+            Err(_) => 0,
+        };
+        let captured = self.capture_live(|e, loc| {
+            let version = self.versions.get(&loc).copied().unwrap_or(0);
+            version > base_of(e)
+        });
+        let slots = captured.iter().map(|(_, loc)| *loc).collect();
+        let entries: Vec<SnapshotEntry> = captured.into_iter().map(|(e, _)| e).collect();
+        (
+            CacheSnapshot::from_entries_with(SnapshotKind::Delta, base_epoch, seq, &entries),
+            slots,
+        )
+    }
+
+    /// Shared capture walk: every live (non-retired) HBM entry passing
+    /// `include(key, location)`, key-sorted for bit-identical images.
+    fn capture_live(
+        &self,
+        include: impl Fn(u64, (u16, u32)) -> bool,
+    ) -> Vec<(SnapshotEntry, (u16, u32))> {
         let (scan, _) = self.index.scan();
         let mut captured: Vec<(SnapshotEntry, (u16, u32))> = scan
             .iter()
             .filter_map(|e| match e.loc.unpack() {
                 Loc::Hbm { class, slot } => {
-                    if self.pool.is_retired(class, slot) {
+                    if self.pool.is_retired(class, slot) || !include(e.key, (class, slot)) {
                         return None;
                     }
                     let value = self.pool.read(class, slot).ok()?;
@@ -652,6 +806,7 @@ impl FlatCache {
                             key: e.key,
                             class,
                             stamp: e.stamp,
+                            version: self.versions.get(&(class, slot)).copied().unwrap_or(0),
                             value: value.to_vec(),
                         },
                         (class, slot),
@@ -661,9 +816,7 @@ impl FlatCache {
             })
             .collect();
         captured.sort_unstable_by_key(|(e, _)| e.key);
-        let slots = captured.iter().map(|(_, loc)| *loc).collect();
-        let entries: Vec<SnapshotEntry> = captured.into_iter().map(|(e, _)| e).collect();
-        (CacheSnapshot::from_entries(&entries), slots)
+        captured
     }
 
     /// Replays a checkpoint through the normal insert workflow.
@@ -678,7 +831,55 @@ impl FlatCache {
     /// dataset geometry) or that find the pool full bypass and are counted,
     /// not errors.
     pub fn restore(&mut self, snap: &CacheSnapshot) -> Result<RestoreReport, SnapshotError> {
-        let mut entries = snap.decode()?;
+        let entries = snap.decode()?;
+        Ok(self.restore_entries(entries))
+    }
+
+    /// Restores a base checkpoint plus an ordered chain of incremental
+    /// deltas — warm restart under a live update stream, recovering to the
+    /// latest checkpointed version instead of the stale base.
+    ///
+    /// *Every* image is verified and decoded before the first mutation:
+    /// the base must be a full image, each delta must pass its whole-image
+    /// checksum, declare the base's epoch, and carry the next contiguous
+    /// sequence number (1, 2, ...). Any failure returns `Err` with the
+    /// cache untouched. Replay order is base first, then deltas in
+    /// sequence; per-key version monotonicity in the replay makes a
+    /// re-applied delta idempotent.
+    pub fn restore_chain(
+        &mut self,
+        base: &CacheSnapshot,
+        deltas: &[CacheSnapshot],
+    ) -> Result<RestoreReport, SnapshotError> {
+        let base_entries = base.decode()?;
+        match base.kind() {
+            Some(SnapshotKind::Full) => {}
+            Some(found) => {
+                return Err(SnapshotError::KindMismatch {
+                    expected: SnapshotKind::Full,
+                    found,
+                })
+            }
+            // decode() above already rejected short/unknown headers.
+            None => return Err(SnapshotError::TooShort),
+        }
+        let mut delta_entries = Vec::with_capacity(deltas.len());
+        for (i, d) in deltas.iter().enumerate() {
+            delta_entries.push(d.decode_delta(base.epoch(), i as u64 + 1)?);
+        }
+        let mut report = self.restore_entries(base_entries);
+        for entries in delta_entries {
+            report.absorb(self.restore_entries(entries));
+        }
+        Ok(report)
+    }
+
+    /// The shared replay: hottest-first (stamp descending, key ascending
+    /// for determinism), per-key version-monotonic. An entry whose key is
+    /// already resident at a strictly newer version is skipped
+    /// (`superseded`) — never a version regression; dimension mismatches
+    /// and full pools bypass and are counted, not errors.
+    fn restore_entries(&mut self, mut entries: Vec<SnapshotEntry>) -> RestoreReport {
         entries.sort_unstable_by(|a, b| b.stamp.cmp(&a.stamp).then(a.key.cmp(&b.key)));
         let mut report = RestoreReport::default();
         for e in &entries {
@@ -687,16 +888,24 @@ impl FlatCache {
                 report.bypassed += 1;
                 continue;
             }
+            if let Some(Loc::Hbm { class, slot }) = self.index.peek(e.key).map(PackedLoc::unpack) {
+                if self.slot_version(class, slot) > e.version {
+                    report.superseded += 1;
+                    continue;
+                }
+            }
             let (loc, _) = self.insert_at_class(e.class, FlatKey(e.key), &e.value, e.stamp);
             match loc {
                 Some(loc) => {
+                    self.set_slot_version(loc.0, loc.1, e.version);
                     report.restored += 1;
+                    report.max_version = report.max_version.max(e.version);
                     report.slots.push(loc);
                 }
                 None => report.bypassed += 1,
             }
         }
-        Ok(report)
+        report
     }
 
     /// Drops every entry and value, as a device loss does: the index is
@@ -712,6 +921,7 @@ impl FlatCache {
         if let Some(map) = &mut self.checksums {
             map.clear();
         }
+        self.versions.clear();
     }
 }
 
@@ -1098,6 +1308,199 @@ mod tests {
         let (class, slot) = loc.expect("fresh pool has room");
         assert!(c.verify_hit(class, slot));
         assert_eq!(c.read_hit(class, slot), val(3.0).as_slice());
+    }
+
+    #[test]
+    fn apply_updates_is_monotonic_and_recomputes_checksums() {
+        let (mut c, codec, _) = mk();
+        c.enable_checksums();
+        let k = codec.encode(0, 3);
+        let (loc, _) = c.insert_value(0, k, &val(1.0), 1);
+        let (class, slot) = loc.expect("room");
+        assert_eq!(c.slot_version(class, slot), 0);
+
+        let up = |version: u64, tag: f32| SlotUpdate {
+            key: k,
+            version,
+            value: val(tag),
+        };
+        let report = c.apply_updates(&[up(2, 20.0)]);
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.slots, vec![(class, slot)]);
+        assert_eq!(c.slot_version(class, slot), 2);
+        assert_eq!(c.read_hit(class, slot), val(20.0).as_slice());
+        assert!(c.verify_hit(class, slot), "checksum recomputed on apply");
+
+        // A duplicate and a reordered (older) push are both no-ops.
+        let report = c.apply_updates(&[up(2, 99.0), up(1, 98.0)]);
+        assert_eq!(report.superseded, 2);
+        assert_eq!(report.applied, 0);
+        assert_eq!(c.read_hit(class, slot), val(20.0).as_slice());
+        assert_eq!(c.slot_version(class, slot), 2);
+
+        // An uncached key is absent, not an error.
+        let report = c.apply_updates(&[SlotUpdate {
+            key: codec.encode(1, 500),
+            version: 1,
+            value: val(7.0),
+        }]);
+        assert_eq!(report.absent, 1);
+    }
+
+    #[test]
+    fn reused_slot_does_not_inherit_version() {
+        let (mut c, codec, _) = mk();
+        let k = codec.encode(0, 3);
+        let (loc, _) = c.insert_value(0, k, &val(1.0), 1);
+        let (class, slot) = loc.expect("room");
+        c.apply_updates(&[SlotUpdate {
+            key: k,
+            version: 5,
+            value: val(5.0),
+        }]);
+        assert_eq!(c.slot_version(class, slot), 5);
+        // Re-fetch through the normal insert workflow (e.g. after a
+        // quarantine-and-refill): the version resets until the writer
+        // stamps what it actually fetched.
+        c.insert_value(0, k, &val(1.0), 2);
+        assert_eq!(c.slot_version(class, slot), 0);
+        c.set_slot_version(class, slot, 7);
+        assert_eq!(c.slot_version(class, slot), 7);
+    }
+
+    #[test]
+    fn delta_capture_holds_only_advanced_keys() {
+        let (mut c, codec, _) = mk();
+        for f in 0..10u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        c.end_batch();
+        let (base, _) = c.snapshot_at_with_slots(3);
+        assert_eq!(base.epoch(), 3);
+        let base_versions: Vec<(u64, u64)> = base
+            .decode()
+            .expect("clean base")
+            .iter()
+            .map(|e| (e.key, e.version))
+            .collect();
+        // Nothing advanced yet: the delta is empty.
+        let (d0, slots0) = c.snapshot_delta_with_slots(3, 1, &base_versions);
+        assert_eq!(d0.entry_count_hint(), 0);
+        assert!(slots0.is_empty());
+        // Advance two keys.
+        for (f, v) in [(2u64, 1u64), (7, 4)] {
+            c.apply_updates(&[SlotUpdate {
+                key: codec.encode(0, f),
+                version: v,
+                value: val(100.0 + f as f32),
+            }]);
+        }
+        let (d1, slots1) = c.snapshot_delta_with_slots(3, 1, &base_versions);
+        assert_eq!(d1.kind(), Some(SnapshotKind::Delta));
+        assert_eq!(d1.epoch(), 3);
+        assert_eq!(d1.delta_seq(), 1);
+        let entries = d1.decode().expect("clean delta");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(slots1.len(), 2);
+        assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn restore_chain_recovers_to_latest_version() {
+        let (mut c, codec, ds) = mk();
+        for f in 0..10u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), f as u32);
+        }
+        c.end_batch();
+        let (base, _) = c.snapshot_at_with_slots(1);
+        let base_versions: Vec<(u64, u64)> = base
+            .decode()
+            .expect("clean")
+            .iter()
+            .map(|e| (e.key, e.version))
+            .collect();
+        c.apply_updates(&[SlotUpdate {
+            key: codec.encode(0, 2),
+            version: 3,
+            value: val(50.0),
+        }]);
+        let (d1, _) = c.snapshot_delta_with_slots(1, 1, &base_versions);
+        c.apply_updates(&[SlotUpdate {
+            key: codec.encode(0, 2),
+            version: 4,
+            value: val(60.0),
+        }]);
+        let (d2, _) = c.snapshot_delta_with_slots(1, 2, &base_versions);
+
+        let mut fresh = FlatCache::new(&ds, 8 * 4 * 200, FlatCacheConfig::default());
+        let report = fresh
+            .restore_chain(&base, &[d1.clone(), d2.clone()])
+            .expect("verified chain restores");
+        assert_eq!(report.max_version, 4, "recovered to latest, not base");
+        let (ans, _) = fresh.lookup(codec.encode(0, 2), 100);
+        let CacheAnswer::Hit { class, slot } = ans else {
+            panic!("updated key must hit after chain restore");
+        };
+        assert_eq!(fresh.read_hit(class, slot), val(60.0).as_slice());
+        assert_eq!(fresh.slot_version(class, slot), 4);
+        // Re-applying the whole chain is idempotent: the base's version-0
+        // entry and d1's version-3 entry are both superseded by the
+        // resident version 4 — never a regression.
+        let again = fresh
+            .restore_chain(&base, &[d1.clone(), d2.clone()])
+            .expect("re-restore is clean");
+        assert!(again.superseded >= 2);
+        let (ans, _) = fresh.lookup(codec.encode(0, 2), 100);
+        let CacheAnswer::Hit { class, slot } = ans else {
+            panic!("updated key must still hit");
+        };
+        assert_eq!(fresh.read_hit(class, slot), val(60.0).as_slice());
+        assert_eq!(fresh.slot_version(class, slot), 4);
+
+        // Broken chains are refused before any mutation.
+        let mut untouched = FlatCache::new(&ds, 8 * 4 * 200, FlatCacheConfig::default());
+        assert_eq!(
+            untouched.restore_chain(&base, std::slice::from_ref(&d2)),
+            Err(SnapshotError::SequenceGap {
+                expected: 1,
+                found: 2
+            })
+        );
+        let mut rotten = d1.clone();
+        assert!(rotten.corrupt_byte(rotten.byte_len() / 2));
+        assert!(untouched.restore_chain(&base, &[rotten, d2]).is_err());
+        assert_eq!(untouched.len(), 0, "failed chain must not mutate");
+        assert_eq!(
+            untouched.restore_chain(&d1, &[]),
+            Err(SnapshotError::KindMismatch {
+                expected: SnapshotKind::Full,
+                found: SnapshotKind::Delta
+            })
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_versions_through_restore() {
+        let (mut c, codec, ds) = mk();
+        let k = codec.encode(0, 1);
+        c.insert_value(0, k, &val(1.0), 1);
+        c.apply_updates(&[SlotUpdate {
+            key: k,
+            version: 9,
+            value: val(9.0),
+        }]);
+        let snap = c.snapshot();
+        let mut fresh = FlatCache::new(&ds, 8 * 4 * 200, FlatCacheConfig::default());
+        fresh.restore(&snap).expect("clean");
+        let (ans, _) = fresh.lookup(k, 10);
+        let CacheAnswer::Hit { class, slot } = ans else {
+            panic!("restored key must hit");
+        };
+        assert_eq!(fresh.slot_version(class, slot), 9);
+        // And a full re-restore of the same image is idempotent.
+        let again = fresh.restore(&snap).expect("clean");
+        assert_eq!(again.restored, 1, "equal version rewrites same bytes");
+        assert_eq!(fresh.slot_version(class, slot), 9);
     }
 
     #[test]

@@ -37,10 +37,15 @@ pub mod multi_gpu;
 pub mod recovery;
 pub mod system;
 pub mod tuner;
+pub mod update_costs;
 
-pub use flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig, IndexBackend, UNIFIED_ENTRY_BYTES};
+pub use flat_cache::{
+    CacheAnswer, FlatCache, FlatCacheConfig, IndexBackend, SlotUpdate, UpdateApplyReport,
+    UNIFIED_ENTRY_BYTES,
+};
 pub use fusion::{FusionError, FusionMember, FusionPlan, ARGS_ENTRY_BYTES, WARP};
 pub use multi_gpu::{FailoverStats, InterconnectSpec, MultiGpuFleche, ShardedTiming};
-pub use recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError};
-pub use system::{FlecheConfig, FlecheSystem, MissBackend};
+pub use recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError, SnapshotKind};
+pub use system::{FlecheConfig, FlecheSystem, MissBackend, StalenessStats};
 pub use tuner::{TunerState, UnifiedIndexTuner};
+pub use update_costs::UpdateCostSpec;

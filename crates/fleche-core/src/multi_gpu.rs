@@ -10,11 +10,11 @@
 //! maintenance — exactly the trade the paper predicts, measurable here.
 
 use crate::recovery::CacheSnapshot;
-use crate::system::{FlecheConfig, FlecheSystem};
+use crate::system::{FlecheConfig, FlecheSystem, StalenessStats};
 use fleche_coding::{FlatKeyCodec, SizeAwareCodec};
 use fleche_gpu::{BytesPerNs, DeviceSpec, DramSpec, Gpu, Ns};
 use fleche_store::api::{BatchStats, LifetimeStats};
-use fleche_store::CpuStore;
+use fleche_store::{CpuStore, UpdatePush};
 use fleche_workload::{Batch, DatasetSpec};
 
 /// Rendezvous (highest-random-weight) score of `key` on `shard`: a
@@ -48,6 +48,9 @@ pub struct FailoverStats {
     pub rewarm_cold_starts: u64,
     /// Checkpoints refused at rewarm time (corrupt image detected).
     pub snapshot_rejected: u64,
+    /// Newest update version any re-warm landed on (a delta chain re-warm
+    /// recovers past the base; compare against the ledger's latest).
+    pub rewarm_max_version: u64,
     /// Accesses served by a takeover shard while their home shard was
     /// dead (the moved key range).
     pub moved_keys: u64,
@@ -110,6 +113,10 @@ pub struct MultiGpuFleche {
     /// Latest checkpoint per shard (dead shards keep their last one — it
     /// is exactly what the re-warm replays when the device returns).
     snapshots: Vec<Option<CacheSnapshot>>,
+    /// Incremental checkpoint deltas per shard since its last full
+    /// checkpoint, replayed after the base on re-warm so a restored device
+    /// lands on the latest checkpointed version, not the stale base.
+    deltas: Vec<Vec<CacheSnapshot>>,
     failover: FailoverStats,
 }
 
@@ -147,6 +154,7 @@ impl MultiGpuFleche {
         MultiGpuFleche {
             alive: vec![true; gpus],
             snapshots: vec![None; gpus],
+            deltas: vec![Vec::new(); gpus],
             shards,
             codec,
             interconnect,
@@ -243,9 +251,77 @@ impl MultiGpuFleche {
             }
             let t0 = gpu.now();
             self.snapshots[s] = Some(sys.checkpoint(gpu));
+            self.deltas[s].clear();
             slowest = slowest.max(gpu.now() - t0);
         }
         slowest
+    }
+
+    /// Cuts an incremental checkpoint delta on every *alive* shard that
+    /// has a full base, appending to its re-warm chain. Cheap relative to
+    /// [`MultiGpuFleche::checkpoint`] under an update stream: each delta
+    /// holds only the keys whose version advanced since that shard's base.
+    /// Returns the slowest shard's capture time.
+    pub fn delta_checkpoint(&mut self) -> Ns {
+        let mut slowest = Ns::ZERO;
+        for (s, (gpu, sys)) in self.shards.iter_mut().enumerate() {
+            if !self.alive[s] {
+                continue;
+            }
+            let t0 = gpu.now();
+            if let Some(delta) = sys.delta_checkpoint(gpu) {
+                self.deltas[s].push(delta);
+            }
+            slowest = slowest.max(gpu.now() - t0);
+        }
+        slowest
+    }
+
+    /// Broadcasts trainer version commits to every shard's ledger — the
+    /// reliable metadata channel. Each shard must know every key's latest
+    /// version (not just its own partition's) because failover re-routes
+    /// keys across shards mid-stream.
+    pub fn commit_updates(&mut self, pushes: &[UpdatePush]) {
+        for (gpu, sys) in &mut self.shards {
+            sys.commit_updates(gpu, pushes);
+        }
+    }
+
+    /// Routes value pushes to each key's current serving shard — the
+    /// lossy channel the chaos injectors disturb. A dead shard's pushes
+    /// go to its rendezvous successor; keys not resident there are simply
+    /// counted absent and picked up by the next miss-fill.
+    pub fn push_updates(&mut self, pushes: &[UpdatePush]) {
+        let mut per_shard: Vec<Vec<UpdatePush>> = vec![Vec::new(); self.shards.len()];
+        for p in pushes {
+            per_shard[self.shard_of(p.table, p.id)].push(*p);
+        }
+        for (s, (gpu, sys)) in self.shards.iter_mut().enumerate() {
+            if !per_shard[s].is_empty() {
+                sys.push_updates(gpu, &per_shard[s]);
+            }
+        }
+    }
+
+    /// Newest update version captured in shard `s`'s current *base*
+    /// checkpoint image — what a re-warm would recover to with no delta
+    /// chain. `None` when the shard has never checkpointed (or the image
+    /// does not decode). Drill oracles compare
+    /// [`FailoverStats::rewarm_max_version`] against this to prove a
+    /// chain re-warm recovered past the stale base.
+    pub fn shard_base_max_version(&self, s: usize) -> Option<u64> {
+        let snap = self.snapshots[s].as_ref()?;
+        let entries = snap.decode().ok()?;
+        entries.iter().map(|e| e.version).max()
+    }
+
+    /// Staleness accounting aggregated over every shard.
+    pub fn staleness_stats(&self) -> StalenessStats {
+        let mut agg = StalenessStats::default();
+        for (_, sys) in &self.shards {
+            agg.absorb(&sys.staleness_stats());
+        }
+        agg
     }
 
     /// Reconciles shard liveness with each device's fault state. Newly
@@ -271,15 +347,27 @@ impl MultiGpuFleche {
                 restores += 1;
                 let t0 = gpu.now();
                 match &self.snapshots[s] {
-                    Some(snap) => match sys.restore_from(gpu, snap) {
-                        Ok(report) => {
-                            self.failover.rewarm_restored_entries += report.restored;
+                    Some(snap) => {
+                        // Replay the base plus any delta chain cut since,
+                        // so the device recovers to the latest checkpointed
+                        // version, not the stale base.
+                        let result = if self.deltas[s].is_empty() {
+                            sys.restore_from(gpu, snap)
+                        } else {
+                            sys.restore_chain(gpu, snap, &self.deltas[s])
+                        };
+                        match result {
+                            Ok(report) => {
+                                self.failover.rewarm_restored_entries += report.restored;
+                                self.failover.rewarm_max_version =
+                                    self.failover.rewarm_max_version.max(report.max_version);
+                            }
+                            Err(_) => {
+                                self.failover.snapshot_rejected += 1;
+                                self.failover.rewarm_cold_starts += 1;
+                            }
                         }
-                        Err(_) => {
-                            self.failover.snapshot_rejected += 1;
-                            self.failover.rewarm_cold_starts += 1;
-                        }
-                    },
+                    }
                     None => self.failover.rewarm_cold_starts += 1,
                 }
                 self.failover.rewarm_time += gpu.now() - t0;
@@ -617,6 +705,76 @@ mod tests {
         let f = mg.failover_stats();
         assert_eq!(f.rewarm_cold_starts, 1);
         assert_eq!(f.rewarm_restored_entries, 0);
+    }
+
+    #[test]
+    fn updates_route_through_shards_and_serve_latest() {
+        use fleche_store::{versioned_embedding_value, UpdateStream};
+        let (mut mg, mut gen, ds) = build(3);
+        for _ in 0..8 {
+            mg.query_batch(&gen.next_batch(256));
+        }
+        let mut stream = UpdateStream::new(&ds, 21);
+        let burst = stream.next_burst(256);
+        mg.commit_updates(&burst);
+        mg.push_updates(&burst);
+        // Every staged push is accounted at the next batch boundary of its
+        // owning shard.
+        mg.query_batch(&gen.next_batch(256));
+        let st = mg.staleness_stats();
+        assert_eq!(
+            st.updates_applied + st.updates_superseded + st.updates_absent,
+            256
+        );
+        // After the boundary, every served row is at the ledger's latest
+        // version regardless of which shard serves it.
+        let batch = gen.next_batch(256);
+        let (rows, _, _) = mg.query_batch(&batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                // Commits broadcast, so any shard's ledger knows the
+                // version.
+                let v = mg.shard_system(0).ledger().get(t as u16, id);
+                let mut want = vec![0.0f32; 16];
+                versioned_embedding_value(t as u16, id, v, &mut want);
+                assert_eq!(rows[k], want, "row {k} at version {v}");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn delta_rewarm_recovers_past_the_base() {
+        use fleche_gpu::DeviceFault;
+        use fleche_store::UpdateStream;
+        let (mut mg, mut gen, ds) = build(2);
+        for _ in 0..8 {
+            mg.query_batch(&gen.next_batch(256));
+        }
+        mg.checkpoint();
+        let mut stream = UpdateStream::new(&ds, 33);
+        for _ in 0..3 {
+            let burst = stream.next_burst(128);
+            mg.commit_updates(&burst);
+            mg.push_updates(&burst);
+            mg.query_batch(&gen.next_batch(256));
+            mg.delta_checkpoint();
+        }
+        mg.shard_gpu_mut(1).inject_device_fault(DeviceFault::Lost);
+        mg.query_batch(&gen.next_batch(128));
+        mg.shard_gpu_mut(1)
+            .inject_device_fault(DeviceFault::Restored);
+        mg.query_batch(&gen.next_batch(128));
+        let f = mg.failover_stats();
+        assert!(f.rewarm_restored_entries > 0, "chain replayed: {f:?}");
+        assert_eq!(f.snapshot_rejected, 0);
+        let latest = mg.shard_system(0).ledger().max_version();
+        assert!(
+            f.rewarm_max_version > 0 && f.rewarm_max_version <= latest,
+            "re-warm landed on an updated version (got {}, ledger max {latest})",
+            f.rewarm_max_version
+        );
     }
 
     #[test]

@@ -1,38 +1,54 @@
-//! Crash recovery: serialized flat-cache snapshots and their validation.
+//! Crash recovery: serialized flat-cache snapshots, incremental
+//! checkpoint deltas, and their validation.
 //!
-//! A [`CacheSnapshot`] is a self-describing byte image of every
-//! HBM-resident value in a [`crate::FlatCache`], captured at a batch
-//! boundary so it is *epoch-consistent*: no retired slot and no in-flight
-//! replace-copy is ever included (see `FlatCache::snapshot`). The image
-//! carries the size-aware coded flat keys, the pool class, the LRU stamp
-//! and the raw value bits of each entry, framed by a header and an
-//! FNV-1a checksum trailer.
+//! A [`CacheSnapshot`] is a self-describing byte image captured at a
+//! batch boundary so it is *epoch-consistent*: no retired slot and no
+//! in-flight replace-copy is ever included (see `FlatCache::snapshot`).
+//! The image carries the size-aware coded flat keys, the pool class, the
+//! LRU stamp, the online-update version and the raw value bits of each
+//! entry, framed by a header and an FNV-1a checksum trailer.
+//!
+//! Images come in two kinds:
+//!
+//! * **Full** ([`SnapshotKind::Full`]) — every HBM-resident value, the
+//!   PR-4 base checkpoint. Its header `epoch` names the checkpoint epoch.
+//! * **Delta** ([`SnapshotKind::Delta`]) — only the entries whose update
+//!   version advanced since the base epoch. Its header `epoch` names the
+//!   *base* it patches and `seq` its 1-based position in the delta chain,
+//!   so a restore can refuse a delta applied against the wrong base or
+//!   out of order ([`SnapshotError::BaseMismatch`] /
+//!   [`SnapshotError::SequenceGap`]).
 //!
 //! Restores go the other way: [`CacheSnapshot::decode`] verifies the
 //! checksum and structure *before* anything touches the cache, so a
-//! rotted checkpoint can only ever produce a clean "cold start" fallback
-//! — never a cache seeded with garbage bytes. Decoding is fully
+//! rotted checkpoint or delta can only ever produce a clean fallback —
+//! never a cache seeded with garbage bytes. Decoding is fully
 //! bounds-checked and never panics on hostile input.
 //!
 //! Byte layout (all little-endian):
 //!
 //! ```text
-//! [magic u32] [version u16] [reserved u16] [entry_count u64]
+//! [magic u32] [version u16] [kind u16] [entry_count u64] [epoch u64] [seq u64]
 //! repeated entry_count times:
-//!   [flat_key u64] [class u16] [stamp u32] [dim u32] [dim x f32 bits]
+//!   [flat_key u64] [class u16] [stamp u32] [version u64] [dim u32] [dim x f32 bits]
 //! [fnv1a-32 over all preceding bytes, u32]
 //! ```
 
 /// Format magic: `"FLSN"` (FLeche SNapshot) as little-endian bytes.
 const MAGIC: u32 = u32::from_le_bytes(*b"FLSN");
-/// Current format version.
-const VERSION: u16 = 1;
-/// Header bytes: magic + version + reserved + entry count.
-const HEADER_BYTES: usize = 4 + 2 + 2 + 8;
+/// Current format version (v2 added the kind/epoch/seq header fields and
+/// the per-entry update version).
+const VERSION: u16 = 2;
+/// Header bytes: magic + version + kind + entry count + epoch + seq.
+const HEADER_BYTES: usize = 4 + 2 + 2 + 8 + 8 + 8;
 /// Fixed bytes per entry before its value floats.
-const ENTRY_FIXED_BYTES: usize = 8 + 2 + 4 + 4;
+const ENTRY_FIXED_BYTES: usize = 8 + 2 + 4 + 8 + 4;
 /// Checksum trailer bytes.
 const TRAILER_BYTES: usize = 4;
+/// Header `kind` value for a full image.
+const KIND_FULL: u16 = 0;
+/// Header `kind` value for an incremental delta.
+const KIND_DELTA: u16 = 1;
 
 /// FNV-1a over raw bytes — the whole-image integrity check. Both FNV
 /// steps (xor, multiply by the odd prime) are bijective on u32, so any
@@ -64,6 +80,24 @@ fn u64_at(b: &[u8], off: usize) -> u64 {
     u64::from_le_bytes(a)
 }
 
+/// What a snapshot image contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// Every HBM-resident value (a base checkpoint).
+    Full,
+    /// Only entries whose update version advanced since the base epoch.
+    Delta,
+}
+
+impl std::fmt::Display for SnapshotKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotKind::Full => write!(f, "full"),
+            SnapshotKind::Delta => write!(f, "delta"),
+        }
+    }
+}
+
 /// Why a snapshot image was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
@@ -73,6 +107,8 @@ pub enum SnapshotError {
     BadMagic,
     /// A version this build does not read.
     UnsupportedVersion(u16),
+    /// A kind tag this build does not know.
+    UnknownKind(u16),
     /// The image's bytes do not hash to its trailer.
     ChecksumMismatch {
         /// Digest stored in the trailer.
@@ -87,6 +123,28 @@ pub enum SnapshotError {
     },
     /// Bytes left over after the declared entry count.
     TrailingBytes,
+    /// A full image was supplied where a delta was required, or vice
+    /// versa.
+    KindMismatch {
+        /// Kind the operation required.
+        expected: SnapshotKind,
+        /// Kind the image declared.
+        found: SnapshotKind,
+    },
+    /// A delta patches a different base epoch than the one restored.
+    BaseMismatch {
+        /// Epoch of the restored base.
+        expected: u64,
+        /// Base epoch the delta declares.
+        found: u64,
+    },
+    /// A delta arrived out of order in its chain.
+    SequenceGap {
+        /// Sequence number the chain required next.
+        expected: u64,
+        /// Sequence number the delta declares.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -95,6 +153,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::TooShort => write!(f, "image shorter than header + trailer"),
             SnapshotError::BadMagic => write!(f, "bad magic (not a Fleche snapshot)"),
             SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            SnapshotError::UnknownKind(k) => write!(f, "unknown image kind {k}"),
             SnapshotError::ChecksumMismatch { stored, actual } => {
                 write!(
                     f,
@@ -103,6 +162,18 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Truncated { entry } => write!(f, "entry {entry} truncated"),
             SnapshotError::TrailingBytes => write!(f, "trailing bytes after last entry"),
+            SnapshotError::KindMismatch { expected, found } => {
+                write!(f, "expected a {expected} image, found a {found} image")
+            }
+            SnapshotError::BaseMismatch { expected, found } => {
+                write!(
+                    f,
+                    "delta patches base epoch {found}, restored base is epoch {expected}"
+                )
+            }
+            SnapshotError::SequenceGap { expected, found } => {
+                write!(f, "delta sequence {found} arrived where {expected} was due")
+            }
         }
     }
 }
@@ -120,19 +191,38 @@ pub struct SnapshotEntry {
     pub class: u16,
     /// LRU stamp at capture time (restore replays hottest-first).
     pub stamp: u32,
+    /// Online-update version of the value (0 = the frozen table value).
+    /// Restore and delta application only ever move a key's version
+    /// forward, so replaying duplicated or reordered images is idempotent.
+    pub version: u64,
     /// The embedding's exact f32 values.
     pub value: Vec<f32>,
 }
 
-/// A serialized, checksummed flat-cache image.
+/// A serialized, checksummed flat-cache image (full or delta).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CacheSnapshot {
     bytes: Vec<u8>,
 }
 
 impl CacheSnapshot {
-    /// Serializes `entries` into a checksummed image.
+    /// Serializes `entries` into a checksummed *full* image at epoch 0
+    /// (tests and single-image call sites; checkpoint chains use
+    /// [`CacheSnapshot::from_entries_with`]).
     pub fn from_entries(entries: &[SnapshotEntry]) -> CacheSnapshot {
+        CacheSnapshot::from_entries_with(SnapshotKind::Full, 0, 0, entries)
+    }
+
+    /// Serializes `entries` into a checksummed image of the given kind.
+    /// For a full image `epoch` names the checkpoint epoch and `seq`
+    /// should be 0; for a delta `epoch` names the base it patches and
+    /// `seq` its 1-based position in the chain.
+    pub fn from_entries_with(
+        kind: SnapshotKind,
+        epoch: u64,
+        seq: u64,
+        entries: &[SnapshotEntry],
+    ) -> CacheSnapshot {
         let payload: usize = entries
             .iter()
             .map(|e| ENTRY_FIXED_BYTES + e.value.len() * 4)
@@ -140,12 +230,19 @@ impl CacheSnapshot {
         let mut bytes = Vec::with_capacity(HEADER_BYTES + payload + TRAILER_BYTES);
         bytes.extend_from_slice(&MAGIC.to_le_bytes());
         bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        let kind_tag = match kind {
+            SnapshotKind::Full => KIND_FULL,
+            SnapshotKind::Delta => KIND_DELTA,
+        };
+        bytes.extend_from_slice(&kind_tag.to_le_bytes());
         bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&epoch.to_le_bytes());
+        bytes.extend_from_slice(&seq.to_le_bytes());
         for e in entries {
             bytes.extend_from_slice(&e.key.to_le_bytes());
             bytes.extend_from_slice(&e.class.to_le_bytes());
             bytes.extend_from_slice(&e.stamp.to_le_bytes());
+            bytes.extend_from_slice(&e.version.to_le_bytes());
             bytes.extend_from_slice(&(e.value.len() as u32).to_le_bytes());
             for v in &e.value {
                 bytes.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -182,6 +279,38 @@ impl CacheSnapshot {
         }
     }
 
+    /// Kind claimed by the header; `None` for images too short to have
+    /// one or with an unknown tag. Display-only — `decode` validates.
+    pub fn kind(&self) -> Option<SnapshotKind> {
+        if self.bytes.len() < HEADER_BYTES {
+            return None;
+        }
+        match u16_at(&self.bytes, 6) {
+            KIND_FULL => Some(SnapshotKind::Full),
+            KIND_DELTA => Some(SnapshotKind::Delta),
+            _ => None,
+        }
+    }
+
+    /// Checkpoint epoch claimed by the header (for a delta: the base
+    /// epoch it patches); 0 for images too short to have one.
+    pub fn epoch(&self) -> u64 {
+        if self.bytes.len() < HEADER_BYTES {
+            0
+        } else {
+            u64_at(&self.bytes, 16)
+        }
+    }
+
+    /// Delta sequence number claimed by the header (0 for full images).
+    pub fn delta_seq(&self) -> u64 {
+        if self.bytes.len() < HEADER_BYTES {
+            0
+        } else {
+            u64_at(&self.bytes, 24)
+        }
+    }
+
     /// Fault-injection hook: inverts the byte at `offset`, as storage rot
     /// between checkpoint write and restore read-back would. Returns false
     /// (and does nothing) when `offset` is out of range.
@@ -196,8 +325,8 @@ impl CacheSnapshot {
     }
 
     /// Validates the image and decodes its entries. Order of checks:
-    /// length, magic, version, whole-image checksum, then structure —
-    /// so no entry bytes are ever interpreted from an image that fails
+    /// length, magic, version, kind, whole-image checksum, then structure
+    /// — so no entry bytes are ever interpreted from an image that fails
     /// integrity. Never panics on malformed input.
     pub fn decode(&self) -> Result<Vec<SnapshotEntry>, SnapshotError> {
         let b = &self.bytes;
@@ -210,6 +339,10 @@ impl CacheSnapshot {
         let version = u16_at(b, 4);
         if version != VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let kind = u16_at(b, 6);
+        if kind != KIND_FULL && kind != KIND_DELTA {
+            return Err(SnapshotError::UnknownKind(kind));
         }
         let body_end = b.len() - TRAILER_BYTES;
         let stored = u32_at(b, body_end);
@@ -227,7 +360,8 @@ impl CacheSnapshot {
             let key = u64_at(b, off);
             let class = u16_at(b, off + 8);
             let stamp = u32_at(b, off + 10);
-            let dim = u32_at(b, off + 14) as usize;
+            let version = u64_at(b, off + 14);
+            let dim = u32_at(b, off + 22) as usize;
             off += ENTRY_FIXED_BYTES;
             if (body_end - off) / 4 < dim {
                 return Err(SnapshotError::Truncated { entry });
@@ -241,6 +375,7 @@ impl CacheSnapshot {
                 key,
                 class,
                 stamp,
+                version,
                 value,
             });
         }
@@ -249,22 +384,76 @@ impl CacheSnapshot {
         }
         Ok(out)
     }
+
+    /// Validates the image as a delta in a chain: full decode, then kind
+    /// and linkage checks against the base epoch and the next expected
+    /// sequence number. Used by restore-to-latest *before* any mutation.
+    pub fn decode_delta(
+        &self,
+        base_epoch: u64,
+        expected_seq: u64,
+    ) -> Result<Vec<SnapshotEntry>, SnapshotError> {
+        let entries = self.decode()?;
+        match self.kind() {
+            Some(SnapshotKind::Delta) => {}
+            Some(found) => {
+                return Err(SnapshotError::KindMismatch {
+                    expected: SnapshotKind::Delta,
+                    found,
+                })
+            }
+            // decode() above already rejected unknown kinds.
+            None => return Err(SnapshotError::TooShort),
+        }
+        if self.epoch() != base_epoch {
+            return Err(SnapshotError::BaseMismatch {
+                expected: base_epoch,
+                found: self.epoch(),
+            });
+        }
+        if self.delta_seq() != expected_seq {
+            return Err(SnapshotError::SequenceGap {
+                expected: expected_seq,
+                found: self.delta_seq(),
+            });
+        }
+        Ok(entries)
+    }
 }
 
-/// What a [`crate::FlatCache::restore`] replay accomplished.
+/// What a [`crate::FlatCache::restore`] or delta replay accomplished.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RestoreReport {
     /// Entries re-inserted into the cache.
     pub restored: u64,
     /// Entries that bypassed (pool full, class geometry changed).
     pub bypassed: u64,
+    /// Entries skipped because the cache already held the same or a newer
+    /// update version for the key (idempotent delta replay).
+    pub superseded: u64,
     /// Largest LRU stamp seen in the image; the owning system fast-
     /// forwards its logical clock past this so restored entries age
     /// correctly instead of looking permanently hot.
     pub max_stamp: u32,
+    /// Largest update version actually written — the "recovered-to"
+    /// version drill B's timeline reports.
+    pub max_version: u64,
     /// Pool locations the replay wrote — the system layer declares these
     /// to the race checker as the restore kernel's writes.
     pub slots: Vec<(u16, u32)>,
+}
+
+impl RestoreReport {
+    /// Folds another replay's outcome into this one (base + delta chains
+    /// accumulate a single report).
+    pub fn absorb(&mut self, other: RestoreReport) {
+        self.restored += other.restored;
+        self.bypassed += other.bypassed;
+        self.superseded += other.superseded;
+        self.max_stamp = self.max_stamp.max(other.max_stamp);
+        self.max_version = self.max_version.max(other.max_version);
+        self.slots.extend(other.slots);
+    }
 }
 
 #[cfg(test)]
@@ -277,18 +466,21 @@ mod tests {
                 key: 0x0000_0A11,
                 class: 0,
                 stamp: 3,
+                version: 0,
                 value: vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE],
             },
             SnapshotEntry {
                 key: 0xFFEE_0001,
                 class: 1,
                 stamp: 9,
+                version: 17,
                 value: vec![42.0; 8],
             },
             SnapshotEntry {
                 key: 7,
                 class: 0,
                 stamp: 1,
+                version: 2,
                 value: Vec::new(), // zero-dim entries are legal in the format
             },
         ]
@@ -299,11 +491,51 @@ mod tests {
         let e = entries();
         let snap = CacheSnapshot::from_entries(&e);
         assert_eq!(snap.entry_count_hint(), 3);
+        assert_eq!(snap.kind(), Some(SnapshotKind::Full));
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.delta_seq(), 0);
         let back = snap.decode().expect("clean image decodes");
         assert_eq!(back, e);
         // Via the raw-bytes path too (simulated storage round trip).
         let reread = CacheSnapshot::from_bytes(snap.as_bytes().to_vec());
         assert_eq!(reread.decode().expect("reread decodes"), e);
+    }
+
+    #[test]
+    fn delta_round_trip_carries_linkage() {
+        let e = entries();
+        let delta = CacheSnapshot::from_entries_with(SnapshotKind::Delta, 5, 2, &e);
+        assert_eq!(delta.kind(), Some(SnapshotKind::Delta));
+        assert_eq!(delta.epoch(), 5);
+        assert_eq!(delta.delta_seq(), 2);
+        assert_eq!(delta.decode_delta(5, 2).expect("valid chain link"), e);
+    }
+
+    #[test]
+    fn delta_linkage_is_enforced() {
+        let delta = CacheSnapshot::from_entries_with(SnapshotKind::Delta, 5, 2, &entries());
+        assert_eq!(
+            delta.decode_delta(6, 2),
+            Err(SnapshotError::BaseMismatch {
+                expected: 6,
+                found: 5
+            })
+        );
+        assert_eq!(
+            delta.decode_delta(5, 1),
+            Err(SnapshotError::SequenceGap {
+                expected: 1,
+                found: 2
+            })
+        );
+        let full = CacheSnapshot::from_entries_with(SnapshotKind::Full, 5, 0, &entries());
+        assert_eq!(
+            full.decode_delta(5, 1),
+            Err(SnapshotError::KindMismatch {
+                expected: SnapshotKind::Delta,
+                found: SnapshotKind::Full
+            })
+        );
     }
 
     #[test]
@@ -315,18 +547,22 @@ mod tests {
 
     #[test]
     fn every_single_byte_flip_is_rejected() {
-        let snap = CacheSnapshot::from_entries(&entries());
-        for off in 0..snap.byte_len() {
-            let mut bad = snap.clone();
-            assert!(bad.corrupt_byte(off));
-            assert!(
-                bad.decode().is_err(),
-                "flip at offset {off} must be rejected"
-            );
+        for snap in [
+            CacheSnapshot::from_entries(&entries()),
+            CacheSnapshot::from_entries_with(SnapshotKind::Delta, 3, 1, &entries()),
+        ] {
+            for off in 0..snap.byte_len() {
+                let mut bad = snap.clone();
+                assert!(bad.corrupt_byte(off));
+                assert!(
+                    bad.decode().is_err(),
+                    "flip at offset {off} must be rejected"
+                );
+            }
+            let mut oob = snap.clone();
+            assert!(!oob.corrupt_byte(snap.byte_len()));
+            assert!(oob.decode().is_ok(), "out-of-range flip is a no-op");
         }
-        let mut oob = snap.clone();
-        assert!(!oob.corrupt_byte(snap.byte_len()));
-        assert!(oob.decode().is_ok(), "out-of-range flip is a no-op");
     }
 
     #[test]
@@ -356,7 +592,7 @@ mod tests {
 
         // A dim far past the buffer must not allocate or panic.
         let mut fat_dim = body.to_vec();
-        let dim_off = HEADER_BYTES + 14;
+        let dim_off = HEADER_BYTES + 22;
         fat_dim[dim_off..dim_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             reseal(fat_dim).decode(),
@@ -371,11 +607,42 @@ mod tests {
             Err(SnapshotError::UnsupportedVersion(9))
         );
 
+        // Unknown kind tag.
+        let mut kinded = body.to_vec();
+        kinded[6..8].copy_from_slice(&7u16.to_le_bytes());
+        assert_eq!(reseal(kinded).decode(), Err(SnapshotError::UnknownKind(7)));
+
         // Too short to hold anything.
         assert_eq!(
             CacheSnapshot::from_bytes(vec![1, 2, 3]).decode(),
             Err(SnapshotError::TooShort)
         );
+    }
+
+    #[test]
+    fn absorb_accumulates_chain_reports() {
+        let mut a = RestoreReport {
+            restored: 2,
+            bypassed: 1,
+            superseded: 0,
+            max_stamp: 5,
+            max_version: 1,
+            slots: vec![(0, 1)],
+        };
+        a.absorb(RestoreReport {
+            restored: 3,
+            bypassed: 0,
+            superseded: 2,
+            max_stamp: 4,
+            max_version: 9,
+            slots: vec![(1, 7)],
+        });
+        assert_eq!(a.restored, 5);
+        assert_eq!(a.bypassed, 1);
+        assert_eq!(a.superseded, 2);
+        assert_eq!(a.max_stamp, 5);
+        assert_eq!(a.max_version, 9);
+        assert_eq!(a.slots, vec![(0, 1), (1, 7)]);
     }
 
     #[test]

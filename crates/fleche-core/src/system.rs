@@ -11,18 +11,23 @@
 //! `decoupling` (separate index/copy kernels + DRAM overlap vs coupled),
 //! `unified_index` (GPU-resident DRAM pointers + capacity tuner).
 
-use crate::flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig};
+use crate::flat_cache::{CacheAnswer, FlatCache, FlatCacheConfig, SlotUpdate, UpdateApplyReport};
 use crate::fusion::{FusionMember, FusionPlan};
 use crate::recovery::{CacheSnapshot, RestoreReport, SnapshotError};
 use crate::tuner::UnifiedIndexTuner;
-use fleche_chaos::{BreakerConfig, CircuitBreaker};
+use crate::update_costs::UpdateCostSpec;
+use fleche_chaos::{BreakerConfig, CircuitBreaker, StalenessConfig, StalenessPolicy};
 use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
-use fleche_gpu::{slot_resource, CopyApi, FaultCounters, Gpu, KernelDesc, KernelWork, Ns};
+use fleche_gpu::{
+    ledger_resource, slot_resource, CopyApi, FaultCounters, Gpu, KernelDesc, KernelWork, Ns,
+};
 use fleche_index::{ProbeStats, SLAB_WIDTH};
 use fleche_store::api::{
     dedup_charged, BatchStats, EmbeddingCacheSystem, LifetimeStats, PhaseBreakdown, QueryOutput,
 };
-use fleche_store::{CpuStore, FetchReport, TieredStore};
+use fleche_store::{
+    versioned_embedding_value, CpuStore, FetchReport, TieredStore, UpdatePush, VersionLedger,
+};
 use fleche_workload::{Batch, DatasetSpec};
 
 /// Host-side cost of re-encoding one key (a cached table-code fetch plus
@@ -57,6 +62,13 @@ pub struct FlecheConfig {
     /// corruption) trips the threshold, batches degrade to the DRAM-only
     /// path until half-open probes succeed. `None` disables it.
     pub breaker: Option<BreakerConfig>,
+    /// Staleness bound over the online-update pipeline: when any hit's
+    /// version lag exceeds `max_lag`, the system enters a declared
+    /// staleness-degraded mode in which hits over `resume_lag` are demoted
+    /// to misses (served at the ledger's latest version) and refreshed at
+    /// the batch boundary, until the raw lag falls back to `resume_lag`.
+    /// `None` serves arbitrarily stale hits silently.
+    pub staleness: Option<StalenessConfig>,
 }
 
 impl Default for FlecheConfig {
@@ -71,6 +83,7 @@ impl Default for FlecheConfig {
             metadata_copy: CopyApi::GdrCopy,
             checksums: false,
             breaker: None,
+            staleness: None,
         }
     }
 }
@@ -177,6 +190,73 @@ impl MissBackend {
     }
 }
 
+/// Lifetime staleness accounting over the online-update pipeline.
+///
+/// Lag is measured per cache hit as `ledger version − resident slot
+/// version` (saturating): how many committed trainer updates the served
+/// row is behind. Misses always serve the ledger's latest version (the
+/// miss-fill rewrites fetched rows), so only hits can be stale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StalenessStats {
+    /// Cache hits whose lag was sampled (every served hit).
+    pub hits_sampled: u64,
+    /// Sum of sampled lags (for the mean).
+    pub lag_sum: u64,
+    /// Worst lag ever observed on a hit, *before* demotion — the raw
+    /// staleness of the cache, whether or not the row was served.
+    pub max_lag: u64,
+    /// Hits served with lag > 0 (an older-than-latest row reached the
+    /// output).
+    pub stale_serves: u64,
+    /// Over-bound hits demoted to misses while staleness-degraded.
+    pub demoted: u64,
+    /// Refresh pushes self-enqueued for demoted keys.
+    pub refreshes: u64,
+    /// Batches served while in staleness-degraded mode.
+    pub degraded_batches: u64,
+    /// Staged pushes written into resident slots at batch boundaries.
+    pub updates_applied: u64,
+    /// Staged pushes skipped because the slot already held the same or a
+    /// newer version (duplicated/reordered pushes are idempotent).
+    pub updates_superseded: u64,
+    /// Staged pushes whose key was not HBM-resident (left to miss-fill).
+    pub updates_absent: u64,
+}
+
+impl StalenessStats {
+    /// Mean version lag across all sampled hits (0 when nothing sampled).
+    pub fn mean_lag(&self) -> f64 {
+        if self.hits_sampled == 0 {
+            0.0
+        } else {
+            self.lag_sum as f64 / self.hits_sampled as f64
+        }
+    }
+
+    /// Folds another accumulator in (multi-GPU aggregation over shards).
+    pub fn absorb(&mut self, other: &StalenessStats) {
+        self.hits_sampled += other.hits_sampled;
+        self.lag_sum += other.lag_sum;
+        self.max_lag = self.max_lag.max(other.max_lag);
+        self.stale_serves += other.stale_serves;
+        self.demoted += other.demoted;
+        self.refreshes += other.refreshes;
+        self.degraded_batches += other.degraded_batches;
+        self.updates_applied += other.updates_applied;
+        self.updates_superseded += other.updates_superseded;
+        self.updates_absent += other.updates_absent;
+    }
+}
+
+/// The full checkpoint an incremental delta chain patches: its epoch, its
+/// per-key versions (key-sorted, for the delta capture's binary search),
+/// and the next delta sequence number.
+struct DeltaBase {
+    epoch: u64,
+    versions: Vec<(u64, u64)>,
+    next_seq: u64,
+}
+
 /// The Fleche embedding cache system.
 pub struct FlecheSystem {
     cache: FlatCache,
@@ -191,6 +271,18 @@ pub struct FlecheSystem {
     /// GPU fault counters as of the end of the previous batch, so each
     /// batch's breaker sample sees only its own fault delta.
     last_faults: FaultCounters,
+    /// Authoritative per-key update versions, fed by the reliable
+    /// trainer-commit channel ([`FlecheSystem::commit_updates`]).
+    ledger: VersionLedger,
+    /// Pushes staged for the next batch boundary (lossy cache channel plus
+    /// self-enqueued refreshes); never visible mid-batch.
+    pending: Vec<UpdatePush>,
+    staleness_policy: Option<StalenessPolicy>,
+    staleness: StalenessStats,
+    update_costs: UpdateCostSpec,
+    /// Epoch stamped into full checkpoints (increments per checkpoint).
+    checkpoint_epoch: u64,
+    delta_base: Option<DeltaBase>,
 }
 
 impl FlecheSystem {
@@ -245,6 +337,7 @@ impl FlecheSystem {
             cache.enable_checksums();
         }
         let breaker = config.breaker.clone().map(CircuitBreaker::new);
+        let staleness_policy = config.staleness.map(StalenessPolicy::new);
         FlecheSystem {
             cache,
             codec,
@@ -256,6 +349,13 @@ impl FlecheSystem {
             n_tables: spec.table_count(),
             breaker,
             last_faults: FaultCounters::default(),
+            ledger: VersionLedger::new(),
+            pending: Vec::new(),
+            staleness_policy,
+            staleness: StalenessStats::default(),
+            update_costs: UpdateCostSpec::modeled(),
+            checkpoint_epoch: 0,
+            delta_base: None,
         }
     }
 
@@ -290,6 +390,155 @@ impl FlecheSystem {
         self.breaker.as_ref()
     }
 
+    /// The authoritative per-key update-version ledger (diagnostics).
+    pub fn ledger(&self) -> &VersionLedger {
+        &self.ledger
+    }
+
+    /// Lifetime staleness accounting over the update pipeline.
+    pub fn staleness_stats(&self) -> StalenessStats {
+        self.staleness
+    }
+
+    /// The staleness policy, when one is configured (diagnostics).
+    pub fn staleness_policy(&self) -> Option<&StalenessPolicy> {
+        self.staleness_policy.as_ref()
+    }
+
+    /// Pushes staged for the next batch boundary (diagnostics).
+    pub fn pending_update_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Commits trainer pushes to the version ledger — the *reliable*
+    /// channel of the update pipeline. The ledger only ever moves forward
+    /// (duplicated or reordered commits are max-merged), so after this the
+    /// system knows each key's latest version even if the corresponding
+    /// cache push is dropped by the lossy channel.
+    pub fn commit_updates(&mut self, gpu: &mut Gpu, pushes: &[UpdatePush]) {
+        if pushes.is_empty() {
+            return;
+        }
+        gpu.elapse_host(
+            "ledger-commit",
+            Ns(pushes.len() as f64 * self.update_costs.ledger_probe_ns),
+        );
+        // The ledger is read by the batch-boundary apply kernel; commits
+        // are the host writes on the other side of that sync edge.
+        let mut tables: Vec<u16> = pushes.iter().map(|p| p.table).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        if let Some(rc) = gpu.race_checker_mut() {
+            for t in tables {
+                rc.host_write("ledger-commit", ledger_resource(t));
+            }
+        }
+        for p in pushes {
+            self.ledger.commit(p);
+        }
+    }
+
+    /// Stages trainer pushes for application at the next batch boundary —
+    /// the *lossy* channel of the update pipeline (a chaos plan's
+    /// [`fleche_chaos::UpdateFaultInjector`] drops, duplicates, and
+    /// reorders it). Staged values are never visible mid-batch.
+    pub fn push_updates(&mut self, gpu: &mut Gpu, pushes: &[UpdatePush]) {
+        if pushes.is_empty() {
+            return;
+        }
+        gpu.elapse_host(
+            "update-decode",
+            Ns(pushes.len() as f64 * self.update_costs.push_decode_ns),
+        );
+        self.pending.extend(pushes.iter().cloned());
+    }
+
+    /// Applies every staged push at a batch boundary: the single point
+    /// where updates become visible. Values land through the same
+    /// overwrite-in-place path as the replace-copy workflow (checksums
+    /// recomputed, per-slot versions advanced monotonically), one batched
+    /// `update-apply` kernel is priced for the writes, every written slot
+    /// is declared to the race checker, and the kernel's ledger reads are
+    /// declared against [`ledger_resource`]. Must run after the batch's
+    /// final sync (no reader pinned, no kernel in flight).
+    fn apply_pending_updates(&mut self, gpu: &mut Gpu) -> UpdateApplyReport {
+        if self.pending.is_empty() {
+            return UpdateApplyReport::default();
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let mut tables: Vec<u16> = pending.iter().map(|p| p.table).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let mut value_bytes = 0u64;
+        let updates: Vec<SlotUpdate> = pending
+            .iter()
+            .map(|p| {
+                let dim = self.cache.dim_of(p.table);
+                value_bytes += dim as u64 * 4;
+                SlotUpdate {
+                    key: self.codec.encode(p.table, p.id),
+                    version: p.version,
+                    value: p.value(dim),
+                }
+            })
+            .collect();
+        let report = self.cache.apply_updates(&updates);
+        let streamed = (value_bytes as f64 * self.update_costs.apply_bytes_factor) as u64;
+        let s = gpu.default_stream();
+        let kid = gpu.launch(
+            s,
+            KernelDesc::new(
+                "update-apply",
+                self.update_costs.apply_kernel_threads,
+                KernelWork::streaming(streamed.max(1)),
+            ),
+        );
+        if let Some(rc) = gpu.race_checker_mut() {
+            for &(class, slot) in &report.slots {
+                rc.kernel_write(kid, slot_resource(class, slot));
+            }
+            for &t in &tables {
+                rc.kernel_read(kid, ledger_resource(t));
+            }
+        }
+        gpu.sync_stream(s);
+        report
+    }
+
+    /// Rewrites fetched rows to the ledger's latest version and records
+    /// which version each row now carries (0 = frozen table value, left
+    /// untouched). `skip` is the sorted row indices whose fetch failed or
+    /// was served stale — those rows pass through unmodified. Misses
+    /// therefore always serve (and admit) fresh values: eviction can never
+    /// roll a key's served version backwards.
+    fn rewrite_rows_to_latest(
+        &self,
+        gpu: &mut Gpu,
+        keys: &[(u16, u64)],
+        rows: &mut [Vec<f32>],
+        skip: &[usize],
+    ) -> Vec<u64> {
+        let mut versions = vec![0u64; keys.len()];
+        if self.ledger.tracked_keys() == 0 {
+            return versions;
+        }
+        gpu.elapse_host(
+            "ledger-probe",
+            Ns(keys.len() as f64 * self.update_costs.ledger_probe_ns),
+        );
+        for (i, &(t, f)) in keys.iter().enumerate() {
+            if skip.binary_search(&i).is_ok() {
+                continue;
+            }
+            let v = self.ledger.get(t, f);
+            if v > 0 {
+                versioned_embedding_value(t, f, v, &mut rows[i]);
+                versions[i] = v;
+            }
+        }
+        versions
+    }
+
     /// Mutable cache access for fault-injection harnesses (bit-flip
     /// corruption); not a query-path API.
     pub fn cache_mut(&mut self) -> &mut FlatCache {
@@ -308,8 +557,17 @@ impl FlecheSystem {
         let dedup = dedup_charged(gpu, batch);
         phases.other += gpu.now() - o0;
         let d0 = gpu.now();
-        let (unique_rows, cost, report) = self.store.query_batch(&dedup.unique, gpu.now());
+        let (mut unique_rows, cost, report) = self.store.query_batch(&dedup.unique, gpu.now());
         gpu.elapse_host("dram-query", cost);
+        // The miss backend serves the frozen table values; rewrite rows
+        // the trainer has since updated to the ledger's latest version so
+        // breaker degradation never rolls served versions backwards.
+        // (Failed/stale fetches keep their zero-filled/stale rows.)
+        let mut unfetched: Vec<usize> =
+            report.failed.iter().chain(&report.stale).copied().collect();
+        unfetched.sort_unstable();
+        unfetched.dedup();
+        self.rewrite_rows_to_latest(gpu, &dedup.unique, &mut unique_rows, &unfetched);
         let span = gpu.now() - d0;
         let payload = self.store.payload_cost(&dedup.unique);
         phases.dram_payload += payload.min(span);
@@ -374,7 +632,8 @@ impl FlecheSystem {
                 rc.host_write("reclaim", slot_resource(class, slot));
             }
         });
-        let (snap, slots) = self.cache.snapshot_with_slots();
+        self.checkpoint_epoch += 1;
+        let (snap, slots) = self.cache.snapshot_at_with_slots(self.checkpoint_epoch);
         let s = gpu.default_stream();
         let kid = gpu.launch(
             s,
@@ -391,7 +650,71 @@ impl FlecheSystem {
         }
         gpu.sync_stream(s);
         gpu.copy_blocking("snapshot-d2h", snap.byte_len().max(1), CopyApi::CudaMemcpy);
+        // This image becomes the base a later delta chain patches: record
+        // its per-key versions (key-sorted by construction) so delta
+        // capture can binary-search what the base already holds.
+        if let Ok(entries) = snap.decode() {
+            self.delta_base = Some(DeltaBase {
+                epoch: self.checkpoint_epoch,
+                versions: entries.iter().map(|e| (e.key, e.version)).collect(),
+                next_seq: 1,
+            });
+        }
         snap
+    }
+
+    /// Captures an incremental checkpoint delta against the last full
+    /// [`FlecheSystem::checkpoint`]: exactly the live entries whose update
+    /// version advanced past what the base recorded. Returns `None` when
+    /// no full checkpoint has been taken yet (there is nothing to patch).
+    ///
+    /// Like a full checkpoint this runs at a batch boundary: sync, epoch
+    /// close-out, then a scan kernel whose reads are declared per captured
+    /// slot, plus the host-side version compare against the base list.
+    pub fn delta_checkpoint(&mut self, gpu: &mut Gpu) -> Option<CacheSnapshot> {
+        let (epoch, seq) = match &self.delta_base {
+            Some(b) => (b.epoch, b.next_seq),
+            None => return None,
+        };
+        gpu.sync_all();
+        if let Some(rc) = gpu.race_checker_mut() {
+            rc.note_epoch_advance();
+        }
+        self.cache.end_batch_with(|class, slot| {
+            if let Some(rc) = gpu.race_checker_mut() {
+                rc.host_write("reclaim", slot_resource(class, slot));
+            }
+        });
+        gpu.elapse_host(
+            "delta-scan",
+            Ns(self.cache.len() as f64 * self.update_costs.delta_scan_ns_per_entry),
+        );
+        let (snap, slots) = match &self.delta_base {
+            Some(base) => self
+                .cache
+                .snapshot_delta_with_slots(epoch, seq, &base.versions),
+            None => return None,
+        };
+        if let Some(b) = &mut self.delta_base {
+            b.next_seq += 1;
+        }
+        let s = gpu.default_stream();
+        let kid = gpu.launch(
+            s,
+            KernelDesc::new(
+                "snapshot-scan",
+                16_384,
+                KernelWork::streaming(self.cache.scan_bytes() + snap.byte_len()),
+            ),
+        );
+        if let Some(rc) = gpu.race_checker_mut() {
+            for &(class, slot) in &slots {
+                rc.kernel_read(kid, slot_resource(class, slot));
+            }
+        }
+        gpu.sync_stream(s);
+        gpu.copy_blocking("snapshot-d2h", snap.byte_len().max(1), CopyApi::CudaMemcpy);
+        Some(snap)
     }
 
     /// Warm-restarts the cache from a checkpoint image.
@@ -420,6 +743,47 @@ impl FlecheSystem {
                 "restore-replay",
                 (report.restored as u32).saturating_mul(32).max(128),
                 KernelWork::streaming(snap.byte_len()),
+            ),
+        );
+        if let Some(rc) = gpu.race_checker_mut() {
+            for &(class, slot) in &report.slots {
+                rc.kernel_write(kid, slot_resource(class, slot));
+            }
+        }
+        gpu.sync_stream(s);
+        Ok(report)
+    }
+
+    /// Warm-restarts the cache from a full checkpoint plus an ordered
+    /// chain of incremental deltas — recovery under a live update stream,
+    /// landing on the latest checkpointed version instead of the stale
+    /// base.
+    ///
+    /// Same verify-before-mutate rule as [`FlecheSystem::restore_from`],
+    /// extended to the whole chain: every image (base and each delta) is
+    /// checksum-verified and linkage-checked (kind, base epoch, contiguous
+    /// sequence) on the host before any device state changes; any failure
+    /// returns `Err` with the cache untouched. One replay kernel writes
+    /// all restored slots.
+    pub fn restore_chain(
+        &mut self,
+        gpu: &mut Gpu,
+        base: &CacheSnapshot,
+        deltas: &[CacheSnapshot],
+    ) -> Result<RestoreReport, SnapshotError> {
+        let total_bytes: u64 =
+            base.byte_len() + deltas.iter().map(CacheSnapshot::byte_len).sum::<u64>();
+        gpu.elapse_host("snapshot-verify", Ns(total_bytes as f64 * 0.1));
+        let report = self.cache.restore_chain(base, deltas)?;
+        self.clock = self.clock.max(report.max_stamp);
+        gpu.copy_blocking("snapshot-h2d", total_bytes.max(1), CopyApi::CudaMemcpy);
+        let s = gpu.default_stream();
+        let kid = gpu.launch(
+            s,
+            KernelDesc::new(
+                "restore-replay",
+                (report.restored as u32).saturating_mul(32).max(128),
+                KernelWork::streaming(total_bytes),
             ),
         );
         if let Some(rc) = gpu.race_checker_mut() {
@@ -551,6 +915,54 @@ impl EmbeddingCacheSystem for FlecheSystem {
                         self.cache.quarantine(self.codec.encode(t, f), class, slot);
                         corrupt_detected += 1;
                         *ans = CacheAnswer::Miss;
+                    }
+                }
+            }
+        }
+        // ---- Staleness: per-hit version lag, demotion while degraded ----
+        // Lag = committed ledger version − resident slot version. While the
+        // staleness policy is degraded, an over-bound hit is demoted to a
+        // miss (the miss path serves the ledger's latest) and a refresh is
+        // staged for the batch boundary; the raw (pre-demotion) lag still
+        // feeds the policy so recovery reflects real cache staleness.
+        let mut batch_max_lag = 0u64;
+        if self.ledger.tracked_keys() > 0 {
+            gpu.elapse_host(
+                "ledger-probe",
+                Ns(unique.len() as f64 * self.update_costs.ledger_probe_ns),
+            );
+            let degraded_now = self.staleness_policy.as_ref().is_some_and(|p| p.degraded());
+            // While degraded, catch up aggressively: demote anything over
+            // the *resume* bound, so every refresh pulls the raw lag
+            // toward the exit threshold and the mode converges instead of
+            // serving (resume_lag, max_lag] hits stale forever.
+            let bound = self
+                .config
+                .staleness
+                .as_ref()
+                .map_or(u64::MAX, |c| c.resume_lag);
+            for (pos, ans) in answers.iter_mut().enumerate() {
+                if let CacheAnswer::Hit { class, slot } = *ans {
+                    let (t, f) = unique[pos];
+                    let target = self.ledger.get(t, f);
+                    let lag = target.saturating_sub(self.cache.slot_version(class, slot));
+                    batch_max_lag = batch_max_lag.max(lag);
+                    self.staleness.max_lag = self.staleness.max_lag.max(lag);
+                    if degraded_now && lag > bound {
+                        *ans = CacheAnswer::Miss;
+                        self.pending.push(UpdatePush {
+                            table: t,
+                            id: f,
+                            version: target,
+                        });
+                        self.staleness.demoted += 1;
+                        self.staleness.refreshes += 1;
+                        continue;
+                    }
+                    self.staleness.hits_sampled += 1;
+                    self.staleness.lag_sum += lag;
+                    if lag > 0 {
+                        self.staleness.stale_serves += 1;
                     }
                 }
             }
@@ -719,13 +1131,35 @@ impl EmbeddingCacheSystem for FlecheSystem {
                 CacheAnswer::Hit { .. } => {}
             }
         }
-        let (miss_rows, miss_cost, fetch_report) = self.store.query_batch(&full_miss_keys, d0);
-        let (unified_rows, unified_payload) = self.store.read_located(&unified_keys);
+        let (mut miss_rows, miss_cost, fetch_report) = self.store.query_batch(&full_miss_keys, d0);
+        let (mut unified_rows, unified_payload) = self.store.read_located(&unified_keys);
         gpu.elapse_host("dram-query", miss_cost + unified_payload);
         let span = gpu.now() - d0;
         let payload_part = self.store.payload_cost(&full_miss_keys) + unified_payload;
         phases.dram_payload += payload_part.min(span);
         phases.dram_index += span.saturating_sub(payload_part);
+        // Keys whose fetch failed (zero-filled rows) or was served stale
+        // must not be promoted into the GPU cache as if they were fresh.
+        // Sorted Vec + binary search instead of a HashSet: membership is
+        // the only operation, and determinism-critical modules avoid
+        // randomized-order containers entirely (hash-iteration lint).
+        let mut unfetched: Vec<usize> = fetch_report
+            .failed
+            .iter()
+            .chain(&fetch_report.stale)
+            .copied()
+            .collect();
+        unfetched.sort_unstable();
+        unfetched.dedup();
+        // The miss backend holds the frozen table values; rewrite every
+        // cleanly fetched row the trainer has since updated to the
+        // ledger's latest, remembering the version so admitted slots get
+        // stamped below. A key served through the miss path is therefore
+        // never older than any version previously served for it.
+        let miss_versions =
+            self.rewrite_rows_to_latest(gpu, &full_miss_keys, &mut miss_rows, &unfetched);
+        let unified_versions =
+            self.rewrite_rows_to_latest(gpu, &unified_keys, &mut unified_rows, &[]);
 
         // H2D of fetched embeddings (straight into the output matrix).
         let h0 = gpu.now();
@@ -743,19 +1177,6 @@ impl EmbeddingCacheSystem for FlecheSystem {
         let mut insert_stats = ProbeStats::new();
         let mut admitted: u64 = 0;
         let mut admitted_slots: Vec<(u16, u32)> = Vec::new();
-        // Keys whose fetch failed (zero-filled rows) or was served stale
-        // must not be promoted into the GPU cache as if they were fresh.
-        // Sorted Vec + binary search instead of a HashSet: membership is
-        // the only operation, and determinism-critical modules avoid
-        // randomized-order containers entirely (hash-iteration lint).
-        let mut unfetched: Vec<usize> = fetch_report
-            .failed
-            .iter()
-            .chain(&fetch_report.stale)
-            .copied()
-            .collect();
-        unfetched.sort_unstable();
-        unfetched.dedup();
         for (i, (&(t, f), row)) in full_miss_keys
             .iter()
             .zip(&miss_rows)
@@ -771,6 +1192,17 @@ impl EmbeddingCacheSystem for FlecheSystem {
                 insert_stats.merge(&s);
                 if let Some(slot) = loc {
                     admitted += 1;
+                    // Stamp the update version the rewritten row carries
+                    // (insert reset it), so later lag measurements and
+                    // delta captures see what this slot really holds.
+                    let v = if i < full_miss_keys.len() {
+                        miss_versions[i]
+                    } else {
+                        unified_versions[i - full_miss_keys.len()]
+                    };
+                    if v > 0 {
+                        self.cache.set_slot_version(slot.0, slot.1, v);
+                    }
                     admitted_slots.push(slot);
                 }
             } else if self.config.unified_index {
@@ -930,6 +1362,21 @@ impl EmbeddingCacheSystem for FlecheSystem {
             }
             phases.other += gpu.now() - inv0;
         }
+        // ---- Batch boundary: staged updates become visible --------------
+        // The final sync above is the happens-before edge that makes the
+        // in-place overwrites safe; mid-batch, readers only ever saw the
+        // pre-update values.
+        let applied = self.apply_pending_updates(gpu);
+        self.staleness.updates_applied += applied.applied;
+        self.staleness.updates_superseded += applied.superseded;
+        self.staleness.updates_absent += applied.absent;
+        if self.ledger.tracked_keys() > 0 {
+            if let Some(p) = &mut self.staleness_policy {
+                if p.observe(batch_max_lag) {
+                    self.staleness.degraded_batches += 1;
+                }
+            }
+        }
         phases.other += gpu.now() - a0;
         let wall = gpu.now() - t_start;
         if self.config.unified_index {
@@ -968,6 +1415,7 @@ impl EmbeddingCacheSystem for FlecheSystem {
 
     fn reset_stats(&mut self) {
         self.lifetime = LifetimeStats::default();
+        self.staleness = StalenessStats::default();
     }
 }
 
@@ -1332,6 +1780,176 @@ mod tests {
             warmed > cold,
             "warm-up ({warmed}) must beat cold restart ({cold})"
         );
+    }
+
+    #[test]
+    fn updates_apply_at_batch_boundaries_and_serve_latest() {
+        use fleche_store::UpdateStream;
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig {
+            cache: FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+            ..FlecheConfig::full(0.2)
+        });
+        for _ in 0..10 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let mut stream = UpdateStream::new(&ds, 7);
+        let burst = stream.next_burst(200);
+        sys.commit_updates(&mut gpu, &burst);
+        sys.push_updates(&mut gpu, &burst);
+        assert_eq!(sys.pending_update_count(), 200, "staged, not yet visible");
+        // The staging batch applies them at its boundary.
+        sys.query_batch(&mut gpu, &gen.next_batch(256));
+        assert_eq!(sys.pending_update_count(), 0);
+        let st = sys.staleness_stats();
+        assert_eq!(
+            st.updates_applied + st.updates_superseded + st.updates_absent,
+            200
+        );
+        // After the boundary every served row is at the ledger's latest
+        // version: applied hits carry it, misses are rewritten to it.
+        let batch = gen.next_batch(256);
+        let out = sys.query_batch(&mut gpu, &batch);
+        let mut k = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                let v = sys.ledger().get(t as u16, id);
+                let mut want = vec![0.0f32; 16];
+                versioned_embedding_value(t as u16, id, v, &mut want);
+                assert_eq!(out.rows[k], want, "row {k} at version {v}");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn staleness_policy_degrades_demotes_and_recovers() {
+        use fleche_store::UpdateStream;
+        use fleche_workload::WorkloadStats;
+        let (mut gpu, mut sys, mut gen) = setup(FlecheConfig {
+            cache: FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+            staleness: Some(StalenessConfig {
+                max_lag: 2,
+                resume_lag: 2,
+            }),
+            ..FlecheConfig::full(0.2)
+        });
+        let mut stats = WorkloadStats::new();
+        for _ in 0..10 {
+            let b = gen.next_batch(256);
+            stats.observe(&b);
+            sys.query_batch(&mut gpu, &b);
+        }
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let mut stream = UpdateStream::new(&ds, 9);
+        let hot = stats.hottest(64);
+        // Push outage: versions commit to the ledger but no push reaches
+        // the cache, so resident hot keys fall behind past the bound.
+        for _ in 0..6 {
+            let burst = stream.next_burst_from(&hot, 64);
+            sys.commit_updates(&mut gpu, &burst);
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let p = sys.staleness_policy().expect("configured");
+        assert!(p.entries() >= 1, "over-bound lag must degrade");
+        let st = sys.staleness_stats();
+        assert!(st.degraded_batches > 0);
+        assert!(st.demoted > 0, "degraded mode must demote stale hits");
+        assert_eq!(st.demoted, st.refreshes);
+        // Outage over: demote-and-refresh catches the cache up and the
+        // policy exits degraded mode.
+        for _ in 0..8 {
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+        }
+        let p = sys.staleness_policy().expect("configured");
+        assert!(p.exits() >= 1, "catch-up must exit degraded mode");
+        assert!(!p.degraded());
+    }
+
+    #[test]
+    fn delta_chain_restores_to_latest_version() {
+        use fleche_store::UpdateStream;
+        use fleche_workload::WorkloadStats;
+        let config = || FlecheConfig {
+            cache: FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+            ..FlecheConfig::full(0.2)
+        };
+        let (mut gpu, mut sys, mut gen) = setup(config());
+        let mut stats = WorkloadStats::new();
+        for _ in 0..10 {
+            let b = gen.next_batch(256);
+            stats.observe(&b);
+            sys.query_batch(&mut gpu, &b);
+        }
+        assert!(sys.delta_checkpoint(&mut gpu).is_none(), "no base yet");
+        let base = sys.checkpoint(&mut gpu);
+        // Keep updating hot (resident) keys; cut a delta per round.
+        let ds = spec::synthetic(8, 5_000, 16, -1.3);
+        let mut stream = UpdateStream::new(&ds, 11);
+        let hot = stats.hottest(32);
+        let mut deltas = Vec::new();
+        for _ in 0..3 {
+            let burst = stream.next_burst_from(&hot, 48);
+            sys.commit_updates(&mut gpu, &burst);
+            sys.push_updates(&mut gpu, &burst);
+            sys.query_batch(&mut gpu, &gen.next_batch(256));
+            deltas.push(sys.delta_checkpoint(&mut gpu).expect("base taken"));
+        }
+        assert!(
+            deltas.iter().all(|d| d.byte_len() < base.byte_len()),
+            "a delta holds only advanced keys, not the whole cache"
+        );
+        // Fresh process: base + ordered deltas recovers the *latest*
+        // version of every updated resident key, not the stale base.
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let mut sys2 = FlecheSystem::new(&ds, store, config());
+        let mut gpu2 = Gpu::new(DeviceSpec::t4());
+        let report = sys2
+            .restore_chain(&mut gpu2, &base, &deltas)
+            .expect("clean chain");
+        assert!(report.restored > 0);
+        let latest = sys.ledger().max_version();
+        assert!(latest > 0);
+        assert_eq!(
+            report.max_version, latest,
+            "chain must land on the newest pushed version"
+        );
+        // Served bytes for the updated hot keys match the latest versions
+        // (sys2's ledger is empty, so these come from restored slots, not
+        // the miss-path rewrite).
+        let mut table_ids: Vec<Vec<u64>> = vec![Vec::new(); 8];
+        for &(t, f) in &hot {
+            table_ids[t as usize].push(f);
+        }
+        let batch = Batch {
+            samples: Vec::new(),
+            table_ids,
+        };
+        let out = sys2.query_batch(&mut gpu2, &batch);
+        let mut k = 0;
+        let mut updated_rows = 0;
+        for (t, ids) in batch.table_ids.iter().enumerate() {
+            for &id in ids {
+                let v = sys.ledger().get(t as u16, id);
+                let mut want = vec![0.0f32; 16];
+                versioned_embedding_value(t as u16, id, v, &mut want);
+                assert_eq!(out.rows[k], want, "row {k} at version {v}");
+                if v > 0 {
+                    updated_rows += 1;
+                }
+                k += 1;
+            }
+        }
+        assert!(updated_rows > 0, "the hot set must contain updated keys");
     }
 
     #[test]

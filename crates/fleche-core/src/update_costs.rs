@@ -1,0 +1,66 @@
+//! Cost-model constants for the online-update pipeline.
+//!
+//! Everything the update path charges the simulator — push ingestion,
+//! version-ledger probes, the batch-boundary apply kernel, delta capture —
+//! derives from [`UpdateCostSpec`], the same way device timing derives
+//! from `fleche_gpu::DeviceSpec`. The analyzer's cost-constants rule
+//! checks every public field here against its DESIGN.md §8.3 table entry,
+//! so an undocumented constant fails `analyze`.
+
+/// Calibration constants for ingesting, applying, and checkpointing
+/// online embedding updates.
+///
+/// Defaults follow the shape of the HugeCTR inference parameter server's
+/// update path (arXiv 2210.08804): pushes are decoded and staged on the
+/// host, applied to device memory in one batched kernel, and delta
+/// checkpoints are host-side scans over the live set.
+#[derive(Clone, Debug)]
+pub struct UpdateCostSpec {
+    /// Host cost to decode and stage one accepted trainer push.
+    pub push_decode_ns: f64,
+    /// Host cost of one version-ledger probe (lag measurement per hit,
+    /// commit per push).
+    pub ledger_probe_ns: f64,
+    /// Streaming-bytes multiplier of the update-apply kernel per row
+    /// byte written (read-modify-write plus index-stamp traffic).
+    pub apply_bytes_factor: f64,
+    /// Thread count of the batched update-apply kernel.
+    pub apply_kernel_threads: u32,
+    /// Host cost per live entry scanned when capturing an incremental
+    /// checkpoint delta (version compare against the base list).
+    pub delta_scan_ns_per_entry: f64,
+}
+
+impl UpdateCostSpec {
+    /// The modeled update path (see DESIGN.md §8.3 for sources).
+    pub fn modeled() -> UpdateCostSpec {
+        UpdateCostSpec {
+            push_decode_ns: 40.0,
+            ledger_probe_ns: 15.0,
+            apply_bytes_factor: 2.0,
+            apply_kernel_threads: 4096,
+            delta_scan_ns_per_entry: 6.0,
+        }
+    }
+}
+
+impl Default for UpdateCostSpec {
+    fn default() -> UpdateCostSpec {
+        UpdateCostSpec::modeled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_constants_are_sane() {
+        let s = UpdateCostSpec::modeled();
+        assert!(s.push_decode_ns > 0.0);
+        assert!(s.ledger_probe_ns > 0.0);
+        assert!(s.apply_bytes_factor >= 1.0, "apply at least writes the row");
+        assert!(s.apply_kernel_threads > 0);
+        assert!(s.delta_scan_ns_per_entry > 0.0);
+    }
+}

@@ -152,6 +152,14 @@ pub fn slot_resource(class: u16, slot: u32) -> u64 {
     ((class as u64) << 32) | slot as u64
 }
 
+/// Encodes a per-table version-ledger shard as a checker resource id.
+/// Bit 63 namespaces ledger resources away from every possible
+/// [`slot_resource`] (whose class field tops out at bit 47), so the
+/// update pipeline's ledger reads can never alias a pool slot.
+pub fn ledger_resource(table: u16) -> u64 {
+    (1u64 << 63) | table as u64
+}
+
 #[derive(Clone, Debug, Default)]
 struct ResourceState {
     last_write: Option<Access>,
@@ -492,6 +500,15 @@ mod tests {
         assert_ne!(slot_resource(0, 5), slot_resource(1, 5));
         assert_ne!(slot_resource(0, 5), slot_resource(0, 6));
         assert_eq!(slot_resource(3, 9) >> 32, 3);
+    }
+
+    #[test]
+    fn ledger_resources_never_alias_slots() {
+        assert_ne!(ledger_resource(0), ledger_resource(1));
+        for table in [0u16, 7, u16::MAX] {
+            assert_eq!(ledger_resource(table) >> 63, 1);
+            assert_eq!(slot_resource(table, u32::MAX) >> 63, 0);
+        }
     }
 
     #[test]

@@ -92,6 +92,13 @@ impl<S: EmbeddingCacheSystem> InferenceEngine<S> {
         &mut self.gpu
     }
 
+    /// Mutable access to the cache system and the device together, for
+    /// out-of-band work between batches that needs both (e.g. staging
+    /// online update pushes, which cost simulated device time).
+    pub fn system_and_gpu_mut(&mut self) -> (&mut S, &mut Gpu) {
+        (&mut self.system, &mut self.gpu)
+    }
+
     /// Runs one batch and returns its timing.
     pub fn run_batch(&mut self, batch: &Batch) -> InferenceTiming {
         let t0 = self.gpu.now();

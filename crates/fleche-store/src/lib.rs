@@ -14,6 +14,10 @@
 //! * [`TieredStore`] — giant-model mode (paper §5): the CPU-DRAM layer as
 //!   an LRU cache over a remote parameter server, logging evictions so the
 //!   GPU-resident unified index can invalidate stale DRAM pointers.
+//! * [`UpdateStream`] / [`VersionLedger`] — online embedding updates: a
+//!   seeded trainer-push generator with per-key monotonic versions, and
+//!   the parameter-server version table serving layers consult to measure
+//!   staleness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +27,7 @@ pub mod dedup;
 pub mod pooling;
 pub mod remote;
 pub mod table;
+pub mod update;
 
 pub use api::{
     dedup_charged, BatchStats, EmbeddingCacheSystem, LifetimeStats, PhaseBreakdown, QueryOutput,
@@ -31,3 +36,4 @@ pub use dedup::{Deduped, DEDUP_NS_PER_ID};
 pub use pooling::Pooling;
 pub use remote::{FetchReport, RemoteSpec, TieredStats, TieredStore};
 pub use table::{embedding_value, CpuStore, DRAM_INDEX_BYTES, DRAM_PROBES_PER_LOOKUP};
+pub use update::{versioned_embedding_value, UpdatePush, UpdateStream, VersionLedger};

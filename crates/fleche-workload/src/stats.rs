@@ -115,6 +115,24 @@ impl WorkloadStats {
         ranked.into_iter().map(|(key, _)| key).collect()
     }
 
+    /// The up-to-`k` hottest keys observed at least `min_count` times —
+    /// the candidate set an online trainer re-embeds first (updates to
+    /// keys the serving trace actually touches are the ones that create
+    /// staleness). Same deterministic ordering as
+    /// [`WorkloadStats::hottest`]; feed the result to an update stream's
+    /// hot-biased burst generator.
+    pub fn update_candidates(&self, k: usize, min_count: u64) -> Vec<(u16, u64)> {
+        let mut ranked: Vec<((u16, u64), u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &n)| n >= min_count)
+            .map(|(&key, &n)| (key, n))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(key, _)| key).collect()
+    }
+
     /// Fraction of each table's corpus that the trace touched.
     pub fn corpus_coverage(&self, spec: &DatasetSpec) -> Vec<f64> {
         self.distinct_per_table()
@@ -211,6 +229,25 @@ mod tests {
         );
         // Asking for more than exists returns everything once.
         assert_eq!(st.hottest(100).len(), st.distinct());
+    }
+
+    #[test]
+    fn update_candidates_filter_by_count_and_rank_like_hottest() {
+        let mut st = WorkloadStats::new();
+        let batch = Batch {
+            samples: Vec::new(),
+            table_ids: vec![vec![7, 7, 7, 3], vec![7, 9, 7, 9, 7]],
+        };
+        st.observe(&batch);
+        // min_count 2 drops the once-seen (0,3); ranking matches hottest.
+        assert_eq!(
+            st.update_candidates(10, 2),
+            vec![(0u16, 7u64), (1, 7), (1, 9)]
+        );
+        assert_eq!(st.update_candidates(1, 2), vec![(0u16, 7u64)]);
+        // min_count 1 is exactly the hottest list.
+        assert_eq!(st.update_candidates(10, 1), st.hottest(10));
+        assert!(st.update_candidates(10, 100).is_empty());
     }
 
     #[test]

@@ -17,12 +17,14 @@ fn entries_strategy() -> impl Strategy<Value = Vec<SnapshotEntry>> {
             any::<u64>(),
             any::<u16>(),
             any::<u32>(),
+            any::<u64>(),
             prop::collection::vec(any::<u32>().prop_map(f32::from_bits), 1..24),
         )
-            .prop_map(|(key, class, stamp, value)| SnapshotEntry {
+            .prop_map(|(key, class, stamp, version, value)| SnapshotEntry {
                 key,
                 class,
                 stamp,
+                version,
                 value,
             }),
         0..40,

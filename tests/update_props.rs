@@ -1,0 +1,338 @@
+//! Property-based tests on the online-update pipeline at the flat-cache
+//! layer: per-key slot versions are monotone under arbitrary
+//! apply/evict/restore interleavings, duplicated and reordered pushes are
+//! idempotent (order never changes the final state), a base + delta chain
+//! recovers every key to the chain's newest version, and a delta image
+//! with any single byte flipped is always rejected before the cache is
+//! touched.
+
+use std::collections::BTreeMap;
+
+use fleche_coding::{FlatKeyCodec, SizeAwareCodec};
+use fleche_core::{CacheAnswer, FlatCache, FlatCacheConfig, SlotUpdate};
+use fleche_store::versioned_embedding_value;
+use fleche_workload::spec;
+use proptest::prelude::*;
+
+const DIM: u32 = 8;
+
+fn codec() -> SizeAwareCodec {
+    let ds = spec::synthetic(4, 500, DIM, -1.2);
+    let corpora: Vec<u64> = ds.tables.iter().map(|t| t.corpus).collect();
+    SizeAwareCodec::new(24, &corpora)
+}
+
+fn value_at(table: u16, id: u64, version: u64) -> Vec<f32> {
+    let mut v = vec![0.0; DIM as usize];
+    versioned_embedding_value(table, id, version, &mut v);
+    v
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Distinct keys over a small corpus so interleavings collide on purpose.
+fn keys_strategy(max: usize) -> impl Strategy<Value = Vec<(u16, u64)>> {
+    prop::collection::vec((0u16..4, 0u64..200), 1..max).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// One step of the churn interleaving: `(op kind, key selector, version
+/// increment)`.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, usize, u64)>> {
+    prop::collection::vec((0u8..4, any::<usize>(), 1u64..4), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any interleaving of ledger-versioned inserts, update bursts
+    /// (fresh and deliberately stale pushes mixed), batch boundaries and
+    /// eviction passes, a key's observed slot version never moves
+    /// backwards and never runs ahead of the versions the ledger handed
+    /// out.
+    #[test]
+    fn slot_versions_monotone_under_apply_evict_churn(
+        keys in keys_strategy(24),
+        ops in ops_strategy(),
+    ) {
+        let ds = spec::synthetic(4, 500, DIM, -1.2);
+        let codec = codec();
+        let config = FlatCacheConfig {
+            admission_probability: 1.0,
+            ..FlatCacheConfig::default()
+        };
+        // Small on purpose: churn must actually evict.
+        let mut cache = FlatCache::new(&ds, u64::from(DIM) * 4 * 48, config);
+        let mut ledger: BTreeMap<(u16, u64), u64> = BTreeMap::new();
+        let mut observed: BTreeMap<(u16, u64), u64> = BTreeMap::new();
+        let mut stamp = 0u32;
+
+        for (kind, sel, inc) in ops {
+            let (t, f) = keys[sel % keys.len()];
+            stamp += 1;
+            match kind {
+                0 => {
+                    // Miss-fill: the system always inserts at the ledger's
+                    // latest version, never an older one, and stamps the
+                    // slot with it (as the miss path's rewrite-to-latest
+                    // does).
+                    let v = ledger.entry((t, f)).or_insert(0);
+                    *v += inc;
+                    let v = *v;
+                    if let (Some((class, slot)), _) =
+                        cache.insert_value(t, codec.encode(t, f), &value_at(t, f, v), stamp)
+                    {
+                        cache.set_slot_version(class, slot, v);
+                    }
+                }
+                1 => {
+                    // Trainer burst over a few keys: odd slots re-send a
+                    // stale version (drop/reorder aftermath), even slots
+                    // advance the ledger.
+                    let mut burst = Vec::new();
+                    for (i, &(bt, bf)) in keys.iter().skip(sel % keys.len()).take(6).enumerate() {
+                        let v = ledger.entry((bt, bf)).or_insert(0);
+                        let push_v = if i % 2 == 0 {
+                            *v += inc;
+                            *v
+                        } else {
+                            v.saturating_sub(inc)
+                        };
+                        burst.push(SlotUpdate {
+                            key: codec.encode(bt, bf),
+                            version: push_v,
+                            value: value_at(bt, bf, push_v),
+                        });
+                    }
+                    let n = burst.len() as u64;
+                    let report = cache.apply_updates(&burst);
+                    prop_assert_eq!(report.applied + report.superseded + report.absent, n);
+                }
+                2 => {
+                    cache.end_batch();
+                }
+                _ => {
+                    cache.evict_pass();
+                }
+            }
+            // Probe every key after every op: a hit's version must be
+            // monotone per key and bounded by what the ledger issued.
+            for &(pt, pf) in &keys {
+                if let (CacheAnswer::Hit { class, slot }, _) =
+                    cache.lookup(codec.encode(pt, pf), stamp)
+                {
+                    let v = cache.slot_version(class, slot);
+                    let issued = ledger.get(&(pt, pf)).copied().unwrap_or(0);
+                    prop_assert!(v <= issued, "key ({pt},{pf}) at v{v} > issued v{issued}");
+                    let seen = observed.entry((pt, pf)).or_insert(0);
+                    prop_assert!(v >= *seen, "key ({pt},{pf}) regressed v{} -> v{v}", *seen);
+                    *seen = v;
+                }
+            }
+        }
+    }
+
+    /// Applying the same pushes duplicated, reordered, and split across
+    /// any number of apply calls converges on exactly the state the
+    /// canonical one-shot apply produced — and re-applying the canonical
+    /// burst afterwards writes nothing.
+    #[test]
+    fn duplicated_and_reordered_pushes_are_idempotent(
+        keys in keys_strategy(16),
+        raw_versions in prop::collection::vec(prop::collection::vec(1u64..50, 1..5), 16),
+        shuffle_seed in any::<u64>(),
+        split_seed in any::<usize>(),
+    ) {
+        let ds = spec::synthetic(4, 500, DIM, -1.2);
+        let codec = codec();
+        let config = FlatCacheConfig {
+            admission_probability: 1.0,
+            ..FlatCacheConfig::default()
+        };
+        let mut canonical: Vec<SlotUpdate> = Vec::new();
+        for (i, &(t, f)) in keys.iter().enumerate() {
+            for &v in &raw_versions[i % raw_versions.len()] {
+                canonical.push(SlotUpdate {
+                    key: codec.encode(t, f),
+                    version: v,
+                    value: value_at(t, f, v),
+                });
+            }
+        }
+
+        let seed_cache = |keys: &[(u16, u64)]| {
+            let mut c = FlatCache::new(&ds, u64::from(DIM) * 4 * 1024, config);
+            for (i, &(t, f)) in keys.iter().enumerate() {
+                c.insert_value(t, codec.encode(t, f), &value_at(t, f, 0), i as u32);
+            }
+            c
+        };
+
+        let mut a = seed_cache(&keys);
+        let ra = a.apply_updates(&canonical);
+        prop_assert_eq!(ra.absent, 0, "every pushed key was seeded resident");
+
+        // Duplicate every third push, then Fisher-Yates with a cheap LCG
+        // (deterministic for a given seed), then split into two calls.
+        let mut mangled = canonical.clone();
+        for (i, u) in canonical.iter().enumerate() {
+            if i % 3 == 0 {
+                mangled.push(u.clone());
+            }
+        }
+        let mut rng = shuffle_seed | 1;
+        for i in (1..mangled.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            mangled.swap(i, (rng >> 33) as usize % (i + 1));
+        }
+        let cut = split_seed % (mangled.len() + 1);
+        let mut b = seed_cache(&keys);
+        b.apply_updates(&mangled[..cut]);
+        b.apply_updates(&mangled[cut..]);
+
+        for &(t, f) in &keys {
+            let key = codec.encode(t, f);
+            let (va, vb) = match (a.lookup(key, u32::MAX).0, b.lookup(key, u32::MAX).0) {
+                (
+                    CacheAnswer::Hit { class: ca, slot: sa },
+                    CacheAnswer::Hit { class: cb, slot: sb },
+                ) => {
+                    prop_assert_eq!(
+                        bits(a.read_hit(ca, sa)),
+                        bits(b.read_hit(cb, sb)),
+                        "key ({t},{f}) values diverged"
+                    );
+                    (a.slot_version(ca, sa), b.slot_version(cb, sb))
+                }
+                (other_a, other_b) => {
+                    prop_assert!(false, "seeded key ({t},{f}) missing: {other_a:?}/{other_b:?}");
+                    unreachable!()
+                }
+            };
+            prop_assert_eq!(va, vb, "key ({t},{f}) versions diverged");
+        }
+
+        let again = a.apply_updates(&canonical);
+        prop_assert_eq!(again.applied, 0, "a re-sent burst must be fully superseded");
+    }
+
+    /// A base checkpoint plus one delta restores every key to the newest
+    /// version the chain recorded — never the stale base value.
+    #[test]
+    fn restore_chain_recovers_every_key_to_chain_max(
+        keys in keys_strategy(24),
+        advance in prop::collection::vec(any::<bool>(), 24),
+        incs in prop::collection::vec(1u64..20, 24),
+    ) {
+        let ds = spec::synthetic(4, 500, DIM, -1.2);
+        let codec = codec();
+        let config = FlatCacheConfig {
+            admission_probability: 1.0,
+            ..FlatCacheConfig::default()
+        };
+        let mut cache = FlatCache::new(&ds, u64::from(DIM) * 4 * 1024, config);
+        for (i, &(t, f)) in keys.iter().enumerate() {
+            cache.insert_value(t, codec.encode(t, f), &value_at(t, f, 1), i as u32);
+            if let (CacheAnswer::Hit { class, slot }, _) = cache.lookup(codec.encode(t, f), 0) {
+                cache.set_slot_version(class, slot, 1);
+            }
+        }
+        let (base, _) = cache.snapshot_at_with_slots(7);
+        let mut base_versions: Vec<(u64, u64)> =
+            keys.iter().map(|&(t, f)| (codec.encode(t, f).0, 1)).collect();
+        base_versions.sort_unstable_by_key(|&(k, _)| k);
+
+        // Advance a subset past the base (the first key always, so the
+        // delta is never empty), then capture the delta.
+        let mut expected: BTreeMap<(u16, u64), u64> = BTreeMap::new();
+        let mut burst = Vec::new();
+        for (i, &(t, f)) in keys.iter().enumerate() {
+            let v = if i == 0 || advance[i % advance.len()] {
+                1 + incs[i % incs.len()]
+            } else {
+                1
+            };
+            expected.insert((t, f), v);
+            if v > 1 {
+                burst.push(SlotUpdate {
+                    key: codec.encode(t, f),
+                    version: v,
+                    value: value_at(t, f, v),
+                });
+            }
+        }
+        let report = cache.apply_updates(&burst);
+        prop_assert_eq!(report.applied, burst.len() as u64);
+        let (delta, _) = cache.snapshot_delta_with_slots(7, 1, &base_versions);
+        prop_assert_eq!(
+            delta.decode().expect("fresh delta decodes").len(),
+            burst.len(),
+            "delta must carry exactly the advanced keys"
+        );
+
+        let mut fresh = FlatCache::new(&ds, u64::from(DIM) * 4 * 1024, config);
+        let report = fresh.restore_chain(&base, &[delta]).expect("intact chain restores");
+        prop_assert_eq!(report.max_version, expected.values().copied().max().unwrap_or(0));
+        for (&(t, f), &v) in &expected {
+            match fresh.lookup(codec.encode(t, f), u32::MAX).0 {
+                CacheAnswer::Hit { class, slot } => {
+                    prop_assert_eq!(fresh.slot_version(class, slot), v);
+                    prop_assert_eq!(bits(fresh.read_hit(class, slot)), bits(&value_at(t, f, v)));
+                }
+                other => prop_assert!(false, "restored key ({t},{f}) missing: {other:?}"),
+            }
+        }
+    }
+
+    /// Flipping any single byte of a delta image — header, entry stream,
+    /// or trailer — makes the whole chain restore fail before the first
+    /// mutation; the target cache stays exactly as it was.
+    #[test]
+    fn corrupt_delta_is_rejected_and_never_mutates(
+        keys in keys_strategy(16),
+        offset_seed in any::<u64>(),
+        flip_base in any::<bool>(),
+    ) {
+        let ds = spec::synthetic(4, 500, DIM, -1.2);
+        let codec = codec();
+        let config = FlatCacheConfig {
+            admission_probability: 1.0,
+            ..FlatCacheConfig::default()
+        };
+        let mut cache = FlatCache::new(&ds, u64::from(DIM) * 4 * 1024, config);
+        for (i, &(t, f)) in keys.iter().enumerate() {
+            cache.insert_value(t, codec.encode(t, f), &value_at(t, f, 1), i as u32);
+            if let (CacheAnswer::Hit { class, slot }, _) = cache.lookup(codec.encode(t, f), 0) {
+                cache.set_slot_version(class, slot, 1);
+            }
+        }
+        let (mut base, _) = cache.snapshot_at_with_slots(3);
+        let mut base_versions: Vec<(u64, u64)> =
+            keys.iter().map(|&(t, f)| (codec.encode(t, f).0, 1)).collect();
+        base_versions.sort_unstable_by_key(|&(k, _)| k);
+        let (t0, f0) = keys[0];
+        cache.apply_updates(&[SlotUpdate {
+            key: codec.encode(t0, f0),
+            version: 5,
+            value: value_at(t0, f0, 5),
+        }]);
+        let (mut delta, _) = cache.snapshot_delta_with_slots(3, 1, &base_versions);
+
+        if flip_base {
+            let offset = offset_seed % base.byte_len();
+            prop_assert!(base.corrupt_byte(offset));
+        } else {
+            let offset = offset_seed % delta.byte_len();
+            prop_assert!(delta.corrupt_byte(offset));
+        }
+
+        let mut fresh = FlatCache::new(&ds, u64::from(DIM) * 4 * 256, config);
+        prop_assert!(fresh.restore_chain(&base, &[delta]).is_err());
+        prop_assert_eq!(fresh.len(), 0, "rejected chain must not touch the cache");
+    }
+}
