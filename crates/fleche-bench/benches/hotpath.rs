@@ -1,0 +1,211 @@
+//! Scalar host hot-loop micro-benchmarks, emitting machine-readable JSON.
+//!
+//! Where `benches/micro.rs` prints a human table, this harness also
+//! writes `results/BENCH_hotpath.json` through the vendored criterion
+//! shim's result collection, so CI and the analysis notebooks can track
+//! the host-side hot loops the serving front-end leans on:
+//!
+//! * pooled reduction (the baseline's per-(sample, table) CPU pooling);
+//! * per-slot FNV-1a checksumming, standalone and fused into the value
+//!   write (the one-pass fill the flat cache now uses);
+//! * flat-key codec encode/decode (fixed-length and size-aware);
+//! * slab-hash probing (insert + hit lookup).
+//!
+//! All numbers are real wall time on the build machine — the JSON labels
+//! them machine-dependent. Run with `--quick` (or `FLECHE_QUICK=1`) for a
+//! fast smoke pass.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use fleche_baseline::ReductionCache;
+use fleche_bench::{print_header, quick_mode, write_bench_json, JsonEmitter};
+use fleche_coding::{FixedLenCodec, FlatKeyCodec, SizeAwareCodec};
+use fleche_core::checksum_of;
+use fleche_gpu::DramSpec;
+use fleche_index::{ClassSpec, Loc, SlabHash, SlabPool};
+use fleche_store::{CpuStore, Pooling};
+use fleche_workload::spec;
+
+fn bench_pooled_reduction(c: &mut Criterion) {
+    let ds = spec::synthetic(4, 50_000, 32, -1.3);
+    let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+    let ids: Vec<u64> = (0..64u64).map(|i| (i * 97) % 50_000).collect();
+    let mut g = c.benchmark_group("reduction");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    g.bench_function("pooled_64ids_32d", |b| {
+        let mut cache = ReductionCache::new(0, Pooling::Sum);
+        b.iter(|| black_box(cache.pooled(&store, 0, &ids)));
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for &dim in &[32usize, 128] {
+        let value: Vec<f32> = (0..dim).map(|i| i as f32 * 0.5).collect();
+        g.throughput(Throughput::Bytes(dim as u64 * 4));
+        g.bench_with_input(BenchmarkId::new("fnv1a", dim), &value, |b, v| {
+            b.iter(|| black_box(checksum_of(v)));
+        });
+        // Two-pass (write then re-read for the checksum) vs the fused
+        // single pass the flat cache uses now.
+        let mut pool = SlabPool::new(&[ClassSpec {
+            dim: dim as u32,
+            slots: 16,
+        }]);
+        let (slot, _) = pool.alloc(0).expect("room");
+        g.bench_with_input(BenchmarkId::new("write_two_pass", dim), &value, |b, v| {
+            b.iter(|| {
+                pool.write(0, slot, v).expect("live");
+                black_box(checksum_of(v))
+            });
+        });
+        let mut pool = SlabPool::new(&[ClassSpec {
+            dim: dim as u32,
+            slots: 16,
+        }]);
+        let (slot, _) = pool.alloc(0).expect("room");
+        g.bench_with_input(BenchmarkId::new("write_fused", dim), &value, |b, v| {
+            b.iter(|| black_box(pool.write_with_checksum(0, slot, v).expect("live").0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let corpora: Vec<u64> = vec![1 << 20, 1 << 14, 1 << 26, 1 << 10];
+    let fixed = FixedLenCodec::kraken32(corpora.clone());
+    let aware = SizeAwareCodec::new(32, &corpora);
+    let n = 4_096u64;
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("fixed_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in 0..n {
+                acc ^= fixed.encode((f % 4) as u16, f % 1_000).0 as u64;
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("fixed_decode", |b| {
+        let keys: Vec<_> = (0..n)
+            .map(|f| fixed.encode((f % 4) as u16, f % 1_000))
+            .collect();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                if fixed.decode(k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.bench_function("size_aware_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in 0..n {
+                acc ^= aware.encode((f % 4) as u16, f % 1_000).0 as u64;
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("size_aware_decode", |b| {
+        let keys: Vec<_> = (0..n)
+            .map(|f| aware.encode((f % 4) as u16, f % 1_000))
+            .collect();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                if aware.decode(k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+}
+
+fn bench_slab_probe(c: &mut Criterion) {
+    let n = if quick_mode() { 10_000usize } else { 100_000 };
+    let mut g = c.benchmark_group("slab_probe");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+        b.iter(|| {
+            let mut h = SlabHash::for_capacity(n);
+            for k in 0..n as u64 {
+                h.insert(
+                    k + 1,
+                    Loc::Hbm {
+                        class: 0,
+                        slot: k as u32,
+                    }
+                    .pack(),
+                    0,
+                );
+            }
+            black_box(h.len())
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("lookup_hit", n), &n, |b, &n| {
+        let mut h = SlabHash::for_capacity(n);
+        for k in 0..n as u64 {
+            h.insert(
+                k + 1,
+                Loc::Hbm {
+                    class: 0,
+                    slot: k as u32,
+                }
+                .pack(),
+                0,
+            );
+        }
+        b.iter(|| {
+            let mut found = 0u64;
+            for k in 0..n as u64 {
+                if h.lookup(k + 1, Some(1)).0.is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        });
+    });
+    g.finish();
+}
+
+fn main() {
+    // `cargo bench` runs with the package as cwd; anchor at the workspace
+    // root so `results/BENCH_hotpath.json` lands beside the drill reports.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if std::env::set_current_dir(&root).is_err() {
+        eprintln!("warning: could not enter workspace root; writing results under cwd");
+    }
+    print_header("hotpath: scalar host hot-loop microbenches");
+    let mut c = Criterion::default();
+    bench_pooled_reduction(&mut c);
+    bench_checksum(&mut c);
+    bench_codec(&mut c);
+    bench_slab_probe(&mut c);
+
+    let mut j = JsonEmitter::new();
+    j.field_str("experiment", "hotpath");
+    j.field_str(
+        "note",
+        "wall-clock microbenches; all timings are machine-dependent",
+    );
+    j.field_bool("quick", quick_mode());
+    j.begin_arr("benches");
+    for r in c.results() {
+        j.begin_elem();
+        j.field_str("label", &r.label);
+        j.field_f64("per_iter_ns", r.per_iter_ns);
+        j.field_u64("iters", r.iters);
+        if let Some(rate) = r.rate_per_sec() {
+            j.field_f64("rate_per_sec", rate);
+        }
+        j.end_obj();
+    }
+    j.end_arr();
+    write_bench_json("BENCH_hotpath.json", j.finish());
+}

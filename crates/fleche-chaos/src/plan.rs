@@ -117,6 +117,43 @@ pub struct UpdateFaultSpec {
     pub outage_batches: u64,
 }
 
+/// Arrival-overload model: periodic bursts during which the offered
+/// request rate is multiplied, driving the admission queue and deadline
+/// shedding machinery. Unlike the other fault domains this one injects
+/// *load*, not failures — the serving front-end must shed deterministically
+/// under it, serially and across concurrent workers alike.
+#[derive(Clone, Debug, Default)]
+pub struct OverloadSpec {
+    /// A burst opens every this often in arrival time (`ZERO` = never).
+    pub burst_period: Ns,
+    /// Length of each burst window.
+    pub burst_duration: Ns,
+    /// Offered-rate multiplier inside a burst (`> 1` is an overload).
+    pub burst_factor: f64,
+}
+
+impl OverloadSpec {
+    /// Expands the periodic schedule into concrete rate-modulation
+    /// windows covering `horizon` of arrival time, in the shape the
+    /// workload-side arrival generator consumes.
+    pub fn windows(&self, horizon: Ns) -> Vec<fleche_workload::BurstWindow> {
+        if self.burst_period <= Ns::ZERO || self.burst_duration <= Ns::ZERO {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut start = self.burst_period;
+        while start < horizon {
+            out.push(fleche_workload::BurstWindow {
+                start_ns: start.as_ns(),
+                end_ns: (start + self.burst_duration).as_ns(),
+                factor: self.burst_factor,
+            });
+            start += self.burst_period;
+        }
+        out
+    }
+}
+
 /// A complete, seeded description of the fault environment.
 ///
 /// Each injector draws from an independent substream of `seed`, so turning
@@ -140,6 +177,8 @@ pub struct FaultPlan {
     pub snapshot: SnapshotFaultSpec,
     /// Trainer-push channel faults.
     pub update: UpdateFaultSpec,
+    /// Arrival-rate overload bursts.
+    pub overload: OverloadSpec,
 }
 
 const DOMAIN_REMOTE: u64 = 0x01;
@@ -160,6 +199,7 @@ impl FaultPlan {
             restart: RestartSpec::default(),
             snapshot: SnapshotFaultSpec::default(),
             update: UpdateFaultSpec::default(),
+            overload: OverloadSpec::default(),
         }
     }
 
@@ -447,6 +487,25 @@ impl UpdateFaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overload_windows_tile_the_horizon() {
+        let spec = OverloadSpec {
+            burst_period: Ns::from_ms(1.0),
+            burst_duration: Ns::from_us(200.0),
+            burst_factor: 8.0,
+        };
+        let w = spec.windows(Ns::from_ms(3.5));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].start_ns, 1e6);
+        assert_eq!(w[0].end_ns, 1.2e6);
+        assert_eq!(w[2].start_ns, 3e6);
+        assert!(w.iter().all(|b| b.factor == 8.0));
+        // Quiet spec ⇒ no windows.
+        assert!(OverloadSpec::default()
+            .windows(Ns::from_ms(10.0))
+            .is_empty());
+    }
 
     #[test]
     fn plans_replay_identically() {

@@ -13,8 +13,8 @@
 use crate::recovery::{CacheSnapshot, RestoreReport, SnapshotEntry, SnapshotError, SnapshotKind};
 use fleche_coding::FlatKey;
 use fleche_index::{
-    ClassSpec, EpochGuard, EpochManager, GpuIndex, IndexInsert, Loc, MegaKv, PackedLoc, ProbeStats,
-    SlabHash, SlabPool,
+    ClassSpec, EpochGuard, EpochManager, GpuIndex, IndexInsert, Loc, MegaKv, PackedLoc, PoolError,
+    ProbeStats, SlabHash, SlabPool,
 };
 use fleche_workload::DatasetSpec;
 use rand::rngs::StdRng;
@@ -22,16 +22,12 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// FNV-1a over the value's raw f32 bits — the per-slot checksum readers
-/// verify when [`FlatCache::enable_checksums`] is on.
-fn checksum_of(value: &[f32]) -> u32 {
-    let mut h: u32 = 0x811C_9DC5;
-    for v in value {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= b as u32;
-            h = h.wrapping_mul(0x0100_0193);
-        }
-    }
-    h
+/// verify when [`FlatCache::enable_checksums`] is on. Hot-path *writes*
+/// do not call this two-pass form: they use
+/// [`SlabPool::write_with_checksum`], which folds the same hash into the
+/// copy loop so the payload is traversed once.
+pub fn checksum_of(value: &[f32]) -> u32 {
+    fleche_index::fnv1a_of(value)
 }
 
 /// Device bytes one unified-index (DRAM pointer) entry costs: its share of
@@ -236,6 +232,28 @@ impl FlatCache {
         self.checksums.is_some()
     }
 
+    /// Writes `value` into a live pool slot, recording its checksum when
+    /// checksums are enabled. The checksummed path fuses the hash into
+    /// the copy ([`SlabPool::write_with_checksum`]) so a hot-path write
+    /// traverses the payload once; with checksums off it is a plain pool
+    /// write. Verification and quarantine behavior are unchanged: the
+    /// recorded value is bit-identical to [`checksum_of`] over `value`.
+    fn write_slot_checksummed(
+        &mut self,
+        class: u16,
+        slot: u32,
+        value: &[f32],
+    ) -> Result<ProbeStats, PoolError> {
+        match &mut self.checksums {
+            Some(map) => {
+                let (sum, stats) = self.pool.write_with_checksum(class, slot, value)?;
+                map.insert((class, slot), sum);
+                Ok(stats)
+            }
+            None => self.pool.write(class, slot, value),
+        }
+    }
+
     /// Corrupt hits detected (and quarantined) so far.
     pub fn corruptions_detected(&self) -> u64 {
         self.corruptions_detected
@@ -438,12 +456,9 @@ impl FlatCache {
                 report.superseded += 1;
                 continue;
             }
-            if self.pool.write(class, slot, &u.value).is_err() {
+            if self.write_slot_checksummed(class, slot, &u.value).is_err() {
                 report.absent += 1;
                 continue;
-            }
-            if let Some(map) = &mut self.checksums {
-                map.insert((class, slot), checksum_of(&u.value));
             }
             self.versions.insert((class, slot), u.version);
             report.applied += 1;
@@ -483,10 +498,7 @@ impl FlatCache {
         // in place when it holds an HBM slot.
         if let Some(loc) = self.index.peek(key.0) {
             if let Loc::Hbm { class: c, slot } = loc.unpack() {
-                if self.pool.write(c, slot, value).is_ok() {
-                    if let Some(map) = &mut self.checksums {
-                        map.insert((c, slot), checksum_of(value));
-                    }
+                if self.write_slot_checksummed(c, slot, value).is_ok() {
                     self.versions.remove(&(c, slot));
                     let (_, s) = self.index.insert(key.0, loc, stamp);
                     stats.merge(&s);
@@ -507,7 +519,7 @@ impl FlatCache {
         };
         // A freshly allocated slot is always writable; if the pool
         // disagrees, undo the allocation and bypass the cache this round.
-        let s = match self.pool.write(class, slot, value) {
+        let s = match self.write_slot_checksummed(class, slot, value) {
             Ok(s) => s,
             Err(_) => {
                 debug_assert!(false, "freshly allocated slot must be writable");
@@ -516,9 +528,6 @@ impl FlatCache {
             }
         };
         stats.merge(&s);
-        if let Some(map) = &mut self.checksums {
-            map.insert((class, slot), checksum_of(value));
-        }
         // A reused slot must not inherit the version of whatever lived
         // there before it was reclaimed.
         self.versions.remove(&(class, slot));
@@ -953,6 +962,35 @@ mod tests {
         assert_eq!(ans, CacheAnswer::Hit { class, slot });
         assert_eq!(stats.hits, 1);
         assert_eq!(c.read_hit(class, slot), val(3.0).as_slice());
+    }
+
+    #[test]
+    fn fused_write_records_two_pass_checksum() {
+        // Every checksummed write path (fresh insert, in-place refresh,
+        // update apply) goes through the fused copy+hash; the recorded
+        // checksum must equal the standalone two-pass hash of the stored
+        // bytes, so verification and quarantine behave exactly as before.
+        let (mut c, codec, _) = mk();
+        c.enable_checksums();
+        let k = codec.encode(2, 11);
+        let (loc, _) = c.insert_value(2, k, &val(5.0), 1);
+        let (class, slot) = loc.expect("pool has room");
+        assert!(c.verify_hit(class, slot));
+        // In-place refresh of the same key.
+        let (loc2, _) = c.insert_value(2, k, &val(9.0), 2);
+        assert_eq!(loc2, Some((class, slot)));
+        assert!(c.verify_hit(class, slot));
+        assert_eq!(c.read_hit(class, slot), val(9.0).as_slice());
+        // Update apply.
+        c.set_slot_version(class, slot, 1);
+        let report = c.apply_updates(&[SlotUpdate {
+            key: k,
+            value: val(13.0),
+            version: 7,
+        }]);
+        assert_eq!(report.applied, 1);
+        assert!(c.verify_hit(class, slot));
+        assert_eq!(checksum_of(&val(13.0)), fleche_index::fnv1a_of(&val(13.0)));
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub use device::{Gpu, GpuError};
 pub use engine::{DeviceEngine, KernelCompletion, KernelId, StreamId};
 pub use fault::{DeviceFault, FaultCounters, LaunchFault, LaunchFaultHook};
 pub use kernel::{KernelDesc, KernelWork};
-pub use race::{ledger_resource, slot_resource, Access, Actor, Race, RaceChecker, VectorClock};
+pub use race::{
+    declare_pipeline_handoffs, ledger_resource, pipeline_resource, slot_resource, Access, Actor,
+    Race, RaceChecker, VectorClock,
+};
 pub use spec::{CopyApi, DeviceSpec, DramSpec};
 pub use time::{BytesPerNs, Ns};
 pub use timeline::{Category, Span, Timeline, Track};

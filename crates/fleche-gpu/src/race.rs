@@ -160,6 +160,15 @@ pub fn ledger_resource(table: u16) -> u64 {
     (1u64 << 63) | table as u64
 }
 
+/// Encodes one ring slot of a serving-pipeline hand-off channel as a
+/// checker resource id. Bit 62 namespaces pipeline slots away from both
+/// [`slot_resource`] (class tops out at bit 47) and [`ledger_resource`]
+/// (bit 63), so a prepared-batch publish can never alias a pool slot or a
+/// ledger shard.
+pub fn pipeline_resource(worker: u16, slot: u32) -> u64 {
+    (1u64 << 62) | ((worker as u64) << 32) | slot as u64
+}
+
 #[derive(Clone, Debug, Default)]
 struct ResourceState {
     last_write: Option<Access>,
@@ -241,6 +250,31 @@ impl RaceChecker {
             return;
         };
         self.stream_frontier(stream).join(&snap);
+    }
+
+    /// Snapshots the *host* clock as an event another thread can wait on.
+    /// This is the release half of a host-to-stage hand-off edge: a
+    /// pipelined consumer records one of these when it frees a ring slot,
+    /// and the producer declares [`RaceChecker::wait_event`] on it before
+    /// re-publishing into that slot (the bounded channel's capacity
+    /// return).
+    pub fn record_host_event(&mut self) -> u32 {
+        self.host.tick(0);
+        self.events.push(self.host.clone());
+        (self.events.len() - 1) as u32
+    }
+
+    /// Joins a recorded event into the *host* clock: the acquire half of a
+    /// stage-to-host hand-off edge. A pipelined consumer declares this
+    /// when its blocking receive returns, modelling the channel's
+    /// release/acquire pair (publish on the producer stage, consume on the
+    /// host executor).
+    pub fn host_wait_event(&mut self, event: u32) {
+        let Some(snap) = self.events.get(event as usize).cloned() else {
+            debug_assert!(false, "host wait on unrecorded event {event}");
+            return;
+        };
+        self.host.join(&snap);
     }
 
     /// Marks an epoch advance: a host-side tick, so host work after the
@@ -353,6 +387,64 @@ impl RaceChecker {
     /// re-reported against.
     pub fn clear_accesses(&mut self) {
         self.resources.clear();
+    }
+}
+
+/// Replays the ordering discipline of one bounded producer→consumer
+/// hand-off ring into `checker`: `handoffs` messages through a ring of
+/// `depth` slots, the producer modelled as stream 0 and the consumer as
+/// stream 1 (two independent logical threads — deliberately *not* the
+/// host, whose clock every launch joins and which would therefore hide
+/// missing edges).
+///
+/// Each hand-off declares the edges a real bounded channel provides:
+///
+/// * **publish** — the producer writes [`pipeline_resource`]`(worker,
+///   slot_base + seq % depth)` and records an event (the send);
+/// * **acquire** — the consumer waits on that event before reading the
+///   slot (the blocking receive);
+/// * **credit** — when `credit_edge` is true, the producer waits on the
+///   consumer's post-read event before reusing the slot (the bounded
+///   channel's capacity return: `send` of message `seq` cannot complete
+///   until message `seq - depth` was received).
+///
+/// With `credit_edge` false the replay omits the capacity edge, the bug
+/// the checker exists to catch: every slot reuse (each `seq >= depth`)
+/// races write-after-read, so `handoffs.saturating_sub(depth)` races
+/// accumulate — drills use that closed form as a checker self-test.
+///
+/// `worker` and `slot_base` only namespace the resource ids, so several
+/// rings (e.g. one per serving worker, or a worker's arrival queue next
+/// to its prep→exec pipeline) can be replayed into one checker without
+/// aliasing. Use a fresh checker per ring when replaying many hand-offs;
+/// event history grows with each one.
+pub fn declare_pipeline_handoffs(
+    checker: &mut RaceChecker,
+    worker: u16,
+    slot_base: u32,
+    depth: u32,
+    handoffs: u64,
+    credit_edge: bool,
+) {
+    let depth = depth.max(1) as u64;
+    let producer = StreamId(0);
+    let consumer = StreamId(1);
+    let mut credits: Vec<Option<u32>> = vec![None; depth as usize];
+    for seq in 0..handoffs {
+        let slot = (seq % depth) as usize;
+        let resource = pipeline_resource(worker, slot_base + slot as u32);
+        if credit_edge {
+            if let Some(credit) = credits[slot] {
+                checker.wait_event(producer, credit);
+            }
+        }
+        checker.on_launch(producer, KernelId(seq * 2), "pipeline-publish");
+        checker.kernel_write(KernelId(seq * 2), resource);
+        let published = checker.record_event(producer);
+        checker.wait_event(consumer, published);
+        checker.on_launch(consumer, KernelId(seq * 2 + 1), "pipeline-consume");
+        checker.kernel_read(KernelId(seq * 2 + 1), resource);
+        credits[slot] = Some(checker.record_event(consumer));
     }
 }
 
@@ -500,6 +592,69 @@ mod tests {
         assert_ne!(slot_resource(0, 5), slot_resource(1, 5));
         assert_ne!(slot_resource(0, 5), slot_resource(0, 6));
         assert_eq!(slot_resource(3, 9) >> 32, 3);
+    }
+
+    #[test]
+    fn pipeline_handoff_with_both_edges_is_race_free() {
+        // A prep stage publishes prepared batches into a 2-deep ring; the
+        // executor acquires each publish via the channel's event edge and
+        // releases the slot back with a credit event the producer waits on
+        // before reusing it. Fully edged, the protocol is race-free.
+        let mut c = RaceChecker::new();
+        declare_pipeline_handoffs(&mut c, 0, 0, 2, 6, true);
+        assert_eq!(c.race_count(), 0);
+    }
+
+    #[test]
+    fn pipeline_reuse_without_credit_edge_races() {
+        // Same shape, but the producer never waits for the consumer's
+        // release before overwriting a ring slot: write-after-read with no
+        // ordering — the exact bug the credit edge exists to prevent. One
+        // race per slot reuse, so `handoffs - depth` in total.
+        let mut c = RaceChecker::new();
+        declare_pipeline_handoffs(&mut c, 0, 0, 2, 6, false);
+        let races = c.report();
+        assert_eq!(races.len(), 4);
+        for r in &races {
+            assert_eq!(r.resource >> 62, 1);
+            assert_eq!(r.first.label, "pipeline-consume");
+            assert_eq!(r.second.label, "pipeline-publish");
+            assert!(!r.first.write && r.second.write);
+        }
+    }
+
+    #[test]
+    fn pipeline_rings_namespace_by_worker_and_slot_base() {
+        // Two workers' rings and one worker's queue ring (offset slot
+        // base) replay into one checker without aliasing each other.
+        let mut c = RaceChecker::new();
+        declare_pipeline_handoffs(&mut c, 0, 0, 2, 8, true);
+        declare_pipeline_handoffs(&mut c, 1, 0, 2, 8, true);
+        declare_pipeline_handoffs(&mut c, 0, 1 << 16, 4, 8, true);
+        assert_eq!(c.race_count(), 0);
+    }
+
+    #[test]
+    fn host_wait_event_acquires_publish() {
+        // Without the event edge the host read is unordered against the
+        // stream's publish.
+        let mut c = RaceChecker::new();
+        c.on_launch(s(0), k(1), "pipeline-publish");
+        c.kernel_write(k(1), pipeline_resource(3, 1));
+        c.host_read("pipeline-consume", pipeline_resource(3, 1));
+        assert_eq!(c.race_count(), 1);
+    }
+
+    #[test]
+    fn pipeline_resources_never_alias_slots_or_ledgers() {
+        assert_ne!(pipeline_resource(0, 0), pipeline_resource(0, 1));
+        assert_ne!(pipeline_resource(0, 0), pipeline_resource(1, 0));
+        for w in [0u16, 5, u16::MAX] {
+            assert_eq!(pipeline_resource(w, u32::MAX) >> 62, 1);
+            assert_eq!(slot_resource(w, u32::MAX) >> 62, 0);
+            assert_eq!(ledger_resource(w) >> 63, 1);
+            assert_eq!(pipeline_resource(w, 0) >> 63, 0);
+        }
     }
 
     #[test]

@@ -9,6 +9,21 @@
 
 use crate::instrument::ProbeStats;
 
+/// FNV-1a over a value's raw f32 bits (little-endian byte order) — the
+/// canonical per-slot checksum. [`SlabPool::write_with_checksum`] computes
+/// the same hash fused into its copy loop; callers that only need to
+/// verify existing bytes use this standalone form.
+pub fn fnv1a_of(value: &[f32]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for v in value {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
 /// Error type for pool operations.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PoolError {
@@ -219,6 +234,49 @@ impl SlabPool {
         })
     }
 
+    /// Writes an embedding into a live slot and returns its FNV-1a
+    /// checksum, folding the hash into the copy loop so checksummed
+    /// hot-path writes make one pass over the payload instead of a copy
+    /// pass followed by a hash pass. The returned value is identical to
+    /// [`fnv1a_of`] over `value`.
+    pub fn write_with_checksum(
+        &mut self,
+        class: u16,
+        slot: u32,
+        value: &[f32],
+    ) -> Result<(u32, ProbeStats), PoolError> {
+        let c = self
+            .classes
+            .get_mut(class as usize)
+            .ok_or(PoolError::UnknownClass { class })?;
+        if slot >= c.capacity_slots || !c.live[slot as usize] {
+            return Err(PoolError::InvalidSlot { class, slot });
+        }
+        if value.len() != c.dim as usize {
+            return Err(PoolError::DimensionMismatch {
+                expected: c.dim,
+                got: value.len(),
+            });
+        }
+        let off = slot as usize * c.dim as usize;
+        let dst = &mut c.data[off..off + value.len()];
+        let mut h: u32 = 0x811C_9DC5;
+        for (d, v) in dst.iter_mut().zip(value) {
+            *d = *v;
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u32;
+                h = h.wrapping_mul(0x0100_0193);
+            }
+        }
+        Ok((
+            h,
+            ProbeStats {
+                bytes_touched: value.len() as u64 * 4,
+                ..ProbeStats::new()
+            },
+        ))
+    }
+
     /// Reads the embedding stored in a live slot.
     pub fn read(&self, class: u16, slot: u32) -> Result<&[f32], PoolError> {
         let c = self
@@ -355,6 +413,41 @@ mod tests {
         p.free(0, slot).unwrap();
         assert_eq!(
             p.read(0, slot),
+            Err(PoolError::InvalidSlot { class: 0, slot })
+        );
+    }
+
+    #[test]
+    fn fused_write_matches_two_pass_checksum() {
+        let mut p = pool();
+        let (slot, _) = p.alloc(0).unwrap();
+        for value in [
+            [1.0f32, 2.0, 3.0, 4.0],
+            [0.0, -0.0, f32::NAN, f32::INFINITY],
+            [1e-38, -1e38, 0.5, -0.5],
+        ] {
+            let (h, stats) = p.write_with_checksum(0, slot, &value).unwrap();
+            assert_eq!(h, fnv1a_of(&value));
+            assert_eq!(stats.bytes_touched, 16);
+            let bits: Vec<u32> = p
+                .read(0, slot)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let want: Vec<u32> = value.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, want, "fused write must store identical bytes");
+        }
+        assert_eq!(
+            p.write_with_checksum(0, slot, &[1.0]),
+            Err(PoolError::DimensionMismatch {
+                expected: 4,
+                got: 1
+            })
+        );
+        p.free(0, slot).unwrap();
+        assert_eq!(
+            p.write_with_checksum(0, slot, &[0.0; 4]),
             Err(PoolError::InvalidSlot { class: 0, slot })
         );
     }

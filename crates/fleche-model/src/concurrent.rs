@@ -1,0 +1,969 @@
+//! Pipelined multi-worker serving front-end.
+//!
+//! [`serve`](crate::serve) is a single-threaded discrete-event loop: one
+//! engine, one arrival stream, simulated time only. This module adds the
+//! host-side concurrency layer a real serving deployment has — and
+//! measures it in *wall-clock* time, which the simulator cannot fake:
+//!
+//! * a [`ShardedQueue`] — the bounded MPMC work queue. A feeder thread
+//!   draws the global Poisson arrival stream (bit-identical to the serial
+//!   server's: same [`ARRIVAL_SEED`](crate::server::ARRIVAL_SEED), same
+//!   gap expression) and shards it round-robin across per-worker lanes;
+//! * N workers, each owning a full engine replica (built *inside* the
+//!   worker thread by a caller-supplied factory, so engines never cross
+//!   threads and need no `Send` bound);
+//! * a [`MicroBatcher`] — pure logical-time request coalescing under a
+//!   latency budget: a batch seals at `first_arrival + linger` or when
+//!   `max_batch` requests have arrived, whichever is earlier, and
+//!   over-age requests are shed against the deadline at seal time;
+//! * a pipelined executor per worker — a prep stage (batch assembly +
+//!   dedup) runs one bounded channel ahead of the execute stage, so batch
+//!   `N+1`'s host work overlaps batch `N`'s device dwell.
+//!
+//! ## Where wall-clock scaling comes from
+//!
+//! The simulated GPU is a data structure; "running" a batch costs host
+//! CPU only. A real serving host, by contrast, spends most of each batch
+//! *blocked on the device*. [`ConcurrentConfig::pace`] restores that
+//! duty cycle: after each batch the worker sleeps `pace ×` the batch's
+//! *simulated* time. Sleeps overlap across workers (even on one core),
+//! exactly as device dwell overlaps across real streams — so throughput
+//! scales with workers until host CPU saturates. Pacing never touches
+//! simulated state: every simulated metric is bit-identical at any pace,
+//! and determinism checks run at `pace = 0`.
+//!
+//! ## Determinism
+//!
+//! Each worker's simulation is self-contained (own engine, own clock, own
+//! trace stream) and its shard receives its requests in arrival order, so
+//! every simulated output is independent of thread scheduling. With one
+//! worker, no linger, and the streaming batcher, the drive below is an
+//! exact transcription of the serial server's window logic — the results
+//! are bit-identical to [`serve`](crate::serve) (asserted by tests and
+//! the `serve_scaling` drill).
+
+use crate::engine::InferenceEngine;
+use crate::latency::LatencyRecorder;
+use crate::server::{ServedRun, ARRIVAL_SEED};
+use fleche_gpu::{declare_pipeline_handoffs, Ns, RaceChecker};
+use fleche_store::api::EmbeddingCacheSystem;
+use fleche_store::Deduped;
+use fleche_workload::{ArrivalGen, BurstWindow, TraceGenerator};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::Duration;
+// Wall-clock reads are confined to this module (and the serve_scaling
+// drill) by the analyzer's no-wall-clock rule: simulated results must
+// never depend on them, only the scaling report does.
+use std::time::Instant;
+
+/// One queued request: its global sequence number and absolute arrival
+/// time on the (shared) post-warmup simulated clock.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedRequest {
+    /// Position in the global arrival stream.
+    pub seq: u64,
+    /// Absolute arrival time.
+    pub arrival: Ns,
+}
+
+struct ShardState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shard<T> {
+    state: Mutex<ShardState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// A bounded multi-producer multi-consumer queue, sharded into
+/// independent lanes so producers and consumers on different lanes never
+/// contend on one lock. The serving front-end uses one lane per worker
+/// with the feeder sharding round-robin; nothing restricts a lane to one
+/// producer or consumer.
+pub struct ShardedQueue<T> {
+    shards: Vec<Shard<T>>,
+    capacity: usize,
+}
+
+impl<T> ShardedQueue<T> {
+    /// A queue with `shards` lanes of `capacity` items each.
+    pub fn new(shards: usize, capacity: usize) -> ShardedQueue<T> {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity > 0, "shard capacity must be positive");
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        items: VecDeque::new(),
+                        closed: false,
+                    }),
+                    not_empty: Condvar::new(),
+                    not_full: Condvar::new(),
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pushes onto lane `shard`, blocking while it is full. An item
+    /// pushed after [`ShardedQueue::close`] is dropped.
+    pub fn push(&self, shard: usize, item: T) {
+        let lane = &self.shards[shard % self.shards.len()];
+        let mut st = lane.state.lock().expect("queue lock poisoned");
+        while st.items.len() >= self.capacity && !st.closed {
+            st = lane.not_full.wait(st).expect("queue lock poisoned");
+        }
+        if st.closed {
+            return;
+        }
+        st.items.push_back(item);
+        lane.not_empty.notify_one();
+    }
+
+    /// Pops from lane `shard`, blocking while it is empty and open.
+    /// Returns `None` once the lane is closed *and* drained.
+    pub fn pop(&self, shard: usize) -> Option<T> {
+        let lane = &self.shards[shard % self.shards.len()];
+        let mut st = lane.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                lane.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = lane.not_empty.wait(st).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes every lane: blocked pushers drop their item and return,
+    /// blocked poppers drain what remains and then see `None`.
+    pub fn close(&self) {
+        for lane in &self.shards {
+            let mut st = lane.state.lock().expect("queue lock poisoned");
+            st.closed = true;
+            lane.not_empty.notify_all();
+            lane.not_full.notify_all();
+        }
+    }
+}
+
+/// Logical-time coalescing policy for [`MicroBatcher::plan`].
+#[derive(Clone, Copy, Debug)]
+pub struct MicroBatcherConfig {
+    /// Seal a batch once this many requests have joined.
+    pub max_batch: usize,
+    /// Seal a batch this long after its first request arrives, even if
+    /// not full — the latency budget spent waiting for co-riders.
+    pub linger: Ns,
+    /// Shed a request whose wait at seal time already exceeds this.
+    pub deadline: Option<Ns>,
+}
+
+/// One planned batch: the requests riding it and the logical time it
+/// sealed (execution may start no earlier).
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Seal time: `min(first_arrival + linger, arrival of the
+    /// max_batch-th request)`.
+    pub seal: Ns,
+    /// `(seq, arrival)` of each member, in arrival order.
+    pub members: Vec<(u64, Ns)>,
+}
+
+/// Output of [`MicroBatcher::plan`]: the batches plus everything shed.
+#[derive(Clone, Debug, Default)]
+pub struct MicroBatchPlan {
+    /// Planned batches, in arrival order.
+    pub batches: Vec<BatchPlan>,
+    /// Requests shed at plan time (deadline exceeded at seal).
+    pub shed: Vec<(u64, Ns)>,
+}
+
+/// Pure logical-time micro-batcher. Planning is a function of arrival
+/// times only — no clocks, no threads — so its invariants (no request
+/// dropped or duplicated, batches within `max_batch`, linger budget
+/// respected) are property-testable in isolation, and a plan executes
+/// identically at any pipeline depth.
+pub struct MicroBatcher;
+
+impl MicroBatcher {
+    /// Partitions `arrivals` (sorted ascending by arrival) into batches.
+    pub fn plan(arrivals: &[(u64, Ns)], cfg: &MicroBatcherConfig) -> MicroBatchPlan {
+        assert!(cfg.max_batch > 0, "max batch must be positive");
+        assert!(cfg.linger.as_ns() >= 0.0, "linger must be non-negative");
+        debug_assert!(
+            arrivals.windows(2).all(|w| w[0].1 <= w[1].1),
+            "arrivals must be sorted"
+        );
+        let mut plan = MicroBatchPlan::default();
+        let mut i = 0;
+        while i < arrivals.len() {
+            let first = arrivals[i].1;
+            let seal_by_linger = first + cfg.linger;
+            let cap = (i + cfg.max_batch).min(arrivals.len());
+            let mut end = i + 1;
+            while end < cap && arrivals[end].1 <= seal_by_linger {
+                end += 1;
+            }
+            // Full batches seal when their last rider arrives; short ones
+            // wait out the full linger.
+            let seal = if end - i == cfg.max_batch {
+                arrivals[end - 1].1
+            } else {
+                seal_by_linger
+            };
+            let mut members = Vec::with_capacity(end - i);
+            for &(seq, arr) in &arrivals[i..end] {
+                match cfg.deadline {
+                    Some(dl) if seal.saturating_sub(arr) > dl => plan.shed.push((seq, arr)),
+                    _ => members.push((seq, arr)),
+                }
+            }
+            if !members.is_empty() {
+                plan.batches.push(BatchPlan { seal, members });
+            }
+            i = end;
+        }
+        plan
+    }
+}
+
+/// Configuration of [`serve_concurrent`].
+#[derive(Clone, Debug)]
+pub struct ConcurrentConfig {
+    /// Worker (engine replica) count.
+    pub workers: usize,
+    /// Offered load in requests per second, across all workers.
+    pub offered_load: f64,
+    /// Maximum samples per engine invocation.
+    pub max_batch: usize,
+    /// Requests to simulate (after warm-up), across all workers.
+    pub requests: usize,
+    /// Requests each worker uses to warm its cache (not measured).
+    pub warmup_requests: usize,
+    /// Streaming-batcher admission bound (see
+    /// [`ServerConfig`](crate::ServerConfig)); ignored under a linger.
+    pub queue_capacity: Option<usize>,
+    /// Shed requests waiting longer than this.
+    pub deadline: Option<Ns>,
+    /// `None`: engine-feedback streaming batching, bit-identical to the
+    /// serial server per worker. `Some(l)`: micro-batch with linger `l`
+    /// and pipeline prep against execution.
+    pub linger: Option<Ns>,
+    /// Prep→execute channel depth under a linger (min 1).
+    pub pipeline_depth: usize,
+    /// Real seconds slept per simulated second of batch time, modelling
+    /// the host blocking on device completion. Zero disables pacing.
+    pub pace: f64,
+    /// Overload windows modulating the arrival stream.
+    pub bursts: Vec<BurstWindow>,
+    /// Replay the queue and pipeline hand-off protocols through the race
+    /// checker after the run.
+    pub analyze: bool,
+    /// Per-lane bound of the arrival queue.
+    pub shard_capacity: usize,
+}
+
+impl ConcurrentConfig {
+    /// A front-end mirroring a serial [`ServerConfig`](crate::ServerConfig)
+    /// with `workers` replicas: streaming batcher, no pacing — the
+    /// configuration whose one-worker run is bit-identical to
+    /// [`serve`](crate::serve).
+    pub fn mirror_serial(config: &crate::ServerConfig, workers: usize) -> ConcurrentConfig {
+        ConcurrentConfig {
+            workers,
+            offered_load: config.offered_load,
+            max_batch: config.max_batch,
+            requests: config.requests,
+            warmup_requests: config.warmup_requests,
+            queue_capacity: config.queue_capacity,
+            deadline: config.deadline,
+            linger: None,
+            pipeline_depth: 2,
+            pace: 0.0,
+            bursts: Vec::new(),
+            analyze: false,
+            shard_capacity: 4096,
+        }
+    }
+}
+
+/// Real (wall-clock) seconds each pipeline stage of one worker spent
+/// working, summed over batches. `prep` and `exec` exclude time blocked
+/// on the hand-off channel; `dwell` is the paced device-dwell sleep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageWall {
+    /// Batch assembly + dedup on the prep stage.
+    pub prep_secs: f64,
+    /// Engine execution on the executor stage.
+    pub exec_secs: f64,
+    /// Paced device dwell on the executor stage.
+    pub dwell_secs: f64,
+}
+
+/// One worker's result.
+#[derive(Debug)]
+pub struct WorkerRun {
+    /// Worker index.
+    pub worker: usize,
+    /// The worker's serving results on its own simulated clock (same
+    /// shape as the serial server's).
+    pub run: ServedRun,
+    /// Batches the worker executed.
+    pub batches: u64,
+    /// Per-stage wall time.
+    pub stage: StageWall,
+    /// Requests received through the sharded arrival queue.
+    pub queue_handoffs: u64,
+    /// Prepared batches received through the prep→execute channel.
+    pub pipeline_handoffs: u64,
+}
+
+/// Result of a concurrent serving run.
+#[derive(Debug)]
+pub struct ConcurrentRun {
+    /// Per-worker results, indexed by worker.
+    pub workers: Vec<WorkerRun>,
+    /// Wall-clock seconds from the post-warmup start barrier to the last
+    /// worker finishing. The only machine-dependent field.
+    pub wall_secs: f64,
+    /// Races found replaying the hand-off protocols (`Some` only when
+    /// [`ConcurrentConfig::analyze`] was set).
+    pub races: Option<usize>,
+}
+
+impl ConcurrentRun {
+    /// Requests offered across workers.
+    pub fn offered(&self) -> u64 {
+        self.workers.iter().map(|w| w.run.offered).sum()
+    }
+
+    /// Requests served across workers.
+    pub fn served(&self) -> u64 {
+        self.workers.iter().map(|w| w.run.served).sum()
+    }
+
+    /// Requests shed across workers (admission + deadline).
+    pub fn shed(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.run.shed_queue + w.run.shed_deadline)
+            .sum()
+    }
+
+    /// Wall-clock throughput: served requests per real second. The
+    /// scaling figure — machine-dependent by construction.
+    pub fn wall_throughput(&self) -> f64 {
+        self.served() as f64 / self.wall_secs.max(1e-12)
+    }
+
+    /// Aggregate simulated throughput (sum of per-worker achieved rates;
+    /// workers simulate the same horizon in parallel).
+    pub fn sim_achieved(&self) -> f64 {
+        self.workers.iter().map(|w| w.run.achieved).sum()
+    }
+}
+
+/// Runs the concurrent serving front-end.
+///
+/// `factory(worker)` builds worker `worker`'s engine replica and trace
+/// generator; it is called *inside* the worker's thread, so neither needs
+/// to be `Send`. Every worker must be built identically (same specs,
+/// same seeds) — the feeder asserts their post-warmup clocks agree
+/// bit-for-bit, since the shared arrival stream is anchored there.
+///
+/// Worker `w` serves every `workers`-th request of the global stream.
+/// Each replica draws its samples from its own generator (same seed:
+/// replicas see identically-distributed traffic, as replicated serving
+/// instances of one model do), so all simulated outputs are deterministic
+/// regardless of thread scheduling.
+pub fn serve_concurrent<S, F>(factory: F, config: &ConcurrentConfig) -> ConcurrentRun
+where
+    S: EmbeddingCacheSystem,
+    F: Fn(usize) -> (InferenceEngine<S>, TraceGenerator) + Sync,
+{
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.offered_load > 0.0, "offered load must be positive");
+    assert!(config.max_batch > 0, "max batch must be positive");
+    let w = config.workers;
+    let queue: ShardedQueue<QueuedRequest> = ShardedQueue::new(w, config.shard_capacity.max(1));
+    let base_now: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; w]);
+    // Workers + feeder + the timing thread all release together, after
+    // every warmup is done, so wall time measures only the serving phase.
+    let start_barrier = Barrier::new(w + 2);
+    let results: Mutex<Vec<Option<WorkerRun>>> = Mutex::new((0..w).map(|_| None).collect());
+    let mut wall_start: Option<Instant> = None;
+
+    std::thread::scope(|scope| {
+        // Feeder: draws the one global arrival stream and shards it.
+        scope.spawn(|| {
+            start_barrier.wait();
+            let base = {
+                let g = base_now.lock().expect("base-now lock poisoned");
+                let first = g[0].expect("worker 0 published its clock");
+                for (i, b) in g.iter().enumerate() {
+                    let b = b.expect("worker published its clock");
+                    assert_eq!(
+                        b.to_bits(),
+                        first.to_bits(),
+                        "worker {i} warmup diverged: clock {b} vs {first}"
+                    );
+                }
+                first
+            };
+            let mut agen = ArrivalGen::new(
+                ARRIVAL_SEED,
+                Ns::from_secs(1.0 / config.offered_load).as_ns(),
+            )
+            .with_bursts(config.bursts.clone());
+            // Accumulate exactly like the serial server (t += gap from
+            // the post-warmup clock) so arrivals are bit-identical.
+            let mut t = Ns(base);
+            for seq in 0..config.requests as u64 {
+                t += Ns(agen.next_gap_ns());
+                queue.push(seq as usize % w, QueuedRequest { seq, arrival: t });
+            }
+            queue.close();
+        });
+
+        for wid in 0..w {
+            let factory = &factory;
+            let queue = &queue;
+            let base_now = &base_now;
+            let start_barrier = &start_barrier;
+            let results = &results;
+            scope.spawn(move || {
+                let (mut engine, mut gen) = factory(wid);
+                // Same warmup as the serial server.
+                for _ in 0..config.warmup_requests.div_ceil(config.max_batch) {
+                    let b = gen.next_batch(config.max_batch.min(256));
+                    engine.run_batch(&b);
+                }
+                engine.system_mut().reset_stats();
+                base_now.lock().expect("base-now lock poisoned")[wid] =
+                    Some(engine.gpu().now().as_ns());
+                start_barrier.wait();
+                let run = match config.linger {
+                    None => streaming_drive(&mut engine, &mut gen, queue, wid, config),
+                    Some(linger) => pipelined_drive(&mut engine, gen, queue, wid, config, linger),
+                };
+                results.lock().expect("results lock poisoned")[wid] = Some(run);
+            });
+        }
+
+        start_barrier.wait();
+        wall_start = Some(Instant::now());
+    });
+
+    let wall_secs = wall_start
+        .expect("start barrier released")
+        .elapsed()
+        .as_secs_f64();
+    let workers: Vec<WorkerRun> = results
+        .into_inner()
+        .expect("results lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("worker finished"))
+        .collect();
+
+    let races = config.analyze.then(|| {
+        let mut total = 0;
+        for wr in &workers {
+            // Feeder→worker lane of the sharded queue, then the worker's
+            // prep→execute pipeline ring. Fresh checker per ring (event
+            // history grows per hand-off).
+            let mut c = RaceChecker::new();
+            declare_pipeline_handoffs(
+                &mut c,
+                wr.worker as u16,
+                0,
+                config.shard_capacity.max(1) as u32,
+                wr.queue_handoffs,
+                true,
+            );
+            total += c.race_count();
+            let mut c = RaceChecker::new();
+            declare_pipeline_handoffs(
+                &mut c,
+                wr.worker as u16,
+                1 << 16,
+                config.pipeline_depth.max(1) as u32,
+                wr.pipeline_handoffs,
+                true,
+            );
+            total += c.race_count();
+        }
+        total
+    });
+
+    ConcurrentRun {
+        workers,
+        wall_secs,
+        races,
+    }
+}
+
+/// An in-flight request in a worker's streaming window. `done` mirrors
+/// the serial server's `done_flag`: shed-by-admission requests stay in
+/// place (their arrival still anchors the window) until the front pointer
+/// passes them.
+struct Pending {
+    arrival: Ns,
+    done: bool,
+}
+
+/// The engine-feedback streaming drive: an exact transcription of the
+/// serial [`serve`](crate::serve) loop onto a queue-fed pending buffer.
+/// With one worker the simulated results are bit-identical to it.
+fn streaming_drive<S: EmbeddingCacheSystem>(
+    engine: &mut InferenceEngine<S>,
+    gen: &mut TraceGenerator,
+    queue: &ShardedQueue<QueuedRequest>,
+    wid: usize,
+    config: &ConcurrentConfig,
+) -> WorkerRun {
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let mut latency = LatencyRecorder::new();
+    let mut offered = 0u64;
+    let mut batches = 0u64;
+    let mut batched = 0u64;
+    let mut shed_queue = 0u64;
+    let mut shed_deadline = 0u64;
+    let mut busy = Ns::ZERO;
+    let mut stage = StageWall::default();
+    let t_start = engine.gpu().now();
+    let take = |pending: &mut VecDeque<Pending>, offered: &mut u64| match queue.pop(wid) {
+        Some(r) => {
+            *offered += 1;
+            pending.push_back(Pending {
+                arrival: r.arrival,
+                done: false,
+            });
+            true
+        }
+        None => false,
+    };
+    loop {
+        if pending.is_empty() && !take(&mut pending, &mut offered) {
+            break;
+        }
+        if pending.front().expect("pending non-empty").done {
+            pending.pop_front();
+            continue;
+        }
+        // The engine is idle at `now`; the window is everything arrived
+        // by the time the first waiter can start.
+        let now = engine.gpu().now();
+        let ready_from = now.max(pending.front().expect("pending non-empty").arrival);
+        // Pull until we have buffered one arrival beyond the window (or
+        // the stream ended) — the streaming equivalent of scanning the
+        // serial server's pre-drawn arrival array.
+        while pending.back().expect("pending non-empty").arrival <= ready_from
+            && take(&mut pending, &mut offered)
+        {}
+        let mut end = 0;
+        while end < pending.len() && pending[end].arrival <= ready_from {
+            end += 1;
+        }
+        // Deadline shedding, oldest first (mirrors the serial loop).
+        let mut idx = 0;
+        if let Some(dl) = config.deadline {
+            while idx < end && ready_from.saturating_sub(pending[idx].arrival) > dl {
+                if !pending[idx].done {
+                    shed_deadline += 1;
+                }
+                idx += 1;
+            }
+            if idx >= end {
+                pending.drain(..idx);
+                continue;
+            }
+        }
+        let mut live: Vec<usize> = (idx..end).filter(|&i| !pending[i].done).collect();
+        if let Some(cap) = config.queue_capacity {
+            let cap = cap.max(1);
+            if live.len() > cap {
+                for &i in &live[cap..] {
+                    pending[i].done = true;
+                }
+                shed_queue += (live.len() - cap) as u64;
+                live.truncate(cap);
+            }
+        }
+        live.truncate(config.max_batch);
+        let count = live.len();
+        let e0 = Instant::now();
+        let batch = gen.next_batch(count);
+        if pending[idx].arrival > now {
+            let gap = pending[idx].arrival - now;
+            engine.gpu_mut().elapse_host("idle", gap);
+        }
+        let t0 = engine.gpu().now();
+        let timing = engine.run_batch(&batch);
+        stage.exec_secs += e0.elapsed().as_secs_f64();
+        let done = engine.gpu().now();
+        busy += done - t0;
+        for &i in &live {
+            latency.record(done - pending[i].arrival);
+            pending[i].done = true;
+        }
+        batches += 1;
+        batched += count as u64;
+        pending.drain(..idx);
+        dwell(config.pace, timing.total, &mut stage);
+    }
+    let elapsed = engine.gpu().now() - t_start;
+    WorkerRun {
+        worker: wid,
+        run: ServedRun {
+            achieved: batched as f64 / elapsed.as_secs().max(1e-12),
+            mean_batch: batched as f64 / batches.max(1) as f64,
+            utilization: (busy / elapsed).min(1.0),
+            offered,
+            served: batched,
+            shed_queue,
+            shed_deadline,
+            lifetime: engine.system().lifetime_stats(),
+            latency,
+        },
+        batches,
+        stage,
+        queue_handoffs: offered,
+        pipeline_handoffs: 0,
+    }
+}
+
+/// One prepared batch crossing the prep→execute channel.
+struct PreparedBatch {
+    seal: Ns,
+    members: Vec<(u64, Ns)>,
+    batch: fleche_workload::Batch,
+    dedup: Deduped,
+}
+
+/// The pipelined drive: plan micro-batches in logical time, then run a
+/// prep stage one bounded channel ahead of the executor. Simulated
+/// results are independent of pipeline depth — the prepared path charges
+/// the identical dedup cost — so only wall time changes.
+fn pipelined_drive<S: EmbeddingCacheSystem>(
+    engine: &mut InferenceEngine<S>,
+    gen: TraceGenerator,
+    queue: &ShardedQueue<QueuedRequest>,
+    wid: usize,
+    config: &ConcurrentConfig,
+    linger: Ns,
+) -> WorkerRun {
+    // Drain this worker's lane; the feeder produces the whole stream
+    // regardless of serving pace (open loop), so this terminates.
+    let mut reqs: Vec<(u64, Ns)> = Vec::new();
+    while let Some(r) = queue.pop(wid) {
+        reqs.push((r.seq, r.arrival));
+    }
+    let offered = reqs.len() as u64;
+    let planned = MicroBatcher::plan(
+        &reqs,
+        &MicroBatcherConfig {
+            max_batch: config.max_batch,
+            linger,
+            deadline: config.deadline,
+        },
+    );
+    let shed_deadline = planned.shed.len() as u64;
+    let depth = config.pipeline_depth.max(1);
+    let (tx, rx) = mpsc::sync_channel::<PreparedBatch>(depth);
+    let prep_secs = Mutex::new(0.0f64);
+    let mut latency = LatencyRecorder::new();
+    let mut batches = 0u64;
+    let mut batched = 0u64;
+    let mut busy = Ns::ZERO;
+    let mut stage = StageWall::default();
+    let t_start = engine.gpu().now();
+    std::thread::scope(|scope| {
+        let plans = &planned.batches;
+        let prep_secs = &prep_secs;
+        let mut gen = gen;
+        scope.spawn(move || {
+            for plan in plans {
+                let p0 = Instant::now();
+                let batch = gen.next_batch(plan.members.len());
+                let dedup = Deduped::from_batch(&batch);
+                *prep_secs.lock().expect("prep lock poisoned") += p0.elapsed().as_secs_f64();
+                let msg = PreparedBatch {
+                    seal: plan.seal,
+                    members: plan.members.clone(),
+                    batch,
+                    dedup,
+                };
+                if tx.send(msg).is_err() {
+                    break;
+                }
+            }
+        });
+        while let Ok(p) = rx.recv() {
+            let now = engine.gpu().now();
+            if p.seal > now {
+                engine.gpu_mut().elapse_host("idle", p.seal - now);
+            }
+            let t0 = engine.gpu().now();
+            let e0 = Instant::now();
+            let timing = engine.run_batch_prepared(&p.batch, p.dedup);
+            stage.exec_secs += e0.elapsed().as_secs_f64();
+            let done = engine.gpu().now();
+            busy += done - t0;
+            for &(_, arr) in &p.members {
+                latency.record(done - arr);
+            }
+            batches += 1;
+            batched += p.members.len() as u64;
+            dwell(config.pace, timing.total, &mut stage);
+        }
+    });
+    stage.prep_secs = *prep_secs.lock().expect("prep lock poisoned");
+    let elapsed = engine.gpu().now() - t_start;
+    WorkerRun {
+        worker: wid,
+        run: ServedRun {
+            achieved: batched as f64 / elapsed.as_secs().max(1e-12),
+            mean_batch: batched as f64 / batches.max(1) as f64,
+            utilization: (busy / elapsed).min(1.0),
+            offered,
+            served: batched,
+            shed_queue: 0,
+            shed_deadline,
+            lifetime: engine.system().lifetime_stats(),
+            latency,
+        },
+        batches,
+        stage,
+        queue_handoffs: offered,
+        pipeline_handoffs: batches,
+    }
+}
+
+/// Sleeps `pace ×` the batch's simulated time: the host-side duty cycle
+/// of waiting on the device. Overlaps across worker threads, which is
+/// exactly where the wall-clock scaling of multiple workers comes from.
+fn dwell(pace: f64, sim_total: Ns, stage: &mut StageWall) {
+    if pace <= 0.0 {
+        return;
+    }
+    let d0 = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(sim_total.as_secs() * pace));
+    stage.dwell_secs += d0.elapsed().as_secs_f64();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseModel;
+    use crate::engine::ModelMode;
+    use crate::server::{serve, ServerConfig};
+    use fleche_core::{FlecheConfig, FlecheSystem};
+    use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+    use fleche_store::CpuStore;
+    use fleche_workload::{spec, DatasetSpec};
+
+    fn dataset() -> DatasetSpec {
+        spec::synthetic(8, 5_000, 16, -1.3)
+    }
+
+    fn build(wid: usize) -> (InferenceEngine<FlecheSystem>, TraceGenerator) {
+        let _ = wid;
+        let ds = dataset();
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let sys = FlecheSystem::new(&ds, store, FlecheConfig::full(0.05));
+        let dense = DenseModel::dcn_paper(InferenceEngine::<FlecheSystem>::concat_dim(&ds));
+        (
+            InferenceEngine::new(
+                Gpu::new(DeviceSpec::t4()),
+                sys,
+                dense,
+                ModelMode::EmbeddingOnly,
+                &ds,
+            ),
+            TraceGenerator::new(&ds),
+        )
+    }
+
+    fn serial_config(load: f64) -> ServerConfig {
+        ServerConfig {
+            offered_load: load,
+            max_batch: 256,
+            requests: 2_000,
+            warmup_requests: 2_000,
+            queue_capacity: None,
+            deadline: None,
+        }
+    }
+
+    fn assert_bit_identical(serial: &ServedRun, conc: &ServedRun) {
+        assert_eq!(serial.offered, conc.offered);
+        assert_eq!(serial.served, conc.served);
+        assert_eq!(serial.shed_queue, conc.shed_queue);
+        assert_eq!(serial.shed_deadline, conc.shed_deadline);
+        assert_eq!(serial.latency.len(), conc.latency.len());
+        assert_eq!(serial.achieved.to_bits(), conc.achieved.to_bits());
+        assert_eq!(serial.mean_batch.to_bits(), conc.mean_batch.to_bits());
+        assert_eq!(serial.utilization.to_bits(), conc.utilization.to_bits());
+        for (a, b) in [
+            (serial.latency.median(), conc.latency.median()),
+            (serial.latency.p99(), conc.latency.p99()),
+            (serial.latency.mean(), conc.latency.mean()),
+            (serial.latency.total(), conc.latency.total()),
+        ] {
+            assert_eq!(a.as_ns().to_bits(), b.as_ns().to_bits());
+        }
+        assert_eq!(serial.lifetime.hits, conc.lifetime.hits);
+        assert_eq!(serial.lifetime.misses, conc.lifetime.misses);
+        assert_eq!(serial.lifetime.batches, conc.lifetime.batches);
+    }
+
+    #[test]
+    fn one_worker_streaming_matches_serial_bitwise() {
+        let cfg = serial_config(200_000.0);
+        let (mut eng, mut gen) = build(0);
+        let serial = serve(&mut eng, &mut gen, &cfg);
+        let conc = serve_concurrent(build, &ConcurrentConfig::mirror_serial(&cfg, 1));
+        assert_eq!(conc.workers.len(), 1);
+        assert_bit_identical(&serial, &conc.workers[0].run);
+    }
+
+    #[test]
+    fn one_worker_matches_serial_with_shedding() {
+        let cfg = ServerConfig {
+            queue_capacity: Some(64),
+            deadline: Some(Ns::from_us(300.0)),
+            ..serial_config(5_000_000.0)
+        };
+        let (mut eng, mut gen) = build(0);
+        let serial = serve(&mut eng, &mut gen, &cfg);
+        let conc = serve_concurrent(build, &ConcurrentConfig::mirror_serial(&cfg, 1));
+        assert!(serial.shed_queue + serial.shed_deadline > 0);
+        assert_bit_identical(&serial, &conc.workers[0].run);
+    }
+
+    #[test]
+    fn multi_worker_run_is_deterministic_and_complete() {
+        let cfg = ConcurrentConfig::mirror_serial(&serial_config(400_000.0), 3);
+        let a = serve_concurrent(build, &cfg);
+        let b = serve_concurrent(build, &cfg);
+        assert_eq!(a.offered(), 2_000);
+        assert_eq!(a.served(), 2_000);
+        for (x, y) in a.workers.iter().zip(&b.workers) {
+            assert_bit_identical(&x.run, &y.run);
+        }
+    }
+
+    #[test]
+    fn pipelined_results_are_depth_invariant() {
+        let mut cfg = ConcurrentConfig::mirror_serial(&serial_config(400_000.0), 2);
+        cfg.linger = Some(Ns::from_us(200.0));
+        let a = serve_concurrent(build, &cfg);
+        cfg.pipeline_depth = 8;
+        let b = serve_concurrent(build, &cfg);
+        assert!(a.served() > 0);
+        for (x, y) in a.workers.iter().zip(&b.workers) {
+            assert_bit_identical(&x.run, &y.run);
+            assert!(x.pipeline_handoffs > 0);
+        }
+    }
+
+    #[test]
+    fn pacing_never_touches_simulated_results() {
+        let mut cfg = ConcurrentConfig::mirror_serial(&serial_config(400_000.0), 2);
+        cfg.linger = Some(Ns::from_us(200.0));
+        cfg.requests = 400;
+        cfg.warmup_requests = 400;
+        let a = serve_concurrent(build, &cfg);
+        cfg.pace = 0.5;
+        let b = serve_concurrent(build, &cfg);
+        for (x, y) in a.workers.iter().zip(&b.workers) {
+            assert_bit_identical(&x.run, &y.run);
+            assert!(y.stage.dwell_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn analyze_mode_finds_no_races_in_the_protocol() {
+        let mut cfg = ConcurrentConfig::mirror_serial(&serial_config(400_000.0), 2);
+        cfg.linger = Some(Ns::from_us(200.0));
+        cfg.requests = 500;
+        cfg.warmup_requests = 400;
+        cfg.analyze = true;
+        let run = serve_concurrent(build, &cfg);
+        assert_eq!(run.races, Some(0));
+    }
+
+    #[test]
+    fn micro_batcher_partitions_without_loss() {
+        let arrivals: Vec<(u64, Ns)> = (0..1_000u64).map(|i| (i, Ns(i as f64 * 137.0))).collect();
+        let cfg = MicroBatcherConfig {
+            max_batch: 48,
+            linger: Ns::from_us(2.0),
+            deadline: None,
+        };
+        let plan = MicroBatcher::plan(&arrivals, &cfg);
+        let mut seen: Vec<u64> = plan
+            .batches
+            .iter()
+            .flat_map(|b| b.members.iter().map(|&(s, _)| s))
+            .chain(plan.shed.iter().map(|&(s, _)| s))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1_000).collect::<Vec<_>>());
+        for b in &plan.batches {
+            assert!(b.members.len() <= cfg.max_batch);
+            let first = b.members[0].1;
+            assert!(b.seal.saturating_sub(first) <= cfg.linger);
+            for &(_, arr) in &b.members {
+                assert!(arr <= b.seal);
+            }
+        }
+    }
+
+    #[test]
+    fn micro_batcher_seals_full_batches_early() {
+        // 10 requests at t=0: with max_batch 4 the first two batches seal
+        // immediately, not after the linger.
+        let arrivals: Vec<(u64, Ns)> = (0..10u64).map(|i| (i, Ns::ZERO)).collect();
+        let plan = MicroBatcher::plan(
+            &arrivals,
+            &MicroBatcherConfig {
+                max_batch: 4,
+                linger: Ns::from_ms(1.0),
+                deadline: None,
+            },
+        );
+        assert_eq!(plan.batches.len(), 3);
+        assert_eq!(plan.batches[0].seal, Ns::ZERO);
+        assert_eq!(plan.batches[1].seal, Ns::ZERO);
+        // The last, short batch waits out the linger.
+        assert_eq!(plan.batches[2].seal, Ns::from_ms(1.0));
+    }
+
+    #[test]
+    fn sharded_queue_close_drains_then_ends() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(2, 4);
+        q.push(0, 1);
+        q.push(0, 2);
+        q.push(1, 3);
+        q.close();
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.pop(1), None);
+        assert_eq!(q.shard_count(), 2);
+    }
+}

@@ -103,6 +103,31 @@ impl<S: EmbeddingCacheSystem> InferenceEngine<S> {
     pub fn run_batch(&mut self, batch: &Batch) -> InferenceTiming {
         let t0 = self.gpu.now();
         let out = self.system.query_batch(&mut self.gpu, batch);
+        self.finish_batch(batch, out, t0)
+    }
+
+    /// Runs one batch whose dedup mapping a pipelined prep stage already
+    /// computed on another host thread. Simulated timing is bit-identical
+    /// to [`InferenceEngine::run_batch`] (the same host cost is charged);
+    /// only real wall time moves off this thread.
+    pub fn run_batch_prepared(
+        &mut self,
+        batch: &Batch,
+        prepared: fleche_store::Deduped,
+    ) -> InferenceTiming {
+        let t0 = self.gpu.now();
+        let out = self
+            .system
+            .query_batch_prepared(&mut self.gpu, batch, prepared);
+        self.finish_batch(batch, out, t0)
+    }
+
+    fn finish_batch(
+        &mut self,
+        batch: &Batch,
+        out: fleche_store::api::QueryOutput,
+        t0: Ns,
+    ) -> InferenceTiming {
         let t_emb = self.gpu.now();
 
         let mut dense_time = Ns::ZERO;

@@ -15,18 +15,26 @@
 //!   batch latencies.
 //! * [`server`] — open-loop serving: Poisson arrivals, dynamic batching,
 //!   queueing-inclusive latency (the load/latency curves of Exp #2).
+//! * [`concurrent`] — the pipelined multi-worker serving front-end:
+//!   sharded arrival queue, logical-time micro-batcher, prep/execute
+//!   pipelining, and paced device dwell for measured wall-clock scaling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod ctr;
 pub mod dense;
 pub mod engine;
 pub mod latency;
 pub mod server;
 
+pub use concurrent::{
+    serve_concurrent, BatchPlan, ConcurrentConfig, ConcurrentRun, MicroBatchPlan, MicroBatcher,
+    MicroBatcherConfig, QueuedRequest, ShardedQueue, StageWall, WorkerRun,
+};
 pub use ctr::{auc, evaluate_codec, generate_samples, CtrSample, HashedLr, ParamIndexing};
 pub use dense::DenseModel;
 pub use engine::{InferenceEngine, InferenceTiming, MeasuredRun, ModelMode};
 pub use latency::{throughput, LatencyRecorder};
-pub use server::{serve, ServedRun, ServerConfig};
+pub use server::{serve, ServedRun, ServerConfig, ARRIVAL_SEED};

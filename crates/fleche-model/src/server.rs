@@ -18,9 +18,11 @@ use crate::engine::InferenceEngine;
 use crate::latency::LatencyRecorder;
 use fleche_gpu::Ns;
 use fleche_store::api::{EmbeddingCacheSystem, LifetimeStats};
-use fleche_workload::{Batch, TraceGenerator};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fleche_workload::{ArrivalGen, Batch, TraceGenerator};
+
+/// Seed of the serial arrival stream. [`crate::serve_concurrent`] uses the
+/// same seed so its workers replay the identical Poisson process.
+pub const ARRIVAL_SEED: u64 = 0x005E_A7ED;
 
 /// Serving configuration.
 #[derive(Clone, Debug)]
@@ -104,8 +106,10 @@ pub fn serve<S: EmbeddingCacheSystem>(
 ) -> ServedRun {
     assert!(config.offered_load > 0.0, "offered load must be positive");
     assert!(config.max_batch > 0, "max batch must be positive");
-    let mut rng = StdRng::seed_from_u64(0x005E_A7ED);
-    let mean_gap = Ns::from_secs(1.0 / config.offered_load);
+    let mut agen = ArrivalGen::new(
+        ARRIVAL_SEED,
+        Ns::from_secs(1.0 / config.offered_load).as_ns(),
+    );
 
     // Warm the cache at an easy pace.
     for _ in 0..config.warmup_requests.div_ceil(config.max_batch) {
@@ -118,8 +122,7 @@ pub fn serve<S: EmbeddingCacheSystem>(
     let mut arrivals = Vec::with_capacity(config.requests);
     let mut t = engine.gpu().now();
     for _ in 0..config.requests {
-        let u: f64 = rng.gen::<f64>().max(1e-12);
-        t += mean_gap * (-u.ln());
+        t += Ns(agen.next_gap_ns());
         arrivals.push(t);
     }
 

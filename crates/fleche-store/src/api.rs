@@ -102,6 +102,23 @@ pub trait EmbeddingCacheSystem {
     /// restore. Advances the simulated clocks of `gpu`.
     fn query_batch(&mut self, gpu: &mut Gpu, batch: &Batch) -> QueryOutput;
 
+    /// Like [`EmbeddingCacheSystem::query_batch`], but with the dedup
+    /// mapping already computed by a pipelined prep stage on another host
+    /// thread. Implementations that consume `prepared` must charge the
+    /// same simulated host cost as [`dedup_charged`] so results are
+    /// bit-identical with and without pipelining — only *real* wall time
+    /// moves off the executor thread. The default ignores the hint and
+    /// recomputes.
+    fn query_batch_prepared(
+        &mut self,
+        gpu: &mut Gpu,
+        batch: &Batch,
+        prepared: Deduped,
+    ) -> QueryOutput {
+        let _ = prepared;
+        self.query_batch(gpu, batch)
+    }
+
     /// Running hit statistics since construction (or last reset).
     fn lifetime_stats(&self) -> LifetimeStats;
 

@@ -1,0 +1,159 @@
+//! Open-loop request arrival generation.
+//!
+//! A loaded inference server sees a Poisson request stream: exponential
+//! inter-arrival gaps at a configured offered load. This generator owns
+//! that draw so the serial server and the concurrent front-end consume
+//! *bit-identical* arrival sequences — the gap math is exactly
+//! `mean_gap * (-ln u)` with `u = rng.gen::<f64>().max(1e-12)`, the same
+//! expression (and therefore the same f64 rounding) the server used when
+//! the draw was inline.
+//!
+//! This crate deliberately has no dependency on the simulated clock, so
+//! gaps are plain `f64` nanoseconds; callers wrap them in their own time
+//! type.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One rate-modulation window: between `start_ns` and `end_ns` (measured
+/// from the start of the stream) the offered rate is multiplied by
+/// `factor` (gaps divided by it). Used by overload-burst drills; an empty
+/// window list leaves the stream a plain Poisson process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstWindow {
+    /// Window start, ns from the first draw.
+    pub start_ns: f64,
+    /// Window end (exclusive), ns from the first draw.
+    pub end_ns: f64,
+    /// Rate multiplier inside the window (`> 1` is an overload burst).
+    pub factor: f64,
+}
+
+/// Deterministic open-loop arrival generator: exponential gaps at
+/// `1/mean_gap_ns` requests per nanosecond, optionally modulated by
+/// burst windows.
+#[derive(Clone, Debug)]
+pub struct ArrivalGen {
+    rng: StdRng,
+    mean_gap_ns: f64,
+    bursts: Vec<BurstWindow>,
+    /// Offset of the last emitted arrival from the stream start.
+    offset_ns: f64,
+}
+
+impl ArrivalGen {
+    /// A generator drawing gaps with mean `mean_gap_ns` from `seed`.
+    pub fn new(seed: u64, mean_gap_ns: f64) -> ArrivalGen {
+        assert!(
+            mean_gap_ns > 0.0 && mean_gap_ns.is_finite(),
+            "mean gap must be positive"
+        );
+        ArrivalGen {
+            rng: StdRng::seed_from_u64(seed),
+            mean_gap_ns,
+            bursts: Vec::new(),
+            offset_ns: 0.0,
+        }
+    }
+
+    /// Adds burst windows modulating the rate (see [`BurstWindow`]).
+    pub fn with_bursts(mut self, bursts: Vec<BurstWindow>) -> ArrivalGen {
+        for b in &bursts {
+            assert!(b.factor > 0.0, "burst factor must be positive");
+            assert!(b.end_ns >= b.start_ns, "burst window must not be inverted");
+        }
+        self.bursts = bursts;
+        self
+    }
+
+    /// Draws the next inter-arrival gap in nanoseconds.
+    ///
+    /// With no burst windows this is bit-identical to
+    /// `mean_gap * (-ln u)`: the modulation divide is only applied when a
+    /// window covers the current offset, so plain streams never see an
+    /// extra floating-point operation.
+    pub fn next_gap_ns(&mut self) -> f64 {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let mut gap = self.mean_gap_ns * (-u.ln());
+        if let Some(factor) = self.factor_at(self.offset_ns) {
+            gap /= factor;
+        }
+        self.offset_ns += gap;
+        gap
+    }
+
+    /// Draws `n` absolute arrival offsets (ns from the stream start).
+    pub fn offsets(&mut self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        for _ in 0..n {
+            t += self.next_gap_ns();
+            out.push(t);
+        }
+        out
+    }
+
+    fn factor_at(&self, offset_ns: f64) -> Option<f64> {
+        self.bursts
+            .iter()
+            .find(|b| offset_ns >= b.start_ns && offset_ns < b.end_ns)
+            .map(|b| b.factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_inline_draw_bit_for_bit() {
+        // The expression the serial server used inline, replayed here.
+        let mut rng = StdRng::seed_from_u64(0x005E_A7ED);
+        let mean = 1e9 / 250_000.0;
+        let mut gen = ArrivalGen::new(0x005E_A7ED, mean);
+        for _ in 0..1_000 {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let want = mean * (-u.ln());
+            assert_eq!(gen.next_gap_ns().to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = ArrivalGen::new(7, 100.0).offsets(500);
+        let b = ArrivalGen::new(7, 100.0).offsets(500);
+        assert_eq!(a, b);
+        let c = ArrivalGen::new(8, 100.0).offsets(500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_gap_approximates_rate() {
+        let offs = ArrivalGen::new(42, 1_000.0).offsets(20_000);
+        let mean = offs.last().unwrap() / 20_000.0;
+        assert!((mean - 1_000.0).abs() / 1_000.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn bursts_compress_gaps_inside_the_window() {
+        let windows = vec![BurstWindow {
+            start_ns: 0.0,
+            end_ns: f64::INFINITY,
+            factor: 10.0,
+        }];
+        let plain = ArrivalGen::new(9, 1_000.0).offsets(5_000);
+        let burst = ArrivalGen::new(9, 1_000.0)
+            .with_bursts(windows)
+            .offsets(5_000);
+        let ratio = plain.last().unwrap() / burst.last().unwrap();
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let offs = ArrivalGen::new(3, 50.0).offsets(2_000);
+        for w in offs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -21,12 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod oracle;
 pub mod spec;
 pub mod stats;
 pub mod trace;
 pub mod zipf;
 
+pub use arrivals::{ArrivalGen, BurstWindow};
 pub use oracle::{analytic_optimal_hit_rate, belady_hit_rate, FrequencyCensus};
 pub use spec::{synthetic, synthetic_default, DatasetSpec, TableSpec};
 pub use stats::WorkloadStats;

@@ -82,30 +82,65 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Measured outcome of one benchmark, retrievable from
+/// [`Criterion::results`] by custom `main`s that post-process timings
+/// (e.g. emitting machine-readable JSON next to the printed table).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full label (`group/id` for grouped benchmarks).
+    pub label: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub per_iter_ns: f64,
+    /// Timed iterations behind the mean.
+    pub iters: u64,
+    /// The group's throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Elements or bytes processed per second, when annotated.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                Some(n as f64 / self.per_iter_ns * 1e9)
+            }
+            None => None,
+        }
+    }
+}
+
 /// The benchmark driver handed to every `criterion_group!` target.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Runs a stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, None, f);
+        let r = run_one(name, None, f);
+        self.results.push(r);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             throughput: None,
         }
+    }
+
+    /// Every result measured through this driver, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
 /// A group of related benchmarks sharing a name prefix and throughput.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
 }
@@ -124,7 +159,8 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        let r = run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self.parent.results.push(r);
         self
     }
 
@@ -142,7 +178,11 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> BenchResult {
     let mut b = Bencher {
         per_iter: Duration::ZERO,
         iters: 0,
@@ -163,6 +203,12 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, 
         format_ns(per_iter),
         b.iters
     );
+    BenchResult {
+        label: label.to_string(),
+        per_iter_ns: per_iter,
+        iters: b.iters,
+        throughput,
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -222,5 +268,11 @@ mod tests {
             b.iter(|| black_box(n * 2));
         });
         g.finish();
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.label, "g/f/4");
+        assert!(r.per_iter_ns > 0.0);
+        assert!(r.iters > 0);
+        assert!(r.rate_per_sec().expect("annotated") > 0.0);
     }
 }
