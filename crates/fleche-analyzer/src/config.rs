@@ -17,6 +17,9 @@ pub struct RuleConfig {
     /// Path prefixes exempted from the rule, each standing for a reviewed
     /// justification (deterministic by construction, documented panic, ...).
     pub allow: Vec<String>,
+    /// Config-file line of each `allow` entry (parallel to `allow`), so
+    /// the stale-allow audit can point at the exact entry to drop.
+    pub allow_lines: Vec<u32>,
     /// Extra string settings (rule-specific, e.g. `doc` for
     /// cost-constants).
     pub settings: BTreeMap<String, String>,
@@ -39,6 +42,10 @@ impl RuleConfig {
 pub struct AnalyzerConfig {
     /// Per-rule configuration, keyed by rule id.
     pub rules: BTreeMap<String, RuleConfig>,
+    /// Display name of the config file (for diagnostics that point at
+    /// config lines, e.g. stale allow entries). Set by
+    /// [`crate::load_config`]; empty when parsed from a bare string.
+    pub source: String,
 }
 
 impl AnalyzerConfig {
@@ -98,15 +105,21 @@ fn parse_string(s: &str, line: u32) -> Result<String, ConfigError> {
     Ok(inner.to_string())
 }
 
-/// Parses the body of a `[...]` array of strings.
-fn parse_array_items(body: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+/// Parses an array split across one or more source lines, keeping the
+/// line number of each entry (stale-allow diagnostics point at entries).
+fn parse_array_segments(segments: &[(u32, String)]) -> Result<Vec<(String, u32)>, ConfigError> {
     let mut out = Vec::new();
-    for item in body.split(',') {
-        let item = item.trim();
-        if item.is_empty() {
-            continue;
+    for (line, segment) in segments {
+        let mut body = segment.as_str();
+        body = body.strip_prefix('[').unwrap_or(body);
+        body = body.strip_suffix(']').unwrap_or(body);
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            out.push((parse_string(item, *line)?, *line));
         }
-        out.push(parse_string(item, line)?);
     }
     Ok(out)
 }
@@ -145,17 +158,22 @@ pub fn parse(src: &str) -> Result<AnalyzerConfig, ConfigError> {
         else {
             return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
         };
-        // Multi-line arrays: keep consuming until the closing bracket.
+        // Multi-line arrays: keep consuming until the closing bracket,
+        // remembering each line so array entries keep their line numbers.
+        let mut segments: Vec<(u32, String)> = vec![(lineno, value.clone())];
         if value.starts_with('[') && !value.ends_with(']') {
-            for (_, next) in lines.by_ref() {
+            let mut closed = false;
+            for (nidx, next) in lines.by_ref() {
                 let next = strip_comment(next).trim();
                 value.push(' ');
                 value.push_str(next);
+                segments.push((nidx as u32 + 1, next.to_string()));
                 if next.ends_with(']') {
+                    closed = true;
                     break;
                 }
             }
-            if !value.ends_with(']') {
+            if !closed {
                 return Err(err(lineno, "unterminated array"));
             }
         }
@@ -167,13 +185,17 @@ pub fn parse(src: &str) -> Result<AnalyzerConfig, ConfigError> {
             .rules
             .get_mut(rule_id)
             .expect("section header inserted the entry");
-        if let Some(body) = value.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
-            let items = parse_array_items(body, lineno)?;
+        if value.starts_with('[') && value.ends_with(']') {
+            let items = parse_array_segments(&segments)?;
             match key.as_str() {
-                "paths" => rule.paths = items,
-                "allow" => rule.allow = items,
+                "paths" => rule.paths = items.into_iter().map(|(s, _)| s).collect(),
+                "allow" => {
+                    rule.allow_lines = items.iter().map(|&(_, l)| l).collect();
+                    rule.allow = items.into_iter().map(|(s, _)| s).collect();
+                }
                 _ => {
-                    rule.lists.insert(key, items);
+                    rule.lists
+                        .insert(key, items.into_iter().map(|(s, _)| s).collect());
                 }
             }
         } else {

@@ -63,48 +63,180 @@ pub fn workspace_rust_files(root: &Path) -> io::Result<Vec<String>> {
 pub fn load_config(path: &Path) -> Result<AnalyzerConfig, String> {
     let src =
         fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    config::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+    let mut cfg = config::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+    cfg.source = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    Ok(cfg)
 }
 
 /// Runs every configured rule over the workspace rooted at `root`.
 /// Diagnostics come back sorted by (file, line, rule) so output is stable
 /// across runs and platforms — the report doubles as a regression fixture.
+///
+/// Rules emit raw findings; suppression happens here, centrally: inline
+/// `analyzer: allow(...)` markers first, then the rule's config
+/// allow-list. Both record what they actually suppressed, and when the
+/// config declares `[rules.stale-allow]`, any marker or allow entry that
+/// suppressed nothing becomes a `stale-allow` diagnostic — allow-listed
+/// files are still scanned (their findings just feed the audit instead
+/// of the report), so a stale entry cannot hide behind its own
+/// exemption.
 pub fn run(root: &Path, config: &AnalyzerConfig) -> io::Result<Vec<Diagnostic>> {
     let files = workspace_rust_files(root)?;
     let mut diagnostics = Vec::new();
     let mut lock_order = rules::LockOrder::default();
     let lock_rule = config.rule(rules::ids::LOCK_ORDER);
+    let stale_rule = config.rule(rules::ids::STALE_ALLOW);
+
+    // The per-file rules, with their settings resolved once. Each entry:
+    // (id, rule config, raw-diagnostics fn).
+    type RuleFn<'a> = Box<dyn Fn(&str, &lexer::Lexed) -> Vec<Diagnostic> + 'a>;
+    let mut per_file: Vec<(&'static str, &config::RuleConfig, RuleFn)> = Vec::new();
+    if let Some(r) = config.rule(rules::ids::HASH_ITERATION) {
+        per_file.push((
+            rules::ids::HASH_ITERATION,
+            r,
+            Box::new(rules::hash_iteration),
+        ));
+    }
+    if let Some(r) = config.rule(rules::ids::NO_PANIC_HOT_PATH) {
+        per_file.push((
+            rules::ids::NO_PANIC_HOT_PATH,
+            r,
+            Box::new(rules::no_panic_hot_path),
+        ));
+    }
+    if let Some(r) = config.rule(rules::ids::NO_WALL_CLOCK) {
+        per_file.push((rules::ids::NO_WALL_CLOCK, r, Box::new(rules::no_wall_clock)));
+    }
+    if let Some(r) = config.rule(rules::ids::CONDVAR_WAIT_LOOP) {
+        per_file.push((
+            rules::ids::CONDVAR_WAIT_LOOP,
+            r,
+            Box::new(rules::condvar_wait_loop),
+        ));
+    }
+    if let Some(r) = config.rule(rules::ids::LOCK_ACROSS_HOT_PATH) {
+        let hot: Vec<String> = r.lists.get("hot_calls").cloned().unwrap_or_else(|| {
+            rules::DEFAULT_HOT_CALLS
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        });
+        per_file.push((
+            rules::ids::LOCK_ACROSS_HOT_PATH,
+            r,
+            Box::new(move |f, l| rules::lock_across_hot_path(f, l, &hot)),
+        ));
+    }
+    if let Some(r) = config.rule(rules::ids::SLOT_RESOURCE_COVERAGE) {
+        let receiver = r
+            .settings
+            .get("receiver")
+            .cloned()
+            .unwrap_or_else(|| "cache".to_string());
+        let mutators = r.lists.get("mutators").cloned().unwrap_or_default();
+        let markers = r.lists.get("markers").cloned().unwrap_or_default();
+        per_file.push((
+            rules::ids::SLOT_RESOURCE_COVERAGE,
+            r,
+            Box::new(move |f, l| {
+                rules::slot_resource_coverage(f, l, &receiver, &mutators, &markers)
+            }),
+        ));
+    }
+
+    // Config-allow usage, per rule id (parallel to each rule's `allow`).
+    let mut allow_used: std::collections::BTreeMap<&'static str, Vec<bool>> = per_file
+        .iter()
+        .map(|(id, r, _)| (*id, vec![false; r.allow.len()]))
+        .collect();
 
     for file in &files {
-        let hash = config
-            .rule(rules::ids::HASH_ITERATION)
-            .is_some_and(|r| r.applies_to(file));
-        let panic = config
-            .rule(rules::ids::NO_PANIC_HOT_PATH)
-            .is_some_and(|r| r.applies_to(file));
-        let clock = config
-            .rule(rules::ids::NO_WALL_CLOCK)
-            .is_some_and(|r| r.applies_to(file));
+        let stale_here = stale_rule.is_some_and(|r| r.applies_to(file));
+        // (rule index, matching allow-entry index if the file is exempt).
+        let work: Vec<(usize, Option<usize>)> = per_file
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r, _))| r.paths.iter().any(|p| file.starts_with(p.as_str())))
+            .map(|(idx, (_, r, _))| {
+                (
+                    idx,
+                    r.allow.iter().position(|p| file.starts_with(p.as_str())),
+                )
+            })
+            .collect();
         let lock = lock_rule.is_some_and(|r| r.applies_to(file));
-        if !(hash || panic || clock || lock) {
+        if work.is_empty() && !lock && !stale_here {
             continue;
         }
         let src = fs::read_to_string(root.join(file))?;
         let lexed = lexer::lex(&src);
-        if hash {
-            diagnostics.extend(rules::hash_iteration(file, &lexed));
-        }
-        if panic {
-            diagnostics.extend(rules::no_panic_hot_path(file, &lexed));
-        }
-        if clock {
-            diagnostics.extend(rules::no_wall_clock(file, &lexed));
+        let mut marker_used = vec![false; lexed.suppressions.len()];
+        for (idx, allow_idx) in work {
+            let (id, _, rule_fn) = &per_file[idx];
+            for d in rule_fn(file, &lexed) {
+                let marker = lexed
+                    .suppressions
+                    .iter()
+                    .position(|s| s.rule == *id && (s.line == d.line || s.line + 1 == d.line));
+                if let Some(si) = marker {
+                    marker_used[si] = true;
+                } else if let Some(ai) = allow_idx {
+                    allow_used.get_mut(id).expect("rule registered")[ai] = true;
+                } else {
+                    diagnostics.push(d);
+                }
+            }
         }
         if lock {
             lock_order.scan(file, &lexed);
         }
+        if stale_here {
+            for (si, s) in lexed.suppressions.iter().enumerate() {
+                if !marker_used[si] {
+                    diagnostics.push(Diagnostic {
+                        rule: rules::ids::STALE_ALLOW,
+                        file: file.clone(),
+                        line: s.line,
+                        message: format!(
+                            "inline `analyzer: allow({})` suppresses nothing: the \
+                             violation it excused is gone — remove the marker",
+                            s.rule
+                        ),
+                    });
+                }
+            }
+        }
     }
     diagnostics.extend(lock_order.finish());
+
+    // Config allow entries that silenced nothing anywhere.
+    if stale_rule.is_some() {
+        let source = if config.source.is_empty() {
+            "fleche-analyzer.toml".to_string()
+        } else {
+            config.source.clone()
+        };
+        for (id, r, _) in &per_file {
+            for (ai, used) in allow_used[id].iter().enumerate() {
+                if !used {
+                    diagnostics.push(Diagnostic {
+                        rule: rules::ids::STALE_ALLOW,
+                        file: source.clone(),
+                        line: r.allow_lines.get(ai).copied().unwrap_or(0),
+                        message: format!(
+                            "config allow entry `{}` for rule `{id}` suppresses \
+                             nothing — drop it or retarget it",
+                            r.allow[ai]
+                        ),
+                    });
+                }
+            }
+        }
+    }
 
     if let Some(cc) = config.rule(rules::ids::COST_CONSTANTS) {
         // One doc, one or more spec files: `specs = [...]` lists every

@@ -15,6 +15,14 @@
 //! | `no-wall-clock` | no `Instant::now`/`SystemTime` inside the simulation (simulated time only) |
 //! | `lock-order` | every function must acquire `Mutex`/`RwLock` guards in one global order |
 //! | `cost-constants` | every public cost-model field of the GPU spec structs is documented in DESIGN.md |
+//! | `condvar-wait-loop` | every `Condvar::wait` must sit inside a `while`/`loop` re-check |
+//! | `lock-across-await-free-hot-path` | no lock guard held across an engine/cache batch call |
+//! | `slot-resource-coverage` | every cache-mutating function declares its slots to the race checker |
+//! | `stale-allow` | every allow entry (inline or config) must still suppress something |
+//!
+//! Rules emit *raw* diagnostics; [`crate::run`] applies inline
+//! suppressions and config allow-lists centrally, recording which were
+//! used so `stale-allow` can flag the rest.
 
 use crate::lexer::{Lexed, Token, TokenKind};
 use std::collections::BTreeMap;
@@ -54,6 +62,15 @@ pub mod ids {
     pub const LOCK_ORDER: &str = "lock-order";
     /// Cost-model constants must be documented.
     pub const COST_CONSTANTS: &str = "cost-constants";
+    /// Condvar waits must re-check their predicate in a loop.
+    pub const CONDVAR_WAIT_LOOP: &str = "condvar-wait-loop";
+    /// No lock guard live across a batch-execution call.
+    pub const LOCK_ACROSS_HOT_PATH: &str = "lock-across-await-free-hot-path";
+    /// Cache-slot mutations must be declared to the race checker.
+    pub const SLOT_RESOURCE_COVERAGE: &str = "slot-resource-coverage";
+    /// Allow entries that no longer suppress anything are themselves
+    /// violations.
+    pub const STALE_ALLOW: &str = "stale-allow";
 }
 
 /// Marks the token ranges (by index) covered by `#[cfg(test)] mod ... { }`
@@ -118,22 +135,13 @@ fn matches(tokens: &[Token], start: usize, texts: &[&str]) -> bool {
         .all(|(k, t)| tokens.get(start + k).is_some_and(|tok| tok.text == *t))
 }
 
-fn push(
-    out: &mut Vec<Diagnostic>,
-    lexed: &Lexed,
-    rule: &'static str,
-    file: &str,
-    line: u32,
-    message: String,
-) {
-    if !lexed.suppressed(rule, line) {
-        out.push(Diagnostic {
-            rule,
-            file: file.to_string(),
-            line,
-            message,
-        });
-    }
+fn push(out: &mut Vec<Diagnostic>, rule: &'static str, file: &str, line: u32, message: String) {
+    out.push(Diagnostic {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+    });
 }
 
 /// `hash-iteration`: flags any `HashMap`/`HashSet` mention. Token-level
@@ -151,7 +159,6 @@ pub fn hash_iteration(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
         if t.text == "HashMap" || t.text == "HashSet" {
             push(
                 &mut out,
-                lexed,
                 ids::HASH_ITERATION,
                 file,
                 t.line,
@@ -187,7 +194,6 @@ pub fn no_panic_hot_path(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
         if is_call("unwrap") || is_call("expect") {
             push(
                 &mut out,
-                lexed,
                 ids::NO_PANIC_HOT_PATH,
                 file,
                 t.line,
@@ -204,7 +210,6 @@ pub fn no_panic_hot_path(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
             // and debug_assert compiles out of release serving builds).
             push(
                 &mut out,
-                lexed,
                 ids::NO_PANIC_HOT_PATH,
                 file,
                 t.line,
@@ -229,7 +234,6 @@ pub fn no_wall_clock(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
         if t.text == "Instant" || t.text == "SystemTime" {
             push(
                 &mut out,
-                lexed,
                 ids::NO_WALL_CLOCK,
                 file,
                 t.line,
@@ -414,21 +418,249 @@ pub fn cost_constants(
     out
 }
 
+/// `condvar-wait-loop`: a `Condvar::wait`/`wait_timeout` call (any
+/// `.wait(x)`-shaped call with an argument — `Barrier::wait()` takes
+/// none) must sit inside a `while` or `loop` body, so the woken thread
+/// re-checks its predicate: between `notify` and wakeup another thread
+/// can barge in and invalidate the condition (`fleche-verify`'s
+/// `queue/if-wait` mutant is the schedule that breaks the `if` form).
+/// `wait_while`/`wait_timeout_while` re-check internally and are exempt.
+pub fn condvar_wait_loop(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let mask = test_code_mask(tokens);
+    let mut out = Vec::new();
+    // Block-kind stack: does the innermost-to-outermost chain of open
+    // braces contain a `while` or `loop` body?
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "while" | "loop" => pending_loop = true,
+            ";" => pending_loop = false,
+            "{" => {
+                stack.push(pending_loop);
+                pending_loop = false;
+            }
+            "}" => {
+                stack.pop();
+                pending_loop = false;
+            }
+            "wait" | "wait_timeout" => {
+                if mask[i]
+                    || t.kind != TokenKind::Ident
+                    || i == 0
+                    || tokens[i - 1].text != "."
+                    || !tokens.get(i + 1).is_some_and(|n| n.text == "(")
+                    || !tokens.get(i + 2).is_some_and(|n| n.text != ")")
+                {
+                    continue;
+                }
+                if !stack.iter().any(|&l| l) {
+                    push(
+                        &mut out,
+                        ids::CONDVAR_WAIT_LOOP,
+                        file,
+                        t.line,
+                        format!(
+                            "`.{}(..)` outside a `while`/`loop` re-check: a woken \
+                             waiter must re-test its predicate (another thread can \
+                             barge in between notify and wakeup)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Default batch-execution calls for `lock-across-await-free-hot-path`
+/// (override with a `hot_calls` list in the config).
+pub(crate) const DEFAULT_HOT_CALLS: [&str; 5] = [
+    "execute",
+    "run_batch",
+    "run_batch_prepared",
+    "query_batch",
+    "query_batch_prepared",
+];
+
+/// `lock-across-await-free-hot-path`: no lock guard may be live across a
+/// batch-execution call. The serving path has no `await`, so a held
+/// guard blocks every sibling worker for a whole device batch — the
+/// convoy the sharded queue exists to avoid. Guards are `let`-bound
+/// lock acquisitions (same receiver heuristic as `lock-order`); they die
+/// at end of scope or an explicit `drop(guard)`.
+pub fn lock_across_hot_path(file: &str, lexed: &Lexed, hot_calls: &[String]) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let mask = test_code_mask(tokens);
+    let mut out = Vec::new();
+    // Live guards: (name, brace depth of the binding).
+    let mut guards: Vec<(String, u32)> = Vec::new();
+    // Ident bound by the `let` currently being scanned, if any.
+    let mut binding: Option<String> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        match t.text.as_str() {
+            "let" => {
+                let mut k = i + 1;
+                while tokens.get(k).is_some_and(|n| n.text == "mut") {
+                    k += 1;
+                }
+                binding = tokens
+                    .get(k)
+                    .filter(|n| n.kind == TokenKind::Ident)
+                    .map(|n| n.text.clone());
+            }
+            ";" => binding = None,
+            "}" => guards.retain(|&(_, d)| d < t.depth),
+            "drop" if tokens.get(i + 1).is_some_and(|n| n.text == "(") => {
+                if let Some(victim) = tokens.get(i + 2) {
+                    guards.retain(|(name, _)| name != &victim.text);
+                }
+            }
+            _ => {}
+        }
+        // A lock acquisition bound by the pending `let`.
+        if LOCK_METHODS.contains(&t.text.as_str())
+            && i > 1
+            && tokens[i - 1].text == "."
+            && tokens[i - 2].kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.text == "(")
+            && tokens.get(i + 2).is_some_and(|n| n.text == ")")
+        {
+            let receiver = &tokens[i - 2].text;
+            let is_lock = t.text == "lock"
+                || receiver.ends_with("lock")
+                || receiver.ends_with("mutex")
+                || receiver.ends_with("rwlock");
+            if is_lock {
+                if let Some(name) = binding.take() {
+                    guards.push((name, t.depth));
+                }
+            }
+        }
+        // A hot call while any guard is live.
+        if t.kind == TokenKind::Ident
+            && hot_calls.iter().any(|h| h == &t.text)
+            && i > 0
+            && tokens[i - 1].text == "."
+            && tokens.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            if let Some((guard, _)) = guards.first() {
+                push(
+                    &mut out,
+                    ids::LOCK_ACROSS_HOT_PATH,
+                    file,
+                    t.line,
+                    format!(
+                        "`.{}(..)` called while lock guard `{guard}` is live: \
+                         release (or `drop`) the guard before running a batch, \
+                         or every sibling worker convoys behind this one",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `slot-resource-coverage`: any function that calls a configured
+/// cache-mutating method on a cache-named receiver must also mention a
+/// race-checker resource declaration (`slot_resource`/`ledger_resource`)
+/// somewhere in its body — otherwise the dynamic race checker is blind
+/// to those slot writes and its replay proves nothing about them.
+pub fn slot_resource_coverage(
+    file: &str,
+    lexed: &Lexed,
+    receiver: &str,
+    mutators: &[String],
+    markers: &[String],
+) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let mask = test_code_mask(tokens);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if mask[i] || tokens[i].text != "fn" {
+            i += 1;
+            continue;
+        }
+        let mut k = i + 1;
+        while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+            k += 1;
+        }
+        if k >= tokens.len() || tokens[k].text == ";" {
+            i = k + 1;
+            continue;
+        }
+        let close_depth = tokens[k].depth + 1;
+        let mut m = k + 1;
+        // First undeclared mutation call in this fn, and whether any
+        // resource-declaration marker appears.
+        let mut first_mutation: Option<(u32, String)> = None;
+        let mut declared = false;
+        while m < tokens.len() {
+            if tokens[m].text == "}" && tokens[m].depth == close_depth {
+                break;
+            }
+            let t = &tokens[m];
+            if t.kind == TokenKind::Ident {
+                if markers.iter().any(|mk| mk == &t.text) {
+                    declared = true;
+                }
+                if mutators.iter().any(|mu| mu == &t.text)
+                    && m > 1
+                    && tokens[m - 1].text == "."
+                    && tokens[m - 2].kind == TokenKind::Ident
+                    && tokens[m - 2].text.ends_with(receiver)
+                    && tokens.get(m + 1).is_some_and(|n| n.text == "(")
+                    && first_mutation.is_none()
+                {
+                    first_mutation = Some((t.line, format!("{}.{}", tokens[m - 2].text, t.text)));
+                }
+            }
+            m += 1;
+        }
+        if let (Some((line, call)), false) = (&first_mutation, declared) {
+            push(
+                &mut out,
+                ids::SLOT_RESOURCE_COVERAGE,
+                file,
+                *line,
+                format!(
+                    "`{call}(..)` mutates cache slots, but the enclosing function \
+                     declares no {} resource: the race checker cannot see these \
+                     writes",
+                    markers.join("/")
+                ),
+            );
+        }
+        i = m + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::lex;
 
     #[test]
-    fn hash_rule_flags_and_suppresses() {
+    fn hash_rule_flags_raw_mentions() {
         let src =
             "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
         let d = hash_iteration("x.rs", &lex(src));
         assert_eq!(d.len(), 3);
         assert_eq!(d[0].line, 1);
-        // Inline allow silences one line.
+        // Rules emit raw diagnostics; `run` filters inline allows
+        // centrally (so it can flag the stale ones).
         let src = "// analyzer: allow(hash-iteration)\nuse std::collections::HashSet;";
-        assert!(hash_iteration("x.rs", &lex(src)).is_empty());
+        assert_eq!(hash_iteration("x.rs", &lex(src)).len(), 1);
     }
 
     #[test]
@@ -544,6 +776,67 @@ mod tests {
             &doc2
         )
         .is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_outside_a_loop_is_flagged() {
+        // `if`-gated wait: the classic lost-wakeup shape.
+        let src = "fn f() { if full { guard = cv.wait(guard); } }";
+        let d = condvar_wait_loop("x.rs", &lex(src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("re-check"));
+        // The same wait inside a while re-check is fine, directly or in
+        // a nested block.
+        let ok = "fn f() { while full { guard = cv.wait(guard); } }";
+        assert!(condvar_wait_loop("x.rs", &lex(ok)).is_empty());
+        let nested = "fn f() { loop { if closed { return; } g = cv.wait(g); } }";
+        assert!(condvar_wait_loop("x.rs", &lex(nested)).is_empty());
+    }
+
+    #[test]
+    fn condvar_rule_exempts_barrier_and_wait_while() {
+        // Barrier::wait takes no argument; wait_while re-checks itself.
+        let src = "fn f() { barrier.wait(); g = cv.wait_while(g, |s| s.full); }";
+        assert!(condvar_wait_loop("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn guard_across_hot_call_is_flagged() {
+        let hot: Vec<String> = DEFAULT_HOT_CALLS.iter().map(|s| s.to_string()).collect();
+        let src = "fn f() { let g = queue_mutex.lock(); engine.run_batch(&b); }";
+        let d = lock_across_hot_path("x.rs", &lex(src), &hot);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`g`"));
+        // Dropping the guard first, or scoping it, is fine.
+        let ok = "fn f() { let g = queue_mutex.lock(); drop(g); engine.run_batch(&b); }";
+        assert!(lock_across_hot_path("x.rs", &lex(ok), &hot).is_empty());
+        let scoped = "fn f() { { let g = queue_mutex.lock(); } engine.run_batch(&b); }";
+        assert!(lock_across_hot_path("x.rs", &lex(scoped), &hot).is_empty());
+    }
+
+    #[test]
+    fn non_lock_receivers_do_not_create_guards() {
+        let hot: Vec<String> = DEFAULT_HOT_CALLS.iter().map(|s| s.to_string()).collect();
+        let src = "fn f() { let d = file.read(); engine.run_batch(&b); }";
+        assert!(lock_across_hot_path("x.rs", &lex(src), &hot).is_empty());
+    }
+
+    #[test]
+    fn undeclared_cache_mutation_is_flagged() {
+        let mutators = vec!["wipe".to_string(), "end_batch_with".to_string()];
+        let markers = vec!["slot_resource".to_string()];
+        let src = "fn f(&mut self) { self.cache.wipe(); }";
+        let d = slot_resource_coverage("x.rs", &lex(src), "cache", &mutators, &markers);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("cache.wipe"));
+        // A marker anywhere in the same fn covers it.
+        let ok = "fn f(&mut self, rc: &mut R) { rc.host_write(slot_resource(0, 1)); self.cache.wipe(); }";
+        assert!(slot_resource_coverage("x.rs", &lex(ok), "cache", &mutators, &markers).is_empty());
+        // Mutators on non-cache receivers are out of scope.
+        let other = "fn f(&mut self) { self.journal.wipe(); }";
+        assert!(
+            slot_resource_coverage("x.rs", &lex(other), "cache", &mutators, &markers).is_empty()
+        );
     }
 
     #[test]

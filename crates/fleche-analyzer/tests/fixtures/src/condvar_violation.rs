@@ -1,0 +1,21 @@
+//! Seeded condvar-wait-loop violation: an `if`-gated wait (line flagged)
+//! next to the correct `while` form and the exempt shapes.
+
+pub fn bad_wait(cv: &Cv, mut guard: Guard) {
+    if guard.full {
+        guard = cv.wait(guard); // VIOLATION: no re-check after wakeup
+    }
+    consume(guard);
+}
+
+pub fn good_wait(cv: &Cv, mut guard: Guard) {
+    while guard.full {
+        guard = cv.wait(guard);
+    }
+    consume(guard);
+}
+
+pub fn exempt_shapes(cv: &Cv, barrier: &Barrier, guard: Guard) {
+    barrier.wait();
+    let _g = cv.wait_while(guard, |s| s.full);
+}

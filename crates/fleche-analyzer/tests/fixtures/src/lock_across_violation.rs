@@ -1,0 +1,21 @@
+//! Seeded lock-across-await-free-hot-path violation: a guard held across
+//! `run_batch` (flagged), next to the drop-first and scoped-out forms.
+
+pub fn bad(engine: &mut Engine, queue_mutex: &M, batch: &B) {
+    let guard = queue_mutex.lock();
+    engine.run_batch(batch); // VIOLATION: `guard` still live
+    drop(guard);
+}
+
+pub fn good_drop_first(engine: &mut Engine, queue_mutex: &M, batch: &B) {
+    let guard = queue_mutex.lock();
+    drop(guard);
+    engine.run_batch(batch);
+}
+
+pub fn good_scoped(engine: &mut Engine, queue_mutex: &M, batch: &B) {
+    {
+        let _guard = queue_mutex.lock();
+    }
+    engine.run_batch(batch);
+}

@@ -1,0 +1,16 @@
+//! Seeded slot-resource-coverage violation: a cache mutation with no
+//! race-checker declaration (flagged), next to a covered sibling.
+
+pub fn bad_teardown(sys: &mut Sys) {
+    sys.cache.wipe(); // VIOLATION: no slot_resource in this fn
+}
+
+pub fn good_teardown(sys: &mut Sys, rc: &mut Rc) {
+    sys.cache.end_batch_with(|class, slot| {
+        rc.host_write("reclaim", slot_resource(class, slot));
+    });
+}
+
+pub fn other_receiver(sys: &mut Sys) {
+    sys.journal.wipe();
+}

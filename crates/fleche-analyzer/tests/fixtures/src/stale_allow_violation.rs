@@ -1,0 +1,7 @@
+//! Seeded stale-allow violation: the marker below excuses a violation
+//! that no longer exists, so the audit must flag the marker itself.
+
+// analyzer: allow(hash-iteration)
+pub fn clean() -> Vec<u32> {
+    Vec::new()
+}

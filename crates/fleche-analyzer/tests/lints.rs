@@ -14,7 +14,8 @@ fn fixture_root() -> &'static Path {
 fn fixture_diagnostics() -> Vec<fleche_analyzer::Diagnostic> {
     let cfg_src = std::fs::read_to_string(fixture_root().join("analyzer.toml"))
         .expect("fixture config readable");
-    let cfg = config::parse(&cfg_src).expect("fixture config parses");
+    let mut cfg = config::parse(&cfg_src).expect("fixture config parses");
+    cfg.source = "analyzer.toml".to_string();
     run(fixture_root(), &cfg).expect("fixture workspace scans")
 }
 
@@ -65,8 +66,75 @@ fn every_rule_flags_its_seeded_fixture() {
         1,
         "mystery_knob only; documented + unconfigured-struct fields excluded"
     );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::CONDVAR_WAIT_LOOP,
+            "src/condvar_violation.rs"
+        ),
+        1,
+        "if-gated wait only; while/loop, Barrier::wait, wait_while excluded"
+    );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::LOCK_ACROSS_HOT_PATH,
+            "src/lock_across_violation.rs"
+        ),
+        1,
+        "guard across run_batch only; drop-first and scoped-out excluded"
+    );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::SLOT_RESOURCE_COVERAGE,
+            "src/slot_coverage_violation.rs"
+        ),
+        1,
+        "undeclared cache.wipe only; declared fn and other receiver excluded"
+    );
+    assert_eq!(
+        count(
+            &diags,
+            rules::ids::STALE_ALLOW,
+            "src/stale_allow_violation.rs"
+        ),
+        1,
+        "the unused inline marker itself"
+    );
+    assert_eq!(
+        count(&diags, rules::ids::STALE_ALLOW, "analyzer.toml"),
+        1,
+        "the unused `src/stale_allowed.rs` config allow entry"
+    );
     // Nothing beyond the seeded violations.
-    assert_eq!(diags.len(), 8, "unexpected extra diagnostics: {diags:?}");
+    assert_eq!(diags.len(), 13, "unexpected extra diagnostics: {diags:?}");
+}
+
+#[test]
+fn stale_allow_points_at_the_config_line() {
+    let diags = fixture_diagnostics();
+    let entry = diags
+        .iter()
+        .find(|d| d.rule == rules::ids::STALE_ALLOW && d.file == "analyzer.toml")
+        .expect("config stale-allow diagnostic present");
+    // The `src/stale_allowed.rs` entry sits on line 7 of the fixture
+    // config; the audit must point at the exact entry to drop.
+    assert_eq!(entry.line, 7, "wrong config line: {entry:?}");
+    assert!(entry.message.contains("stale_allowed.rs"), "{entry:?}");
+}
+
+#[test]
+fn used_allows_are_not_flagged() {
+    let diags = fixture_diagnostics();
+    // The inline allow in panic_violation.rs suppresses a real expect,
+    // and the hash_allowed.rs config entry suppresses real hash use —
+    // neither may be reported stale.
+    assert!(
+        !diags.iter().any(|d| d.rule == rules::ids::STALE_ALLOW
+            && (d.file == "src/panic_violation.rs" || d.message.contains("hash_allowed.rs"))),
+        "{diags:?}"
+    );
 }
 
 #[test]
@@ -106,7 +174,8 @@ fn cli_exits_nonzero_on_fixture_and_zero_on_clean_workspace() {
     assert_eq!(dirty.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&dirty.stdout);
     assert!(stdout.contains("[hash-iteration]"), "stdout: {stdout}");
-    assert!(stdout.contains("8 violation(s)"), "stdout: {stdout}");
+    assert!(stdout.contains("[stale-allow]"), "stdout: {stdout}");
+    assert!(stdout.contains("13 violation(s)"), "stdout: {stdout}");
 
     // The real workspace (two directories up) must be clean — this is the
     // committed regression guarantee behind results/analyzer_report.txt.

@@ -20,13 +20,19 @@
 //!    reports *exactly* the injected race; the properly synchronized twin
 //!    of the same schedule must report none. This guards against the
 //!    checker rotting into a vacuous pass.
+//! 5. **Exhaustive schedule exploration** — run the `fleche-verify`
+//!    registry: every serving-protocol property must pass over all
+//!    interleavings, and every seeded mutant must be caught with a
+//!    counterexample. Explorer counters land in
+//!    `results/BENCH_verify.json` (wall times are JSON-only; stdout
+//!    stays deterministic).
 //!
 //! Run: `cargo run --release -p fleche-bench --bin analyze [--quick]`
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fleche_bench::{print_header, quick_mode};
+use fleche_bench::{print_header, quick_mode, write_bench_json, JsonEmitter};
 use fleche_core::{FlecheConfig, FlecheSystem};
 use fleche_gpu::{slot_resource, DeviceSpec, DramSpec, Gpu, KernelDesc, KernelWork};
 use fleche_store::api::EmbeddingCacheSystem;
@@ -191,6 +197,83 @@ fn run_self_test() -> Result<(), String> {
     }
 }
 
+/// Runs the full `fleche-verify` registry: properties explored
+/// exhaustively must all hold, and every seeded mutant must die with the
+/// expected counterexample. Explorer counters (states, pruned branches,
+/// complete runs) go to stdout — they are deterministic — and the same
+/// counters plus wall times go to `results/BENCH_verify.json`.
+fn run_verify_phase() -> Result<(), String> {
+    let config = fleche_verify::explore::ExploreConfig::default();
+    let report = fleche_verify::run_all(&config);
+
+    let mut j = JsonEmitter::new();
+    j.begin_arr("properties");
+    for p in &report.properties {
+        let pruned = p.stats.memo_hits + p.stats.sleep_skips;
+        println!(
+            "  {:<38} {:<4} states {:>7}  pruned {:>7}  runs {:>6}",
+            p.name,
+            if p.failure.is_none() { "pass" } else { "FAIL" },
+            p.stats.states,
+            pruned,
+            p.stats.complete_runs,
+        );
+        if let Some(f) = &p.failure {
+            println!("{}", f.render());
+        }
+        j.begin_elem();
+        j.field_str("name", p.name);
+        j.field_bool("pass", p.failure.is_none());
+        j.field_u64("states", p.stats.states);
+        j.field_u64("transitions", p.stats.transitions);
+        j.field_u64("memo_hits", p.stats.memo_hits);
+        j.field_u64("sleep_skips", p.stats.sleep_skips);
+        j.field_u64("complete_runs", p.stats.complete_runs);
+        j.field_u64("max_depth", u64::from(p.stats.max_depth_seen));
+        j.field_f64("wall_ms", p.wall_ms);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.begin_arr("mutants");
+    for m in &report.mutants {
+        println!(
+            "  {:<38} {:<8} states {:>7}",
+            m.name,
+            if m.caught() { "caught" } else { "SURVIVED" },
+            m.stats.states,
+        );
+        if !m.caught() {
+            if let Some(f) = &m.failure {
+                println!("    wrong counterexample (wanted `{}`):", m.expect);
+                println!("{}", f.render());
+            }
+        }
+        j.begin_elem();
+        j.field_str("name", m.name);
+        j.field_str("property", m.property);
+        j.field_bool("caught", m.caught());
+        j.field_u64("states", m.stats.states);
+        j.field_f64("wall_ms", m.wall_ms);
+        j.end_obj();
+    }
+    j.end_arr();
+    write_bench_json("BENCH_verify.json", j.finish());
+
+    if report.ok() {
+        Ok(())
+    } else {
+        let bad_props = report
+            .properties
+            .iter()
+            .filter(|p| p.failure.is_some())
+            .count();
+        let survivors = report.mutants.iter().filter(|m| !m.caught()).count();
+        Err(format!(
+            "{bad_props} property failure(s), {survivors} surviving mutant(s)"
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let mut root = default_root();
     let mut args = std::env::args().skip(1);
@@ -232,6 +315,8 @@ fn main() -> ExitCode {
     phase("recovery race-freedom", run_recovery_phase(batches));
     println!("phase: checker self-test");
     phase("checker self-test", run_self_test());
+    println!("phase: exhaustive schedule exploration");
+    phase("exhaustive schedule exploration", run_verify_phase());
     if failed {
         eprintln!("analyze: correctness gate FAILED");
         ExitCode::FAILURE

@@ -932,6 +932,19 @@ impl FlatCache {
         }
         self.versions.clear();
     }
+
+    /// Like [`FlatCache::wipe`], but calls `on_wipe(class, slot)` for every
+    /// live slot before it is dropped. The race checker hooks this to
+    /// record the wipe as a host-side write per slot — without the
+    /// declaration, a replay would be blind to the whole teardown.
+    pub fn wipe_with(&mut self, mut on_wipe: impl FnMut(u16, u32)) {
+        for class in 0..self.pool.class_count() as u16 {
+            for slot in self.pool.live_slots(class) {
+                on_wipe(class, slot);
+            }
+        }
+        self.wipe();
+    }
 }
 
 #[cfg(test)]

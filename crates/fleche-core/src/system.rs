@@ -804,8 +804,19 @@ impl FlecheSystem {
         if let Some(rc) = gpu.race_checker_mut() {
             rc.note_epoch_advance();
         }
-        self.cache.end_batch_with(|_, _| {});
-        self.cache.wipe();
+        self.cache.end_batch_with(|class, slot| {
+            if let Some(rc) = gpu.race_checker_mut() {
+                rc.host_write("reclaim", slot_resource(class, slot));
+            }
+        });
+        // The wipe itself is a host-side write to every surviving slot;
+        // declared, so a replayed schedule that overlaps a kernel with the
+        // teardown is a reported race instead of a silent one.
+        self.cache.wipe_with(|class, slot| {
+            if let Some(rc) = gpu.race_checker_mut() {
+                rc.host_write("wipe", slot_resource(class, slot));
+            }
+        });
     }
 
     /// Bounded cold-start warm-up: prefetches `hot` (hottest-first, e.g.

@@ -58,6 +58,14 @@ use std::time::Duration;
 // never depend on them, only the scaling report does.
 use std::time::Instant;
 
+/// Default prep→execute channel depth: one batch of prep runs ahead of
+/// the executor. `fleche-verify`'s ring model checks the publish/credit
+/// protocol at exactly this depth.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
+
+/// Default per-lane bound of the sharded arrival queue.
+pub const DEFAULT_SHARD_CAPACITY: usize = 4096;
+
 /// One queued request: its global sequence number and absolute arrival
 /// time on the (shared) post-warmup simulated clock.
 #[derive(Clone, Copy, Debug)]
@@ -226,7 +234,9 @@ impl MicroBatcher {
             let mut members = Vec::with_capacity(end - i);
             for &(seq, arr) in &arrivals[i..end] {
                 match cfg.deadline {
-                    Some(dl) if seal.saturating_sub(arr) > dl => plan.shed.push((seq, arr)),
+                    Some(dl) if crate::server::misses_deadline(seal, arr, dl) => {
+                        plan.shed.push((seq, arr))
+                    }
                     _ => members.push((seq, arr)),
                 }
             }
@@ -290,11 +300,11 @@ impl ConcurrentConfig {
             queue_capacity: config.queue_capacity,
             deadline: config.deadline,
             linger: None,
-            pipeline_depth: 2,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             pace: 0.0,
             bursts: Vec::new(),
             analyze: false,
-            shard_capacity: 4096,
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
         }
     }
 }
@@ -579,7 +589,8 @@ fn streaming_drive<S: EmbeddingCacheSystem>(
         // Deadline shedding, oldest first (mirrors the serial loop).
         let mut idx = 0;
         if let Some(dl) = config.deadline {
-            while idx < end && ready_from.saturating_sub(pending[idx].arrival) > dl {
+            while idx < end && crate::server::misses_deadline(ready_from, pending[idx].arrival, dl)
+            {
                 if !pending[idx].done {
                     shed_deadline += 1;
                 }

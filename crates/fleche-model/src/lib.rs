@@ -31,10 +31,11 @@ pub mod server;
 
 pub use concurrent::{
     serve_concurrent, BatchPlan, ConcurrentConfig, ConcurrentRun, MicroBatchPlan, MicroBatcher,
-    MicroBatcherConfig, QueuedRequest, ShardedQueue, StageWall, WorkerRun,
+    MicroBatcherConfig, QueuedRequest, ShardedQueue, StageWall, WorkerRun, DEFAULT_PIPELINE_DEPTH,
+    DEFAULT_SHARD_CAPACITY,
 };
 pub use ctr::{auc, evaluate_codec, generate_samples, CtrSample, HashedLr, ParamIndexing};
 pub use dense::DenseModel;
 pub use engine::{InferenceEngine, InferenceTiming, MeasuredRun, ModelMode};
 pub use latency::{throughput, LatencyRecorder};
-pub use server::{serve, ServedRun, ServerConfig, ARRIVAL_SEED};
+pub use server::{misses_deadline, serve, ServedRun, ServerConfig, ARRIVAL_SEED};

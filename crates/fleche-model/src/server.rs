@@ -24,6 +24,16 @@ use fleche_workload::{ArrivalGen, Batch, TraceGenerator};
 /// same seed so its workers replay the identical Poisson process.
 pub const ARRIVAL_SEED: u64 = 0x005E_A7ED;
 
+/// The deadline-shedding rule, shared by the serial server and both
+/// concurrent batchers: a request sheds when its queueing wait alone —
+/// the time from `arrival` to the moment the batch would seal
+/// (`seal_at`) — already exceeds `deadline`, so serving it could no
+/// longer meet the SLA. One definition keeps the serial and concurrent
+/// front-ends bit-identical on the same arrival stream.
+pub fn misses_deadline(seal_at: Ns, arrival: Ns, deadline: Ns) -> bool {
+    seal_at.saturating_sub(arrival) > deadline
+}
+
 /// Serving configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -153,7 +163,7 @@ pub fn serve<S: EmbeddingCacheSystem>(
         // Deadline shedding: the oldest waiters may already have blown the
         // SLA on queueing alone — serving them is wasted work.
         if let Some(dl) = config.deadline {
-            while next < end && ready_from.saturating_sub(arrivals[next]) > dl {
+            while next < end && misses_deadline(ready_from, arrivals[next], dl) {
                 if !done_flag[next] {
                     shed_deadline += 1;
                 }

@@ -1,0 +1,330 @@
+//! Model of the micro-batcher's concurrent seal/linger discipline.
+//!
+//! [`fleche_model::MicroBatcher::plan`] is pure logical time, but the
+//! discipline it encodes — a batch seals at `first_arrival + linger` or
+//! when the `max_batch`-th request joins, whichever is earlier — is what
+//! a threaded batcher must implement under a lock: arrival threads
+//! append and seal-on-full; a linger timer seals whatever is pending
+//! when it fires. The model keeps the pending buffer under a mutex,
+//! with the timer's firing left entirely to the scheduler (every linger
+//! expiry interleaving is explored).
+//!
+//! Checked: every batch is non-empty and within `max_batch`, members
+//! stay in arrival order, and at quiescence every arrival sits in
+//! exactly one sealed batch (no loss, no duplicate) — the same
+//! invariants `tests/serve_props.rs` asserts of the logical-time plan.
+
+use crate::explore::{Access, Model, Step};
+use crate::sync::Mutex;
+
+/// Model configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Arrival threads (one request each).
+    pub arrivals: usize,
+    /// Seal-on-full bound.
+    pub max_batch: usize,
+    /// Linger-timer firings before the final flush.
+    pub timer_rounds: usize,
+    /// Seal on the occupancy observed *before* taking the lock instead
+    /// of re-checking under it.
+    pub mutant_stale_seal: bool,
+}
+
+impl BatcherConfig {
+    /// The shipped property configuration: three arrivals, batches of
+    /// two, one mid-stream timer firing plus the flush.
+    pub fn default_property() -> BatcherConfig {
+        BatcherConfig {
+            arrivals: 3,
+            max_batch: 2,
+            timer_rounds: 1,
+            mutant_stale_seal: false,
+        }
+    }
+}
+
+const MUTEX: u64 = 80;
+const PENDING: u64 = 81;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TimerPc {
+    /// Peek at the occupancy without the lock (mutant only).
+    Peek {
+        round: usize,
+    },
+    /// Seal: under the mutant, on the peeked occupancy; otherwise on a
+    /// fresh check under the lock.
+    Seal {
+        round: usize,
+        observed: u64,
+    },
+    /// The final flush after the last arrival (the linger that always
+    /// fires once the stream quiesces).
+    Flush,
+    Done,
+}
+
+/// The batcher model. Thread 0 is the linger timer; threads
+/// `1..=arrivals` each deliver one request.
+#[derive(Clone, Debug)]
+pub struct BatcherModel {
+    cfg: BatcherConfig,
+    mutex: Mutex,
+    /// Sequence numbers pending in the open batch.
+    pending: Vec<u64>,
+    /// Sealed batches, in seal order.
+    sealed: Vec<Vec<u64>>,
+    next_seq: u64,
+    timer: TimerPc,
+    /// Arrival thread i has delivered its request.
+    arrived: Vec<bool>,
+    violation: Option<String>,
+}
+
+impl BatcherModel {
+    /// Builds the model.
+    pub fn new(cfg: BatcherConfig) -> BatcherModel {
+        assert!(cfg.arrivals > 0 && cfg.max_batch > 0);
+        BatcherModel {
+            cfg,
+            mutex: Mutex::new(MUTEX),
+            pending: Vec::new(),
+            sealed: Vec::new(),
+            next_seq: 0,
+            timer: if cfg.timer_rounds == 0 {
+                TimerPc::Flush
+            } else if cfg.mutant_stale_seal {
+                TimerPc::Peek { round: 0 }
+            } else {
+                TimerPc::Seal {
+                    round: 0,
+                    observed: 0,
+                }
+            },
+            arrived: vec![false; cfg.arrivals],
+            violation: None,
+        }
+    }
+
+    fn seal(&mut self) {
+        self.sealed.push(std::mem::take(&mut self.pending));
+    }
+
+    fn next_round(&mut self, round: usize) {
+        self.timer = if round + 1 < self.cfg.timer_rounds {
+            if self.cfg.mutant_stale_seal {
+                TimerPc::Peek { round: round + 1 }
+            } else {
+                TimerPc::Seal {
+                    round: round + 1,
+                    observed: 0,
+                }
+            }
+        } else {
+            TimerPc::Flush
+        };
+    }
+}
+
+impl Model for BatcherModel {
+    fn thread_count(&self) -> usize {
+        1 + self.cfg.arrivals
+    }
+
+    fn thread_name(&self, tid: usize) -> String {
+        if tid == 0 {
+            "linger-timer".to_string()
+        } else {
+            format!("arrival{}", tid - 1)
+        }
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.timer == TimerPc::Done
+        } else {
+            self.arrived[tid - 1]
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if tid == 0 {
+            match self.timer {
+                TimerPc::Peek { .. } => true,
+                TimerPc::Seal { .. } => self.mutex.free(),
+                // The quiescent linger: fires after the last arrival.
+                TimerPc::Flush => self.mutex.free() && self.arrived.iter().all(|&a| a),
+                TimerPc::Done => false,
+            }
+        } else {
+            self.mutex.free()
+        }
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        let mut accesses = Vec::new();
+        let label;
+        if tid == 0 {
+            match self.timer {
+                TimerPc::Peek { round } => {
+                    // The seeded bug: occupancy read outside the lock.
+                    accesses.push(Access::read(PENDING));
+                    let observed = self.pending.len() as u64;
+                    self.timer = TimerPc::Seal { round, observed };
+                    label = format!("linger fires: peeked occupancy {observed} (no lock)");
+                }
+                TimerPc::Seal { round, observed } => {
+                    accesses.push(self.mutex.acquire(0));
+                    accesses.push(Access::write(PENDING));
+                    let (sealed, why) = if self.cfg.mutant_stale_seal {
+                        (observed > 0, "stale occupancy")
+                    } else {
+                        (!self.pending.is_empty(), "occupancy re-checked")
+                    };
+                    let n = self.pending.len();
+                    if sealed {
+                        self.seal();
+                    }
+                    accesses.push(self.mutex.release(0));
+                    self.next_round(round);
+                    label = if sealed {
+                        format!("linger seal ({why}): batch of {n}")
+                    } else {
+                        "linger seal skipped: empty".to_string()
+                    };
+                }
+                TimerPc::Flush => {
+                    accesses.push(self.mutex.acquire(0));
+                    accesses.push(Access::write(PENDING));
+                    let n = self.pending.len();
+                    if n > 0 {
+                        self.seal();
+                    }
+                    accesses.push(self.mutex.release(0));
+                    self.timer = TimerPc::Done;
+                    label = format!("quiescent flush: batch of {n}");
+                }
+                TimerPc::Done => unreachable!("stepping a done timer"),
+            }
+        } else {
+            accesses.push(self.mutex.acquire(tid));
+            accesses.push(Access::write(PENDING));
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push(seq);
+            let full = self.pending.len() >= self.cfg.max_batch;
+            if full {
+                self.seal();
+            }
+            accesses.push(self.mutex.release(tid));
+            self.arrived[tid - 1] = true;
+            label = if full {
+                format!("arrive({seq}) seals on full")
+            } else {
+                format!("arrive({seq})")
+            };
+        }
+        Step { label, accesses }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(v) = &self.violation {
+            return Err(v.clone());
+        }
+        if self.pending.len() >= self.cfg.max_batch {
+            return Err(format!(
+                "pending buffer reached {} without sealing (max_batch {})",
+                self.pending.len(),
+                self.cfg.max_batch
+            ));
+        }
+        for (i, b) in self.sealed.iter().enumerate() {
+            if b.is_empty() {
+                return Err(format!(
+                    "sealed batch {i} is empty: occupancy not re-checked under the lock"
+                ));
+            }
+            if b.len() > self.cfg.max_batch {
+                return Err(format!("sealed batch {i} holds {} members", b.len()));
+            }
+            if b.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("sealed batch {i} is out of arrival order: {b:?}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        if !self.pending.is_empty() {
+            return Err(format!(
+                "{} requests left pending at quiescence",
+                self.pending.len()
+            ));
+        }
+        let mut seen: Vec<u64> = self.sealed.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..self.cfg.arrivals as u64).collect();
+        if seen != expect {
+            return Err(format!(
+                "batches do not partition the arrivals: sealed {seen:?}, expected {expect:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, out: &mut Vec<u64>) {
+        self.mutex.snapshot(out);
+        out.push(self.pending.len() as u64);
+        out.extend(self.pending.iter().copied());
+        out.push(self.sealed.len() as u64);
+        for b in &self.sealed {
+            out.push(b.len() as u64);
+            out.extend(b.iter().copied());
+        }
+        out.push(self.next_seq);
+        let (tag, round, observed) = match self.timer {
+            TimerPc::Peek { round } => (1, round as u64, 0),
+            TimerPc::Seal { round, observed } => (2, round as u64, observed),
+            TimerPc::Flush => (3, 0, 0),
+            TimerPc::Done => (0, 0, 0),
+        };
+        out.push(tag);
+        out.push(round);
+        out.push(observed);
+        out.push(
+            self.arrived
+                .iter()
+                .enumerate()
+                .fold(0u64, |m, (i, &a)| m | (u64::from(a) << i)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreConfig};
+
+    #[test]
+    fn seal_linger_discipline_passes_exhaustively() {
+        let r = explore(
+            &BatcherModel::new(BatcherConfig::default_property()),
+            &ExploreConfig::default(),
+        );
+        assert!(r.passed(), "{}", r.failure.unwrap().render());
+    }
+
+    #[test]
+    fn stale_seal_mutant_seals_an_empty_batch() {
+        let r = explore(
+            &BatcherModel::new(BatcherConfig {
+                mutant_stale_seal: true,
+                ..BatcherConfig::default_property()
+            }),
+            &ExploreConfig::default(),
+        );
+        let f = r.failure.expect("stale seal must fail");
+        assert!(f.reason.contains("empty"), "{}", f.reason);
+    }
+}

@@ -1,0 +1,477 @@
+//! The exhaustive interleaving explorer.
+//!
+//! A [`Model`] is a small clonable state machine: a fixed set of logical
+//! threads, each advancing through atomic steps. The explorer runs a
+//! depth-first search over every schedule (which enabled thread steps
+//! next), checking the model's invariants after every step and its final
+//! predicate at termination. Three standard reductions keep the search
+//! tractable without giving up soundness:
+//!
+//! * **Sleep-set dynamic partial-order reduction** — after exploring
+//!   thread `t` from a state, `t` joins the *sleep set* for the sibling
+//!   branches; a sleeping thread is skipped until some executed step is
+//!   *dependent* on its next step (touches a conflicting resource), at
+//!   which point it wakes. Commuting interleavings of independent steps
+//!   are explored once.
+//! * **State memoization** — a search node is keyed by the model's
+//!   canonical [`Model::snapshot`] *plus* the scheduling context (last
+//!   thread, preemption budget spent, sleep set). Re-reaching an
+//!   identical node proves the whole subtree already passed. Including
+//!   the context in the key is what keeps memoization sound next to
+//!   sleep sets and preemption bounds.
+//! * **Optional bounded preemption** — with
+//!   [`ExploreConfig::max_preemptions`] set, schedules that switch away
+//!   from a still-runnable thread more than the bound are skipped. The
+//!   shipped protocol properties run *unbounded* (fully exhaustive); the
+//!   bound exists for scaling experiments on larger configs.
+//!
+//! Exploration order is deterministic and seed-free: enabled threads are
+//! tried in ascending id order, and nothing in the search reads a clock,
+//! a hash iterator, or an RNG — two runs produce identical statistics,
+//! which `tests/verify_props.rs` asserts.
+
+use std::collections::HashMap;
+
+/// One resource touched by a step, for independence checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Model-chosen resource id (a mutex, a condvar, a ring slot, ...).
+    pub resource: u64,
+    /// True for writes (and read-modify-writes), false for pure reads.
+    pub write: bool,
+}
+
+impl Access {
+    /// A read of `resource`.
+    pub fn read(resource: u64) -> Access {
+        Access {
+            resource,
+            write: false,
+        }
+    }
+
+    /// A write of `resource`.
+    pub fn write(resource: u64) -> Access {
+        Access {
+            resource,
+            write: true,
+        }
+    }
+}
+
+/// True when two footprints conflict: same resource, at least one write.
+fn conflicts(a: &[Access], b: &[Access]) -> bool {
+    a.iter().any(|x| {
+        b.iter()
+            .any(|y| x.resource == y.resource && (x.write || y.write))
+    })
+}
+
+/// The result of one executed step: a human-readable label (used in
+/// counterexample traces) and the resources it touched.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// What the thread did, e.g. `push(2) -> lane 0`.
+    pub label: String,
+    /// Footprint for dependence checking.
+    pub accesses: Vec<Access>,
+}
+
+/// A protocol model the explorer can drive.
+///
+/// Contract: `step(tid)` is only called when `enabled(tid)` and not
+/// `done(tid)`; it must advance exactly one atomic action. Enabledness
+/// may depend only on state that the enabling steps declare in their
+/// footprints (e.g. a blocked acquirer reads the mutex resource) — that
+/// is what makes the sleep-set reduction sound.
+pub trait Model: Clone {
+    /// Number of logical threads (fixed for the model's lifetime).
+    fn thread_count(&self) -> usize;
+    /// Short name for thread `tid`, used in traces.
+    fn thread_name(&self, tid: usize) -> String;
+    /// True when thread `tid` has no more steps.
+    fn done(&self, tid: usize) -> bool;
+    /// True when thread `tid` can take a step right now.
+    fn enabled(&self, tid: usize) -> bool;
+    /// Advances thread `tid` by one atomic step.
+    fn step(&mut self, tid: usize) -> Step;
+    /// Invariant checked after every step.
+    fn check(&self) -> Result<(), String>;
+    /// Predicate checked when every thread is done.
+    fn check_final(&self) -> Result<(), String>;
+    /// Canonical encoding of the model state (threads + data). Equal
+    /// snapshots must mean equal future behavior.
+    fn snapshot(&self, out: &mut Vec<u64>);
+}
+
+/// Search limits and bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// `None` explores every schedule (fully exhaustive). `Some(k)`
+    /// skips schedules with more than `k` preemptions.
+    pub max_preemptions: Option<u32>,
+    /// Hard cap on distinct search nodes; exceeding it is an error (the
+    /// model is bigger than exhaustive checking can afford).
+    pub max_states: u64,
+    /// Hard cap on steps along one execution; exceeding it means the
+    /// model can livelock (every loop must pass through a blocking
+    /// point).
+    pub max_depth: u32,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            max_preemptions: None,
+            max_states: 20_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// Search statistics, deterministic across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct search nodes expanded.
+    pub states: u64,
+    /// Steps executed (including re-executions on different branches).
+    pub transitions: u64,
+    /// Nodes pruned because an identical (state, context) was proven.
+    pub memo_hits: u64,
+    /// Branches skipped by the sleep-set reduction.
+    pub sleep_skips: u64,
+    /// Branches skipped by the preemption bound (0 when unbounded).
+    pub preemption_skips: u64,
+    /// Complete terminal executions checked.
+    pub complete_runs: u64,
+    /// Longest execution, in steps.
+    pub max_depth_seen: u32,
+}
+
+/// One entry of a counterexample schedule.
+#[derive(Clone, Debug)]
+pub struct TraceStep {
+    /// Thread id that stepped.
+    pub tid: usize,
+    /// Thread name at the time of the step.
+    pub thread: String,
+    /// The step's label.
+    pub label: String,
+}
+
+/// A property violation: why, and the exact schedule reaching it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The violated invariant (or `deadlock: ...`).
+    pub reason: String,
+    /// The schedule from the initial state to the violation.
+    pub trace: Vec<TraceStep>,
+}
+
+impl Failure {
+    /// Renders the counterexample as an indented schedule listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  violation: {}\n", self.reason));
+        for (i, s) in self.trace.iter().enumerate() {
+            out.push_str(&format!("    {:>3}. [{}] {}\n", i + 1, s.thread, s.label));
+        }
+        out
+    }
+}
+
+/// Outcome of exhausting the schedule space.
+#[derive(Clone, Debug)]
+pub struct ExploreResult {
+    /// First violation found in deterministic search order, if any.
+    pub failure: Option<Failure>,
+    /// Search statistics.
+    pub stats: ExploreStats,
+}
+
+impl ExploreResult {
+    /// True when every schedule satisfied every property.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Explores every schedule of `model` under `config`.
+pub fn explore<M: Model>(model: &M, config: &ExploreConfig) -> ExploreResult {
+    let mut search = Search {
+        config: *config,
+        stats: ExploreStats::default(),
+        // The memo only answers membership queries (never iterated), so
+        // the hasher's per-process randomization cannot leak into any
+        // reported number.
+        memo: HashMap::new(),
+        trace: Vec::new(),
+    };
+    let failure = search.dfs(model, None, 0, 0).err();
+    ExploreResult {
+        failure,
+        stats: search.stats,
+    }
+}
+
+struct Search {
+    config: ExploreConfig,
+    stats: ExploreStats,
+    /// Key: canonical snapshot ++ [last thread + 1, preemptions, sleep
+    /// bitmask]. Value-less set semantics (the value is `()`).
+    memo: HashMap<Vec<u64>, ()>,
+    trace: Vec<TraceStep>,
+}
+
+impl Search {
+    fn fail(&self, reason: String) -> Failure {
+        Failure {
+            reason,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// DFS from the current model state. `sleep` is a bitmask over
+    /// thread ids (models are far below 64 threads).
+    fn dfs<M: Model>(
+        &mut self,
+        model: &M,
+        last: Option<usize>,
+        preemptions: u32,
+        sleep: u64,
+    ) -> Result<(), Failure> {
+        let n = model.thread_count();
+        debug_assert!(n <= 64, "sleep sets are a u64 bitmask");
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&t| !model.done(t) && model.enabled(t))
+            .collect();
+        if enabled.is_empty() {
+            return if (0..n).all(|t| model.done(t)) {
+                self.stats.complete_runs += 1;
+                model.check_final().map_err(|e| self.fail(e))
+            } else {
+                let stuck: Vec<String> = (0..n)
+                    .filter(|&t| !model.done(t))
+                    .map(|t| model.thread_name(t))
+                    .collect();
+                Err(self.fail(format!(
+                    "deadlock: no thread can run, blocked: {}",
+                    stuck.join(", ")
+                )))
+            };
+        }
+
+        let mut key = Vec::with_capacity(16);
+        model.snapshot(&mut key);
+        key.push(last.map_or(0, |t| t as u64 + 1));
+        key.push(preemptions as u64);
+        key.push(sleep);
+        if self.memo.contains_key(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(());
+        }
+        self.stats.states += 1;
+        if self.stats.states > self.config.max_states {
+            return Err(self.fail(format!(
+                "state-space bound exceeded ({} states): shrink the model config",
+                self.config.max_states
+            )));
+        }
+        if self.trace.len() as u32 > self.config.max_depth {
+            return Err(self.fail(format!(
+                "depth bound exceeded ({} steps): the model can livelock",
+                self.config.max_depth
+            )));
+        }
+        self.stats.max_depth_seen = self.stats.max_depth_seen.max(self.trace.len() as u32);
+
+        // Footprint of each enabled thread's *next* step, probed on a
+        // clone. Used both to wake sleeping threads (dependence) and to
+        // keep the sleep set sound across the recursion.
+        let probes: Vec<(usize, Step)> = enabled
+            .iter()
+            .map(|&t| {
+                let mut probe = model.clone();
+                (t, probe.step(t))
+            })
+            .collect();
+        let footprint =
+            |t: usize| -> &Step { &probes.iter().find(|(p, _)| *p == t).expect("probed").1 };
+
+        let mut sleep_here = sleep;
+        for &t in &enabled {
+            if sleep_here & (1u64 << t) != 0 {
+                self.stats.sleep_skips += 1;
+                continue;
+            }
+            let is_preemption = last.is_some_and(|l| l != t && !model.done(l) && model.enabled(l));
+            let next_preemptions = preemptions + u32::from(is_preemption);
+            if let Some(bound) = self.config.max_preemptions {
+                if is_preemption && preemptions >= bound {
+                    self.stats.preemption_skips += 1;
+                    continue;
+                }
+            }
+
+            let mut child = model.clone();
+            let step = child.step(t);
+            self.stats.transitions += 1;
+            self.trace.push(TraceStep {
+                tid: t,
+                thread: model.thread_name(t),
+                label: step.label.clone(),
+            });
+            child.check().map_err(|e| self.fail(e))?;
+
+            // A sleeping sibling stays asleep only while the executed
+            // step is independent of its next step.
+            let mut child_sleep = 0u64;
+            for &s in &enabled {
+                if s != t
+                    && sleep_here & (1u64 << s) != 0
+                    && !conflicts(&step.accesses, &footprint(s).accesses)
+                {
+                    child_sleep |= 1u64 << s;
+                }
+            }
+            self.dfs(&child, Some(t), next_preemptions, child_sleep)?;
+            self.trace.pop();
+            sleep_here |= 1u64 << t;
+        }
+
+        self.memo.insert(key, ());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads increment a shared counter twice each, non-atomically
+    /// (read step, then write step). The lost-update outcome must be
+    /// reachable, proving the explorer really interleaves.
+    #[derive(Clone)]
+    struct Racey {
+        counter: u64,
+        // Per thread: (phase 0 = load, 1 = store, 2+ = done-ish), loaded
+        // value, increments remaining.
+        pc: [(u8, u64, u8); 2],
+        require_exact: bool,
+    }
+
+    impl Model for Racey {
+        fn thread_count(&self) -> usize {
+            2
+        }
+        fn thread_name(&self, tid: usize) -> String {
+            format!("inc{tid}")
+        }
+        fn done(&self, tid: usize) -> bool {
+            self.pc[tid].0 == 0 && self.pc[tid].2 == 0
+        }
+        fn enabled(&self, _tid: usize) -> bool {
+            true
+        }
+        fn step(&mut self, tid: usize) -> Step {
+            let (phase, loaded, left) = self.pc[tid];
+            if phase == 0 {
+                self.pc[tid] = (1, self.counter, left);
+                Step {
+                    label: format!("load {}", self.counter),
+                    accesses: vec![Access::read(1)],
+                }
+            } else {
+                self.counter = loaded + 1;
+                self.pc[tid] = (0, 0, left - 1);
+                Step {
+                    label: format!("store {}", loaded + 1),
+                    accesses: vec![Access::write(1)],
+                }
+            }
+        }
+        fn check(&self) -> Result<(), String> {
+            Ok(())
+        }
+        fn check_final(&self) -> Result<(), String> {
+            if self.require_exact && self.counter != 4 {
+                return Err(format!("lost update: counter = {}", self.counter));
+            }
+            Ok(())
+        }
+        fn snapshot(&self, out: &mut Vec<u64>) {
+            out.push(self.counter);
+            for &(a, b, c) in &self.pc {
+                out.push(a as u64);
+                out.push(b);
+                out.push(c as u64);
+            }
+        }
+    }
+
+    fn racey(require_exact: bool) -> Racey {
+        Racey {
+            counter: 0,
+            pc: [(0, 0, 2), (0, 0, 2)],
+            require_exact: false,
+        }
+        .with_exact(require_exact)
+    }
+
+    impl Racey {
+        fn with_exact(mut self, e: bool) -> Racey {
+            self.require_exact = e;
+            self
+        }
+    }
+
+    #[test]
+    fn finds_the_lost_update() {
+        let r = explore(&racey(true), &ExploreConfig::default());
+        let f = r.failure.expect("lost update must be reachable");
+        assert!(f.reason.contains("lost update"), "{}", f.reason);
+        assert!(!f.trace.is_empty());
+    }
+
+    #[test]
+    fn tolerant_final_predicate_passes_and_is_deterministic() {
+        let a = explore(&racey(false), &ExploreConfig::default());
+        let b = explore(&racey(false), &ExploreConfig::default());
+        assert!(a.passed());
+        assert_eq!(a.stats.states, b.stats.states);
+        assert_eq!(a.stats.transitions, b.stats.transitions);
+        assert_eq!(a.stats.sleep_skips, b.stats.sleep_skips);
+    }
+
+    #[test]
+    fn dpor_agrees_with_unreduced_search_on_the_verdict() {
+        // Disabling the reductions entirely is not configurable (they
+        // are always on), but a single-threaded model makes them no-ops;
+        // here we instead check the racy verdict is stable under the
+        // preemption bound relaxing from tight to unbounded.
+        for bound in [Some(1), Some(2), None] {
+            let cfg = ExploreConfig {
+                max_preemptions: bound,
+                ..ExploreConfig::default()
+            };
+            let r = explore(&racey(true), &cfg);
+            assert!(
+                r.failure.is_some(),
+                "lost update needs only one preemption, bound {bound:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn preemption_bound_zero_serializes() {
+        // With zero preemptions each thread runs to completion once
+        // scheduled: both serializations yield counter == 4.
+        let cfg = ExploreConfig {
+            max_preemptions: Some(0),
+            ..ExploreConfig::default()
+        };
+        let r = explore(&racey(true), &cfg);
+        assert!(r.passed(), "{:?}", r.failure);
+        assert!(r.stats.preemption_skips > 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! `fleche-verify`: exhaustive schedule-space checking for the serving
+//! protocols.
+//!
+//! The crate is a small loom-style model checker (no dependencies
+//! beyond `fleche-model`, which supplies the shared protocol
+//! constants). [`explore`](explore::explore) walks *every* thread
+//! interleaving of a modeled protocol — bounded-preemption DFS with a
+//! sleep-set partial-order reduction and state-hash memoization — and
+//! reports the first invariant violation with the full schedule that
+//! produced it.
+//!
+//! Four protocols are modeled, one per module:
+//!
+//! * [`queue`] — the per-shard bounded queue behind
+//!   `fleche_model::concurrent::ShardedQueue` (mutex + two condvars).
+//! * [`ring`] — the prep→execute pipeline ring (publish + credit
+//!   edges of the `sync_channel(depth)` hand-off).
+//! * [`batcher`] — the micro-batcher's seal-on-full / linger-timer
+//!   discipline.
+//! * [`version`] — the batch-boundary update-visibility rule.
+//!
+//! Every property ships with at least one deliberately broken *mutant*
+//! — the same model with a seeded protocol bug — and the checker must
+//! produce a counterexample trace for each. A verifier that cannot fail
+//! proves nothing; the mutants are its self-test.
+
+pub mod batcher;
+pub mod explore;
+pub mod queue;
+pub mod ring;
+pub mod sync;
+pub mod version;
+pub mod wall;
+
+use explore::{explore, ExploreConfig, ExploreResult};
+
+/// A checked protocol property: a faithful model the explorer must pass
+/// exhaustively.
+pub struct Property {
+    /// Stable name, `protocol/invariant`.
+    pub name: &'static str,
+    /// One-line statement of the invariant.
+    pub describes: &'static str,
+    run: fn(&ExploreConfig) -> ExploreResult,
+}
+
+/// A seeded protocol bug: the same model as its property, broken, which
+/// the explorer must fail with a counterexample.
+pub struct Mutant {
+    /// Stable name, `protocol/bug`.
+    pub name: &'static str,
+    /// The property whose model this mutates.
+    pub property: &'static str,
+    /// Substring the counterexample's reason must contain.
+    pub expect: &'static str,
+    run: fn(&ExploreConfig) -> ExploreResult,
+}
+
+impl Property {
+    /// Explores the property's model under `config`.
+    pub fn run(&self, config: &ExploreConfig) -> ExploreResult {
+        (self.run)(config)
+    }
+}
+
+impl Mutant {
+    /// Explores the mutant's model under `config`.
+    pub fn run(&self, config: &ExploreConfig) -> ExploreResult {
+        (self.run)(config)
+    }
+}
+
+/// The shipped properties, in report order.
+pub fn properties() -> Vec<Property> {
+    vec![
+        Property {
+            name: "queue/bounded-fifo-no-lost-wakeup",
+            describes: "shard queue: capacity respected, per-lane FIFO, every wakeup race drained",
+            run: |c| {
+                explore(
+                    &queue::QueueModel::new(queue::QueueConfig::default_property()),
+                    c,
+                )
+            },
+        },
+        Property {
+            name: "ring/publish-credit-in-order",
+            describes: "pipeline ring: executor sees every batch in order, producer never laps",
+            run: |c| {
+                explore(
+                    &ring::RingModel::new(ring::RingConfig::default_property()),
+                    c,
+                )
+            },
+        },
+        Property {
+            name: "batcher/seal-linger-exactly-once",
+            describes: "micro-batcher: sealed batches partition arrivals, non-empty, in order",
+            run: |c| {
+                explore(
+                    &batcher::BatcherModel::new(batcher::BatcherConfig::default_property()),
+                    c,
+                )
+            },
+        },
+        Property {
+            name: "version/batch-boundary-visibility",
+            describes: "updates invisible mid-batch, applied max-wins at the boundary",
+            run: |c| {
+                explore(
+                    &version::VersionModel::new(version::VersionConfig::default_property()),
+                    c,
+                )
+            },
+        },
+    ]
+}
+
+/// The shipped mutants, in report order.
+pub fn mutants() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            name: "queue/if-wait",
+            property: "queue/bounded-fifo-no-lost-wakeup",
+            expect: "not re-checked",
+            run: |c| {
+                explore(
+                    &queue::QueueModel::new(queue::QueueConfig {
+                        mutant: queue::QueueMutant::IfWait,
+                        ..queue::QueueConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+        Mutant {
+            name: "queue/missing-notify",
+            property: "queue/bounded-fifo-no-lost-wakeup",
+            expect: "deadlock",
+            run: |c| {
+                explore(
+                    &queue::QueueModel::new(queue::QueueConfig {
+                        mutant: queue::QueueMutant::MissingNotify,
+                        ..queue::QueueConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+        Mutant {
+            name: "ring/no-credit",
+            property: "ring/publish-credit-in-order",
+            expect: "ring overrun",
+            run: |c| {
+                explore(
+                    &ring::RingModel::new(ring::RingConfig {
+                        mutant_no_credit: true,
+                        ..ring::RingConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+        Mutant {
+            name: "batcher/stale-seal",
+            property: "batcher/seal-linger-exactly-once",
+            expect: "empty",
+            run: |c| {
+                explore(
+                    &batcher::BatcherModel::new(batcher::BatcherConfig {
+                        mutant_stale_seal: true,
+                        ..batcher::BatcherConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+        Mutant {
+            name: "version/mid-batch-apply",
+            property: "version/batch-boundary-visibility",
+            expect: "torn batch",
+            run: |c| {
+                explore(
+                    &version::VersionModel::new(version::VersionConfig {
+                        mutant: version::VersionMutant::MidBatchApply,
+                        ..version::VersionConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+        Mutant {
+            name: "version/blind-write",
+            property: "version/batch-boundary-visibility",
+            expect: "regressed",
+            run: |c| {
+                explore(
+                    &version::VersionModel::new(version::VersionConfig {
+                        mutant: version::VersionMutant::BlindWrite,
+                        ..version::VersionConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+    ]
+}
+
+/// Outcome of one property run.
+pub struct PropertyOutcome {
+    /// The property.
+    pub name: &'static str,
+    /// One-line invariant statement.
+    pub describes: &'static str,
+    /// Explorer counters.
+    pub stats: explore::ExploreStats,
+    /// A counterexample, if the property (unexpectedly) failed.
+    pub failure: Option<explore::Failure>,
+    /// Wall time, milliseconds (stderr/JSON only — not deterministic).
+    pub wall_ms: f64,
+}
+
+/// Outcome of one mutant run.
+pub struct MutantOutcome {
+    /// The mutant.
+    pub name: &'static str,
+    /// The property it mutates.
+    pub property: &'static str,
+    /// Substring the counterexample must contain.
+    pub expect: &'static str,
+    /// Explorer counters.
+    pub stats: explore::ExploreStats,
+    /// The counterexample (absence means the mutant survived — a
+    /// checker bug).
+    pub failure: Option<explore::Failure>,
+    /// Wall time, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl MutantOutcome {
+    /// True when the checker caught the seeded bug with the expected
+    /// counterexample.
+    pub fn caught(&self) -> bool {
+        self.failure
+            .as_ref()
+            .is_some_and(|f| f.reason.contains(self.expect))
+    }
+}
+
+/// Every property and mutant, run to completion.
+pub struct Report {
+    /// Property outcomes, in registry order.
+    pub properties: Vec<PropertyOutcome>,
+    /// Mutant outcomes, in registry order.
+    pub mutants: Vec<MutantOutcome>,
+}
+
+impl Report {
+    /// True when every property passed and every mutant was caught.
+    pub fn ok(&self) -> bool {
+        self.properties.iter().all(|p| p.failure.is_none())
+            && self.mutants.iter().all(MutantOutcome::caught)
+    }
+}
+
+/// Runs the full registry under `config`.
+pub fn run_all(config: &ExploreConfig) -> Report {
+    let properties = properties()
+        .into_iter()
+        .map(|p| {
+            let timer = wall::WallTimer::new();
+            let r = p.run(config);
+            PropertyOutcome {
+                name: p.name,
+                describes: p.describes,
+                stats: r.stats,
+                failure: r.failure,
+                wall_ms: timer.elapsed_ms(),
+            }
+        })
+        .collect();
+    let mutants = mutants()
+        .into_iter()
+        .map(|m| {
+            let timer = wall::WallTimer::new();
+            let r = m.run(config);
+            MutantOutcome {
+                name: m.name,
+                property: m.property,
+                expect: m.expect,
+                stats: r.stats,
+                failure: r.failure,
+                wall_ms: timer.elapsed_ms(),
+            }
+        })
+        .collect();
+    Report {
+        properties,
+        mutants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_is_green() {
+        let report = run_all(&ExploreConfig::default());
+        for p in &report.properties {
+            assert!(
+                p.failure.is_none(),
+                "{} failed:\n{}",
+                p.name,
+                p.failure.as_ref().unwrap().render()
+            );
+        }
+        for m in &report.mutants {
+            assert!(m.caught(), "mutant {} survived exploration", m.name);
+        }
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn every_mutant_names_a_registered_property() {
+        let names: Vec<&str> = properties().iter().map(|p| p.name).collect();
+        for m in mutants() {
+            assert!(names.contains(&m.property), "{} orphaned", m.name);
+        }
+    }
+}

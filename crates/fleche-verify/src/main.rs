@@ -1,0 +1,105 @@
+//! CLI for the schedule-space checker.
+//!
+//! `cargo run -p fleche-verify` explores every registered property and
+//! mutant exhaustively and prints a deterministic report to stdout
+//! (wall times go to stderr so the report byte-diffs cleanly in CI).
+//! Exit 0 when every property passes and every mutant is caught; exit 1
+//! otherwise, with counterexample traces printed for any property
+//! failure or surviving mutant. `--traces` also prints the (expected)
+//! counterexample for each caught mutant.
+
+use fleche_verify::explore::ExploreConfig;
+use fleche_verify::run_all;
+
+fn main() {
+    let mut traces = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--traces" => traces = true,
+            "--help" | "-h" => {
+                println!("usage: fleche-verify [--traces]");
+                return;
+            }
+            other => {
+                eprintln!("fleche-verify: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = ExploreConfig::default();
+    let report = run_all(&config);
+
+    println!("fleche-verify: exhaustive schedule-space check");
+    println!();
+    println!("properties (must pass under every interleaving):");
+    for p in &report.properties {
+        let verdict = if p.failure.is_none() { "pass" } else { "FAIL" };
+        println!(
+            "  {verdict}  {:<38} states {:>7}  pruned {:>7}  runs {:>6}",
+            p.name,
+            p.stats.states,
+            p.stats.memo_hits + p.stats.sleep_skips,
+            p.stats.complete_runs
+        );
+        eprintln!("  [wall] {}: {:.1} ms", p.name, p.wall_ms);
+    }
+    println!();
+    println!("mutants (seeded bugs the checker must catch):");
+    for m in &report.mutants {
+        let verdict = if m.caught() { "caught" } else { "MISSED" };
+        println!(
+            "  {verdict}  {:<38} states {:>7}  expects `{}`",
+            m.name, m.stats.states, m.expect
+        );
+        eprintln!("  [wall] {}: {:.1} ms", m.name, m.wall_ms);
+    }
+
+    let mut failed = false;
+    for p in &report.properties {
+        if let Some(f) = &p.failure {
+            failed = true;
+            println!();
+            println!("counterexample for property {}:", p.name);
+            print!("{}", f.render());
+        }
+    }
+    for m in &report.mutants {
+        match &m.failure {
+            Some(f) if !m.caught() => {
+                failed = true;
+                println!();
+                println!(
+                    "mutant {} failed, but not as expected (wanted `{}`):",
+                    m.name, m.expect
+                );
+                print!("{}", f.render());
+            }
+            None => {
+                failed = true;
+                println!();
+                println!(
+                    "mutant {} survived exploration: the checker cannot see its bug",
+                    m.name
+                );
+            }
+            Some(f) if traces => {
+                println!();
+                println!("counterexample for mutant {} (expected):", m.name);
+                print!("{}", f.render());
+            }
+            Some(_) => {}
+        }
+    }
+
+    println!();
+    if failed {
+        println!("fleche-verify: FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "fleche-verify: all {} properties hold, all {} mutants caught",
+        report.properties.len(),
+        report.mutants.len()
+    );
+}

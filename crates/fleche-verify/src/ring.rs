@@ -1,0 +1,206 @@
+//! Model of the prep→execute pipeline ring.
+//!
+//! The real hand-off is a `std::sync::mpsc::sync_channel(depth)` between
+//! each worker's prep stage and its executor
+//! (`fleche_model::concurrent`), whose happens-before contract the race
+//! checker replays as *publish* edges (send → recv of the same batch)
+//! and *credit* edges (recv of batch `n` → send of batch `n + depth`,
+//! the backpressure that keeps the producer from lapping the ring).
+//! The model makes the ring explicit: `depth` slots written in
+//! generation order, a published counter, a consumed counter acting as
+//! the credit return.
+//!
+//! Checked: the consumer receives every batch in order with the
+//! generation it was published under — a producer that writes a slot
+//! whose previous occupant was not yet consumed (the credit edge
+//! dropped) is an overrun and fails the generation match.
+
+use crate::explore::{Access, Model, Step};
+use crate::sync::Atomic;
+
+/// Model configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RingConfig {
+    /// Ring depth. The shipped property uses the real front-end's
+    /// [`fleche_model::concurrent::DEFAULT_PIPELINE_DEPTH`].
+    pub depth: usize,
+    /// Batches pushed through the ring.
+    pub items: usize,
+    /// Drop the credit edge: the producer no longer waits for slot
+    /// reuse permission.
+    pub mutant_no_credit: bool,
+}
+
+impl RingConfig {
+    /// The shipped property configuration: the real pipeline depth,
+    /// twice-depth-plus-one batches so laps are reachable.
+    pub fn default_property() -> RingConfig {
+        RingConfig {
+            depth: fleche_model::concurrent::DEFAULT_PIPELINE_DEPTH,
+            items: 2 * fleche_model::concurrent::DEFAULT_PIPELINE_DEPTH + 1,
+            mutant_no_credit: false,
+        }
+    }
+}
+
+const PUBLISHED: u64 = 64;
+const CONSUMED: u64 = 65;
+fn slot_res(i: usize) -> u64 {
+    66 + i as u64
+}
+
+/// Sentinel generation for a never-written slot.
+const EMPTY: u64 = u64::MAX;
+
+/// The ring model. Thread 0 is the prep (producer) stage, thread 1 the
+/// executor (consumer).
+#[derive(Clone, Debug)]
+pub struct RingModel {
+    cfg: RingConfig,
+    /// Generation stamp last written into each slot.
+    slots: Vec<u64>,
+    published: Atomic,
+    consumed: Atomic,
+    /// Producer: next generation to write, and whether the write has
+    /// happened but not yet been published.
+    next_gen: u64,
+    wrote_unpublished: bool,
+    violation: Option<String>,
+}
+
+impl RingModel {
+    /// Builds the model.
+    pub fn new(cfg: RingConfig) -> RingModel {
+        assert!(cfg.depth > 0 && cfg.items > 0);
+        RingModel {
+            cfg,
+            slots: vec![EMPTY; cfg.depth],
+            published: Atomic::new(PUBLISHED, 0),
+            consumed: Atomic::new(CONSUMED, 0),
+            next_gen: 0,
+            wrote_unpublished: false,
+            violation: None,
+        }
+    }
+}
+
+impl Model for RingModel {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn thread_name(&self, tid: usize) -> String {
+        if tid == 0 { "prep" } else { "exec" }.to_string()
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.next_gen as usize >= self.cfg.items && !self.wrote_unpublished
+        } else {
+            self.consumed.peek() as usize >= self.cfg.items
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if tid == 0 {
+            if self.wrote_unpublished {
+                return true; // the publish step never blocks
+            }
+            // The credit gate: a slot may be rewritten only once its
+            // previous occupant was consumed.
+            self.cfg.mutant_no_credit
+                || self.next_gen - self.consumed.peek() < self.cfg.depth as u64
+        } else {
+            self.consumed.peek() < self.published.peek()
+        }
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        let mut accesses = Vec::new();
+        let label;
+        if tid == 0 {
+            if self.wrote_unpublished {
+                accesses.push(self.published.store(self.next_gen + 1));
+                label = format!("publish {}", self.next_gen);
+                self.next_gen += 1;
+                self.wrote_unpublished = false;
+            } else {
+                // The enabling credit check reads the consumed counter.
+                accesses.push(self.consumed.load().1);
+                let slot = self.next_gen as usize % self.cfg.depth;
+                self.slots[slot] = self.next_gen;
+                accesses.push(Access::write(slot_res(slot)));
+                label = format!("write gen {} -> slot {slot}", self.next_gen);
+                self.wrote_unpublished = true;
+            }
+        } else {
+            let (seq, acc) = self.consumed.load();
+            accesses.push(acc);
+            accesses.push(self.published.load().1);
+            let slot = seq as usize % self.cfg.depth;
+            let gen = self.slots[slot];
+            accesses.push(Access::read(slot_res(slot)));
+            if gen != seq {
+                self.violation = Some(format!(
+                    "ring overrun: slot {slot} holds generation {} where {seq} was expected \
+                     (the producer lapped an unconsumed slot)",
+                    if gen == EMPTY { -1i64 } else { gen as i64 }
+                ));
+            }
+            accesses.push(self.consumed.store(seq + 1));
+            label = format!("recv gen {seq} <- slot {slot}");
+        }
+        Step { label, accesses }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.violation.clone().map_or(Ok(()), Err)
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let consumed = self.consumed.peek();
+        if consumed as usize != self.cfg.items {
+            return Err(format!(
+                "consumer received {consumed} of {} batches",
+                self.cfg.items
+            ));
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, out: &mut Vec<u64>) {
+        out.extend(self.slots.iter().copied());
+        self.published.snapshot(out);
+        self.consumed.snapshot(out);
+        out.push(self.next_gen);
+        out.push(u64::from(self.wrote_unpublished));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreConfig};
+
+    #[test]
+    fn credit_edge_protocol_passes_exhaustively() {
+        let r = explore(
+            &RingModel::new(RingConfig::default_property()),
+            &ExploreConfig::default(),
+        );
+        assert!(r.passed(), "{}", r.failure.unwrap().render());
+    }
+
+    #[test]
+    fn dropping_the_credit_edge_overruns() {
+        let r = explore(
+            &RingModel::new(RingConfig {
+                mutant_no_credit: true,
+                ..RingConfig::default_property()
+            }),
+            &ExploreConfig::default(),
+        );
+        let f = r.failure.expect("no-credit must overrun");
+        assert!(f.reason.contains("ring overrun"), "{}", f.reason);
+    }
+}

@@ -1,0 +1,306 @@
+//! Model of batch-boundary update visibility.
+//!
+//! The real rule (PR 5): trainer pushes stage into a buffer
+//! (`FlecheSystem::push_updates`) and only `commit_updates` — called at
+//! a batch boundary — applies them to cache slots, version-monotonically
+//! (`FlatCache::apply_updates` keeps the maximum version per slot). A
+//! batch in flight therefore reads a frozen version vector: no torn
+//! reads, and versions never regress.
+//!
+//! The model runs a server thread (begin batch → reads → end batch,
+//! repeated) against an updater thread staging out-of-order versions.
+//! Checked: every read inside a batch sees the version the batch began
+//! with; applied versions never regress; at quiescence every slot holds
+//! the maximum staged version.
+
+use crate::explore::{Access, Model, Step};
+use std::collections::VecDeque;
+
+/// Which deliberate bug to build in, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VersionMutant {
+    /// The faithful boundary rule.
+    None,
+    /// The updater applies to slots immediately instead of staging —
+    /// a batch in flight sees versions move.
+    MidBatchApply,
+    /// The boundary apply writes the staged version blindly instead of
+    /// keeping the per-slot maximum — reordered updates regress.
+    BlindWrite,
+}
+
+/// Model configuration.
+#[derive(Clone, Debug)]
+pub struct VersionConfig {
+    /// Slot count.
+    pub slots: usize,
+    /// `(slot, version)` pushes, in trainer order — deliberately
+    /// including an out-of-order pair to exercise max-wins.
+    pub updates: Vec<(usize, u64)>,
+    /// Batches the server runs.
+    pub batches: usize,
+    /// Slot reads per batch.
+    pub reads_per_batch: usize,
+    /// Seeded bug.
+    pub mutant: VersionMutant,
+}
+
+impl VersionConfig {
+    /// The shipped property configuration: two slots, a reordered
+    /// version pair on slot 0, two batches of two reads.
+    pub fn default_property() -> VersionConfig {
+        VersionConfig {
+            slots: 2,
+            updates: vec![(0, 3), (0, 2), (1, 2)],
+            batches: 2,
+            reads_per_batch: 2,
+            mutant: VersionMutant::None,
+        }
+    }
+}
+
+const STAGED: u64 = 90;
+fn slot_res(s: usize) -> u64 {
+    91 + s as u64
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ServerPc {
+    Begin { batch: usize },
+    Read { batch: usize, read: usize },
+    End { batch: usize },
+    Done,
+}
+
+/// The visibility model. Thread 0 is the serving loop, thread 1 the
+/// update stream.
+#[derive(Clone, Debug)]
+pub struct VersionModel {
+    cfg: VersionConfig,
+    /// Applied per-slot versions (start at 1 = the warm-up fill).
+    versions: Vec<u64>,
+    /// Updates staged but not yet applied.
+    staged: VecDeque<(usize, u64)>,
+    /// Versions frozen at the current batch's begin.
+    frozen: Vec<u64>,
+    server: ServerPc,
+    /// Next update the updater pushes.
+    next_update: usize,
+    violation: Option<String>,
+}
+
+impl VersionModel {
+    /// Builds the model.
+    pub fn new(cfg: VersionConfig) -> VersionModel {
+        assert!(cfg.slots > 0 && cfg.batches > 0 && cfg.reads_per_batch > 0);
+        assert!(cfg.updates.iter().all(|&(s, _)| s < cfg.slots));
+        let versions = vec![1; cfg.slots];
+        VersionModel {
+            frozen: versions.clone(),
+            versions,
+            staged: VecDeque::new(),
+            server: ServerPc::Begin { batch: 0 },
+            next_update: 0,
+            violation: None,
+            cfg,
+        }
+    }
+}
+
+impl Model for VersionModel {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn thread_name(&self, tid: usize) -> String {
+        if tid == 0 { "server" } else { "updater" }.to_string()
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.server == ServerPc::Done
+        } else {
+            self.next_update >= self.cfg.updates.len()
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        if tid == 0 {
+            // The final boundary waits for the stream to quiesce, so
+            // the terminal state is well-defined in every schedule.
+            match self.server {
+                ServerPc::End { batch } if batch + 1 == self.cfg.batches => {
+                    self.next_update >= self.cfg.updates.len()
+                }
+                ServerPc::Done => false,
+                _ => true,
+            }
+        } else {
+            true
+        }
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        let mut accesses = Vec::new();
+        let label;
+        if tid == 0 {
+            match self.server {
+                ServerPc::Begin { batch } => {
+                    for s in 0..self.cfg.slots {
+                        accesses.push(Access::read(slot_res(s)));
+                    }
+                    self.frozen = self.versions.clone();
+                    self.server = ServerPc::Read { batch, read: 0 };
+                    label = format!("begin batch {batch}: freeze {:?}", self.frozen);
+                }
+                ServerPc::Read { batch, read } => {
+                    let s = read % self.cfg.slots;
+                    accesses.push(Access::read(slot_res(s)));
+                    let seen = self.versions[s];
+                    if seen != self.frozen[s] {
+                        self.violation = Some(format!(
+                            "torn batch: slot {s} moved from v{} to v{seen} inside batch {batch}",
+                            self.frozen[s]
+                        ));
+                    }
+                    self.server = if read + 1 < self.cfg.reads_per_batch {
+                        ServerPc::Read {
+                            batch,
+                            read: read + 1,
+                        }
+                    } else {
+                        ServerPc::End { batch }
+                    };
+                    label = format!("batch {batch} read slot {s}: v{seen}");
+                }
+                ServerPc::End { batch } => {
+                    accesses.push(Access::write(STAGED));
+                    let mut applied = 0usize;
+                    while let Some((s, v)) = self.staged.pop_front() {
+                        accesses.push(Access::write(slot_res(s)));
+                        let old = self.versions[s];
+                        let new = match self.cfg.mutant {
+                            VersionMutant::BlindWrite => v,
+                            _ => old.max(v),
+                        };
+                        if new < old {
+                            self.violation = Some(format!(
+                                "version regressed at batch boundary: slot {s} v{old} -> v{new}"
+                            ));
+                        }
+                        self.versions[s] = new;
+                        applied += 1;
+                    }
+                    self.server = if batch + 1 < self.cfg.batches {
+                        ServerPc::Begin { batch: batch + 1 }
+                    } else {
+                        ServerPc::Done
+                    };
+                    label = format!("end batch {batch}: applied {applied} staged updates");
+                }
+                ServerPc::Done => unreachable!("stepping a done server"),
+            }
+        } else {
+            let (s, v) = self.cfg.updates[self.next_update];
+            accesses.push(Access::write(STAGED));
+            self.staged.push_back((s, v));
+            if self.cfg.mutant == VersionMutant::MidBatchApply {
+                accesses.push(Access::write(slot_res(s)));
+                self.versions[s] = self.versions[s].max(v);
+            }
+            self.next_update += 1;
+            label = format!("push update slot {s} v{v}");
+        }
+        Step { label, accesses }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.violation.clone().map_or(Ok(()), Err)
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        if !self.staged.is_empty() {
+            return Err(format!(
+                "{} staged updates never applied",
+                self.staged.len()
+            ));
+        }
+        for s in 0..self.cfg.slots {
+            let want = self
+                .cfg
+                .updates
+                .iter()
+                .filter(|&&(us, _)| us == s)
+                .map(|&(_, v)| v)
+                .fold(1u64, u64::max);
+            if self.versions[s] != want {
+                return Err(format!(
+                    "slot {s} quiesced at v{}, expected v{want}",
+                    self.versions[s]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, out: &mut Vec<u64>) {
+        out.extend(self.versions.iter().copied());
+        out.extend(self.frozen.iter().copied());
+        out.push(self.staged.len() as u64);
+        for &(s, v) in &self.staged {
+            out.push(s as u64);
+            out.push(v);
+        }
+        let (tag, batch, read) = match self.server {
+            ServerPc::Begin { batch } => (1, batch as u64, 0),
+            ServerPc::Read { batch, read } => (2, batch as u64, read as u64),
+            ServerPc::End { batch } => (3, batch as u64, 0),
+            ServerPc::Done => (0, 0, 0),
+        };
+        out.push(tag);
+        out.push(batch);
+        out.push(read);
+        out.push(self.next_update as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreConfig};
+
+    #[test]
+    fn boundary_rule_passes_exhaustively() {
+        let r = explore(
+            &VersionModel::new(VersionConfig::default_property()),
+            &ExploreConfig::default(),
+        );
+        assert!(r.passed(), "{}", r.failure.unwrap().render());
+    }
+
+    #[test]
+    fn mid_batch_apply_tears_a_batch() {
+        let r = explore(
+            &VersionModel::new(VersionConfig {
+                mutant: VersionMutant::MidBatchApply,
+                ..VersionConfig::default_property()
+            }),
+            &ExploreConfig::default(),
+        );
+        let f = r.failure.expect("mid-batch apply must tear");
+        assert!(f.reason.contains("torn batch"), "{}", f.reason);
+    }
+
+    #[test]
+    fn blind_write_regresses_a_version() {
+        let r = explore(
+            &VersionModel::new(VersionConfig {
+                mutant: VersionMutant::BlindWrite,
+                ..VersionConfig::default_property()
+            }),
+            &ExploreConfig::default(),
+        );
+        let f = r.failure.expect("blind write must regress");
+        assert!(f.reason.contains("regressed"), "{}", f.reason);
+    }
+}
