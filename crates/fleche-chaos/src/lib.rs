@@ -34,9 +34,9 @@ pub use breaker::{
 };
 pub use plan::{
     CorruptionInjector, CorruptionSpec, DeviceLossInjector, DeviceLossSpec, FaultPlan,
-    FetchOutcome, GpuFaultInjector, GpuFaultSpec, OverloadSpec, RemoteFaultInjector,
-    RemoteFaultSpec, RestartSpec, SnapshotFaultInjector, SnapshotFaultSpec, UpdateFaultInjector,
-    UpdateFaultSpec,
+    FetchOutcome, FlashCrowdSpec, GpuFaultInjector, GpuFaultSpec, OverloadSpec,
+    RemoteFaultInjector, RemoteFaultSpec, RestartSpec, SnapshotFaultInjector, SnapshotFaultSpec,
+    UpdateFaultInjector, UpdateFaultSpec,
 };
 pub use retry::RetryPolicy;
 pub use rng::ChaosRng;

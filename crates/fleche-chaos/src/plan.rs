@@ -154,6 +154,85 @@ impl OverloadSpec {
     }
 }
 
+/// Flash-crowd injection: one tenant's traffic spikes in *rate* and
+/// concentrates in *key space* for a bounded window. The two halves are
+/// consumed by different layers — the rate spike by that tenant's arrival
+/// generator, the key churn by its trace generator — and both derive from
+/// the same window so they land together.
+#[derive(Clone, Debug)]
+pub struct FlashCrowdSpec {
+    /// Tenant index the crowd lands on.
+    pub tenant: usize,
+    /// Arrival time at which the crowd forms.
+    pub start: Ns,
+    /// Crowd lifetime.
+    pub duration: Ns,
+    /// Offered-rate multiplier for the victim tenant inside the window.
+    pub rate_factor: f64,
+    /// Fraction of the tenant's draws redirected onto the crowd keys.
+    pub crowd_fraction: f64,
+    /// Number of distinct crowd keys per table.
+    pub crowd_size: u64,
+    /// Salt for crowd-key placement (see
+    /// [`fleche_workload::HotChurnSpec::crowd_id`]).
+    pub salt: u64,
+}
+
+impl Default for FlashCrowdSpec {
+    fn default() -> FlashCrowdSpec {
+        FlashCrowdSpec {
+            tenant: 0,
+            start: Ns::ZERO,
+            duration: Ns::ZERO,
+            rate_factor: 1.0,
+            crowd_fraction: 0.0,
+            crowd_size: 1,
+            salt: 0,
+        }
+    }
+}
+
+impl FlashCrowdSpec {
+    /// Whether the spec injects anything at all.
+    pub fn is_active(&self) -> bool {
+        self.duration > Ns::ZERO && (self.rate_factor > 1.0 || self.crowd_fraction > 0.0)
+    }
+
+    /// The rate-modulation window for the victim tenant's arrival
+    /// generator (empty when the spec is quiet).
+    pub fn windows(&self) -> Vec<fleche_workload::BurstWindow> {
+        if !self.is_active() {
+            return Vec::new();
+        }
+        vec![fleche_workload::BurstWindow {
+            start_ns: self.start.as_ns(),
+            end_ns: (self.start + self.duration).as_ns(),
+            factor: self.rate_factor.max(1.0),
+        }]
+    }
+
+    /// The key-churn half of the crowd, converted from arrival time to
+    /// the victim tenant's sample counts at `offered_load` requests/s.
+    /// Inside the window the tenant also produces samples `rate_factor`×
+    /// faster, which the duration conversion accounts for.
+    pub fn churn(&self, offered_load: f64) -> fleche_workload::HotChurnSpec {
+        let start = (self.start.as_secs() * offered_load).round() as u64;
+        let duration =
+            (self.duration.as_secs() * offered_load * self.rate_factor.max(1.0)).round() as u64;
+        fleche_workload::HotChurnSpec {
+            start,
+            duration,
+            crowd_fraction: if self.is_active() {
+                self.crowd_fraction
+            } else {
+                0.0
+            },
+            crowd_size: self.crowd_size.max(1),
+            salt: self.salt,
+        }
+    }
+}
+
 /// A complete, seeded description of the fault environment.
 ///
 /// Each injector draws from an independent substream of `seed`, so turning
@@ -179,6 +258,8 @@ pub struct FaultPlan {
     pub update: UpdateFaultSpec,
     /// Arrival-rate overload bursts.
     pub overload: OverloadSpec,
+    /// Single-tenant flash crowd (rate spike + hot-key churn).
+    pub flash_crowd: FlashCrowdSpec,
 }
 
 const DOMAIN_REMOTE: u64 = 0x01;
@@ -200,6 +281,7 @@ impl FaultPlan {
             snapshot: SnapshotFaultSpec::default(),
             update: UpdateFaultSpec::default(),
             overload: OverloadSpec::default(),
+            flash_crowd: FlashCrowdSpec::default(),
         }
     }
 
@@ -505,6 +587,36 @@ mod tests {
         assert!(OverloadSpec::default()
             .windows(Ns::from_ms(10.0))
             .is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_halves_share_one_window() {
+        let spec = FlashCrowdSpec {
+            tenant: 0,
+            start: Ns::from_ms(2.0),
+            duration: Ns::from_ms(1.0),
+            rate_factor: 4.0,
+            crowd_fraction: 0.7,
+            crowd_size: 8,
+            salt: 5,
+        };
+        assert!(spec.is_active());
+        let w = spec.windows();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].start_ns, 2e6);
+        assert_eq!(w[0].end_ns, 3e6);
+        assert_eq!(w[0].factor, 4.0);
+        // At 1M req/s: crowd starts at sample 2000, and the 1 ms window
+        // holds 4000 samples at the boosted rate.
+        let churn = spec.churn(1_000_000.0);
+        assert_eq!(churn.start, 2_000);
+        assert_eq!(churn.duration, 4_000);
+        assert_eq!(churn.crowd_fraction, 0.7);
+        // Quiet spec injects nothing anywhere.
+        let quiet = FlashCrowdSpec::default();
+        assert!(!quiet.is_active());
+        assert!(quiet.windows().is_empty());
+        assert_eq!(quiet.churn(1_000_000.0).crowd_fraction, 0.0);
     }
 
     #[test]

@@ -87,6 +87,31 @@ impl Default for FlatCacheConfig {
     }
 }
 
+/// Per-tenant capacity accounting of a partitioned cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TenantCacheStats {
+    /// Value bytes currently resident under this tenant's ownership.
+    pub occupancy_bytes: u64,
+    /// The tenant's byte quota (its partition of pool capacity).
+    pub quota_bytes: u64,
+    /// Admissions denied because the tenant was at quota.
+    pub denied: u64,
+    /// Resident entries of this tenant evicted or displaced.
+    pub evictions: u64,
+}
+
+/// Opt-in per-tenant cache partitioning state: who owns each resident
+/// slot, how much each tenant holds, and each tenant's byte quota.
+/// Lookups only — never iterated — so accounting stays deterministic.
+struct Tenancy {
+    active: usize,
+    owner: HashMap<(u16, u32), usize>,
+    occupancy: Vec<u64>,
+    quota_bytes: Vec<u64>,
+    denied: Vec<u64>,
+    evictions: Vec<u64>,
+}
+
 /// The flat cache.
 pub struct FlatCache {
     index: Box<dyn GpuIndex>,
@@ -115,6 +140,9 @@ pub struct FlatCache {
     /// [`FlatCache::apply_updates`] and delta restores, which only ever
     /// move a slot's version forward.
     versions: HashMap<(u16, u32), u64>,
+    /// Per-tenant partitioning; `None` (the default) leaves every path
+    /// byte-identical to the tenant-unaware cache.
+    tenancy: Option<Tenancy>,
 }
 
 /// One resolved trainer push ready for batch-boundary application: the
@@ -210,6 +238,103 @@ impl FlatCache {
             checksums: None,
             corruptions_detected: 0,
             versions: HashMap::new(),
+            tenancy: None,
+        }
+    }
+
+    /// Turns on per-tenant cache partitioning: tenant `t` may hold at
+    /// most `quotas[t] ×` the pool's byte capacity, enforced at admission
+    /// (an at-quota tenant's misses bypass the cache instead of evicting
+    /// someone else's working set) and honored by eviction (an over-quota
+    /// tenant's entries are reclaimed first). Entries resident before the
+    /// call stay unowned: they are never charged to a quota and evict in
+    /// plain LRU order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quotas` is empty, any share is non-positive, or the
+    /// shares sum above 1.
+    pub fn enable_tenant_partitioning(&mut self, quotas: &[f64]) {
+        assert!(!quotas.is_empty(), "need at least one tenant");
+        assert!(
+            quotas.iter().all(|&q| q > 0.0),
+            "every tenant needs a positive share"
+        );
+        assert!(
+            quotas.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "tenant shares cannot oversubscribe the pool"
+        );
+        let cap = self.pool.capacity_bytes() as f64;
+        self.tenancy = Some(Tenancy {
+            active: 0,
+            owner: HashMap::new(),
+            occupancy: vec![0; quotas.len()],
+            quota_bytes: quotas.iter().map(|&q| (q * cap) as u64).collect(),
+            denied: vec![0; quotas.len()],
+            evictions: vec![0; quotas.len()],
+        });
+    }
+
+    /// Whether per-tenant partitioning is on.
+    pub fn tenant_partitioning_enabled(&self) -> bool {
+        self.tenancy.is_some()
+    }
+
+    /// Declares the tenant owning subsequent inserts. No-op (and
+    /// harmless) while partitioning is off.
+    pub fn set_active_tenant(&mut self, tenant: usize) {
+        if let Some(t) = &mut self.tenancy {
+            assert!(tenant < t.occupancy.len(), "unknown tenant {tenant}");
+            t.active = tenant;
+        }
+    }
+
+    /// Capacity accounting for `tenant` (zeros while partitioning is
+    /// off or for an out-of-range tenant).
+    pub fn tenant_cache_stats(&self, tenant: usize) -> TenantCacheStats {
+        match &self.tenancy {
+            Some(t) if tenant < t.occupancy.len() => TenantCacheStats {
+                occupancy_bytes: t.occupancy[tenant],
+                quota_bytes: t.quota_bytes[tenant],
+                denied: t.denied[tenant],
+                evictions: t.evictions[tenant],
+            },
+            _ => TenantCacheStats::default(),
+        }
+    }
+
+    /// Value bytes of one slot in `class`.
+    fn slot_bytes(&self, class: u16) -> u64 {
+        self.pool.dim_of(class).unwrap_or(0) as u64 * 4
+    }
+
+    /// Charges a freshly written slot to the active tenant (transferring
+    /// ownership if a refresh handed the slot to a different tenant).
+    fn charge_slot(&mut self, class: u16, slot: u32) {
+        let bytes = self.slot_bytes(class);
+        if let Some(t) = &mut self.tenancy {
+            let prev = t.owner.insert((class, slot), t.active);
+            if prev == Some(t.active) {
+                return;
+            }
+            if let Some(p) = prev {
+                t.occupancy[p] = t.occupancy[p].saturating_sub(bytes);
+            }
+            t.occupancy[t.active] += bytes;
+        }
+    }
+
+    /// Releases a retired/quarantined/wiped slot from its owner's
+    /// occupancy. `evicted` counts it in the owner's eviction tally.
+    fn release_slot(&mut self, class: u16, slot: u32, evicted: bool) {
+        let bytes = self.slot_bytes(class);
+        if let Some(t) = &mut self.tenancy {
+            if let Some(owner) = t.owner.remove(&(class, slot)) {
+                t.occupancy[owner] = t.occupancy[owner].saturating_sub(bytes);
+                if evicted {
+                    t.evictions[owner] += 1;
+                }
+            }
         }
     }
 
@@ -283,6 +408,7 @@ impl FlatCache {
         self.index.remove(key.0);
         self.epochs.retire((class, slot));
         self.pool.note_retired(class, slot);
+        self.release_slot(class, slot, false);
         if let Some(map) = &mut self.checksums {
             map.remove(&(class, slot));
         }
@@ -404,8 +530,17 @@ impl FlatCache {
             .expect("hit location must be in bounds")
     }
 
-    /// Rolls the admission filter for one missed key.
+    /// Rolls the admission filter for one missed key. Under tenant
+    /// partitioning, a tenant at its byte quota is denied outright —
+    /// its misses bypass the cache rather than displacing another
+    /// tenant's working set — before the probabilistic roll.
     pub fn admit(&mut self) -> bool {
+        if let Some(t) = &mut self.tenancy {
+            if t.occupancy[t.active] >= t.quota_bytes[t.active] {
+                t.denied[t.active] += 1;
+                return false;
+            }
+        }
         self.rng.gen::<f64>() < self.config.admission_probability
     }
 
@@ -502,6 +637,7 @@ impl FlatCache {
                     self.versions.remove(&(c, slot));
                     let (_, s) = self.index.insert(key.0, loc, stamp);
                     stats.merge(&s);
+                    self.charge_slot(c, slot);
                     return (Some((c, slot)), stats);
                 }
             } else {
@@ -551,6 +687,7 @@ impl FlatCache {
             }
             IndexInsert::Inserted | IndexInsert::Updated { .. } => {}
         }
+        self.charge_slot(class, slot);
         (Some((class, slot)), stats)
     }
 
@@ -561,6 +698,7 @@ impl FlatCache {
             Loc::Hbm { class, slot } => {
                 self.epochs.retire((class, slot));
                 self.pool.note_retired(class, slot);
+                self.release_slot(class, slot, true);
             }
             Loc::Dram { .. } => {
                 self.unified_count = self.unified_count.saturating_sub(1);
@@ -637,7 +775,31 @@ impl FlatCache {
     pub fn evict_pass_with(&mut self, decode: impl Fn(u64) -> Option<(u16, u64)>) -> ProbeStats {
         self.evict_passes += 1;
         let (mut entries, mut stats) = self.index.scan();
-        entries.sort_unstable_by_key(|e| e.stamp);
+        match &self.tenancy {
+            Some(t) => {
+                // Over-quota tenants' entries go first (coldest-first
+                // within each band), so a flash crowd reclaims from the
+                // tenant that overflowed, not its neighbors. Unowned
+                // entries count as in-quota.
+                let over: Vec<bool> = t
+                    .occupancy
+                    .iter()
+                    .zip(&t.quota_bytes)
+                    .map(|(&o, &q)| o > q)
+                    .collect();
+                entries.sort_unstable_by_key(|e| {
+                    let in_quota = match e.loc.unpack() {
+                        Loc::Hbm { class, slot } => !t
+                            .owner
+                            .get(&(class, slot))
+                            .is_some_and(|&owner| over[owner]),
+                        Loc::Dram { .. } => true,
+                    };
+                    (in_quota, e.stamp)
+                });
+            }
+            None => entries.sort_unstable_by_key(|e| e.stamp),
+        }
         let cap = self.pool.capacity_bytes().max(1) as f64;
         let target_bytes = (self.config.evict_low_watermark * cap) as u64;
         // Retired slots stay allocated until the grace period ends, so
@@ -667,6 +829,7 @@ impl FlatCache {
                             stats.merge(&s);
                             self.epochs.retire((class, slot));
                             self.pool.note_retired(class, slot);
+                            self.release_slot(class, slot, true);
                             self.unified_count += 1;
                             projected = projected.saturating_sub(bytes);
                             projected += UNIFIED_ENTRY_BYTES;
@@ -677,6 +840,7 @@ impl FlatCache {
                     stats.merge(&s);
                     self.epochs.retire((class, slot));
                     self.pool.note_retired(class, slot);
+                    self.release_slot(class, slot, true);
                     projected = projected.saturating_sub(bytes);
                 }
                 Loc::Dram { .. } => {
@@ -931,6 +1095,10 @@ impl FlatCache {
             map.clear();
         }
         self.versions.clear();
+        if let Some(t) = &mut self.tenancy {
+            t.owner.clear();
+            t.occupancy.iter_mut().for_each(|o| *o = 0);
+        }
     }
 
     /// Like [`FlatCache::wipe`], but calls `on_wipe(class, slot)` for every
@@ -1552,6 +1720,109 @@ mod tests {
         let again = fresh.restore(&snap).expect("clean");
         assert_eq!(again.restored, 1, "equal version rewrites same bytes");
         assert_eq!(fresh.slot_version(class, slot), 9);
+    }
+
+    #[test]
+    fn tenant_quota_denies_admission_at_capacity() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut c = FlatCache::new(
+            &ds,
+            8 * 4 * 10,
+            FlatCacheConfig {
+                admission_probability: 1.0,
+                ..FlatCacheConfig::default()
+            },
+        );
+        let codec = SizeAwareCodec::new(20, &[1_000]);
+        c.enable_tenant_partitioning(&[0.3, 0.5]);
+        // Tenant 0's partition is 3 slots; fill it.
+        c.set_active_tenant(0);
+        for f in 0..3u64 {
+            assert!(c.admit(), "under quota must pass the filter");
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), 1);
+        }
+        let s0 = c.tenant_cache_stats(0);
+        assert_eq!(s0.occupancy_bytes, 3 * 8 * 4);
+        assert_eq!(s0.quota_bytes, 96);
+        assert!(!c.admit(), "at quota the tenant is denied");
+        assert_eq!(c.tenant_cache_stats(0).denied, 1);
+        // A different tenant still admits into its own partition.
+        c.set_active_tenant(1);
+        assert!(c.admit());
+        assert_eq!(c.tenant_cache_stats(1).denied, 0);
+    }
+
+    #[test]
+    fn eviction_reclaims_from_the_over_quota_tenant_first() {
+        let ds = spec::synthetic(1, 1_000, 8, -1.2);
+        let mut c = FlatCache::new(
+            &ds,
+            8 * 4 * 10,
+            FlatCacheConfig {
+                evict_high_watermark: 0.8,
+                evict_low_watermark: 0.4,
+                admission_probability: 1.0,
+                index: IndexBackend::default(),
+            },
+        );
+        let codec = SizeAwareCodec::new(20, &[1_000]);
+        c.enable_tenant_partitioning(&[0.3, 0.5]);
+        // Tenant 1 holds 4 slots (inside its 5-slot quota), inserted with
+        // the COLDEST stamps — plain LRU would evict these first.
+        c.set_active_tenant(1);
+        for f in 0..4u64 {
+            c.insert_value(0, codec.encode(0, 100 + f), &val(f as f32), f as u32);
+        }
+        // Tenant 0 floods 6 slots (its quota is 3) with the hottest stamps.
+        c.set_active_tenant(0);
+        for f in 0..6u64 {
+            c.insert_value(0, codec.encode(0, f), &val(f as f32), 50 + f as u32);
+        }
+        assert!(c.needs_eviction());
+        c.evict_pass();
+        // The over-quota tenant's entries go first despite their heat:
+        // every one of tenant 1's cold entries survives the flood.
+        for f in 0..4u64 {
+            assert!(
+                matches!(
+                    c.lookup(codec.encode(0, 100 + f), 200).0,
+                    CacheAnswer::Hit { .. }
+                ),
+                "in-quota tenant's entry {f} must survive a neighbor's flood"
+            );
+        }
+        assert!(c.tenant_cache_stats(0).evictions > 0);
+        assert_eq!(c.tenant_cache_stats(1).evictions, 0);
+    }
+
+    #[test]
+    fn tenant_ownership_transfers_on_refresh() {
+        let (mut c, codec, _) = mk();
+        c.enable_tenant_partitioning(&[0.4, 0.4]);
+        let k = codec.encode(0, 7);
+        c.set_active_tenant(0);
+        c.insert_value(0, k, &val(1.0), 1);
+        assert_eq!(c.tenant_cache_stats(0).occupancy_bytes, 32);
+        assert_eq!(c.tenant_cache_stats(1).occupancy_bytes, 0);
+        // The same key refreshed under tenant 1 moves the charge.
+        c.set_active_tenant(1);
+        c.insert_value(0, k, &val(2.0), 2);
+        assert_eq!(c.tenant_cache_stats(0).occupancy_bytes, 0);
+        assert_eq!(c.tenant_cache_stats(1).occupancy_bytes, 32);
+        // Wipe zeroes occupancy but keeps the counters.
+        c.wipe();
+        assert_eq!(c.tenant_cache_stats(1).occupancy_bytes, 0);
+        assert!(c.tenant_partitioning_enabled());
+    }
+
+    #[test]
+    fn tenancy_off_reports_zeros_and_ignores_declarations() {
+        let (mut c, codec, _) = mk();
+        assert!(!c.tenant_partitioning_enabled());
+        c.set_active_tenant(3);
+        c.insert_value(0, codec.encode(0, 1), &val(1.0), 1);
+        assert_eq!(c.tenant_cache_stats(0), TenantCacheStats::default());
+        assert_eq!(c.tenant_cache_stats(3), TenantCacheStats::default());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod update_costs;
 
 pub use flat_cache::{
     checksum_of, CacheAnswer, FlatCache, FlatCacheConfig, IndexBackend, SlotUpdate,
-    UpdateApplyReport, UNIFIED_ENTRY_BYTES,
+    TenantCacheStats, UpdateApplyReport, UNIFIED_ENTRY_BYTES,
 };
 pub use fusion::{FusionError, FusionMember, FusionPlan, ARGS_ENTRY_BYTES, WARP};
 pub use multi_gpu::{FailoverStats, InterconnectSpec, MultiGpuFleche, ShardedTiming};

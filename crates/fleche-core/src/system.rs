@@ -365,6 +365,19 @@ impl FlecheSystem {
         &self.cache
     }
 
+    /// Turns on per-tenant cache partitioning (see
+    /// [`FlatCache::enable_tenant_partitioning`]); subsequent batches are
+    /// attributed to whichever tenant
+    /// [`EmbeddingCacheSystem::set_active_tenant`] last declared.
+    pub fn enable_tenant_partitioning(&mut self, quotas: &[f64]) {
+        self.cache.enable_tenant_partitioning(quotas);
+    }
+
+    /// Capacity accounting for `tenant` under partitioning.
+    pub fn tenant_cache_stats(&self, tenant: usize) -> crate::flat_cache::TenantCacheStats {
+        self.cache.tenant_cache_stats(tenant)
+    }
+
     /// The local CPU-DRAM store, when running in flat (non-tiered) mode.
     pub fn store(&self) -> Option<&CpuStore> {
         match &self.store {
@@ -879,6 +892,10 @@ impl EmbeddingCacheSystem for FlecheSystem {
             (true, true, false) => "fleche w/o unified index",
             (true, true, true) => "fleche",
         }
+    }
+
+    fn set_active_tenant(&mut self, tenant: usize) {
+        self.cache.set_active_tenant(tenant);
     }
 
     fn lifetime_stats(&self) -> LifetimeStats {

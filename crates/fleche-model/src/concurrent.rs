@@ -338,6 +338,10 @@ pub struct WorkerRun {
     pub queue_handoffs: u64,
     /// Prepared batches received through the prep→execute channel.
     pub pipeline_handoffs: u64,
+    /// Requests that aged past the deadline *between* plan-time seal and
+    /// execution (the executor re-checks at dequeue; these are included
+    /// in the run's `shed_deadline` total).
+    pub shed_at_dequeue: u64,
 }
 
 /// Result of a concurrent serving run.
@@ -652,6 +656,7 @@ fn streaming_drive<S: EmbeddingCacheSystem>(
         stage,
         queue_handoffs: offered,
         pipeline_handoffs: 0,
+        shed_at_dequeue: 0,
     }
 }
 
@@ -667,6 +672,19 @@ struct PreparedBatch {
 /// prep stage one bounded channel ahead of the executor. Simulated
 /// results are independent of pipeline depth — the prepared path charges
 /// the identical dedup cost — so only wall time changes.
+///
+/// The prep stage pops its lane *incrementally*, sealing each micro-batch
+/// as soon as the seal rule decides it, instead of draining the whole
+/// stream into memory up front. Nothing in the path grows with offered
+/// load: the lane is bounded (`shard_capacity`), the planner buffers at
+/// most one batch's worth of arrivals, and the prep→execute channel is
+/// bounded by the pipeline depth — so a slow executor backpressures all
+/// the way to the feeder rather than ballooning a queue.
+///
+/// Deadlines are enforced twice: at plan time against the seal (the
+/// micro-batcher's rule) and again at dequeue against the executor's
+/// clock, so requests that aged out while queued behind earlier batches
+/// do not burn a pipeline slot pretending to be servable.
 fn pipelined_drive<S: EmbeddingCacheSystem>(
     engine: &mut InferenceEngine<S>,
     gen: TraceGenerator,
@@ -675,44 +693,80 @@ fn pipelined_drive<S: EmbeddingCacheSystem>(
     config: &ConcurrentConfig,
     linger: Ns,
 ) -> WorkerRun {
-    // Drain this worker's lane; the feeder produces the whole stream
-    // regardless of serving pace (open loop), so this terminates.
-    let mut reqs: Vec<(u64, Ns)> = Vec::new();
-    while let Some(r) = queue.pop(wid) {
-        reqs.push((r.seq, r.arrival));
-    }
-    let offered = reqs.len() as u64;
-    let planned = MicroBatcher::plan(
-        &reqs,
-        &MicroBatcherConfig {
-            max_batch: config.max_batch,
-            linger,
-            deadline: config.deadline,
-        },
-    );
-    let shed_deadline = planned.shed.len() as u64;
+    let max_batch = config.max_batch;
     let depth = config.pipeline_depth.max(1);
     let (tx, rx) = mpsc::sync_channel::<PreparedBatch>(depth);
     let prep_secs = Mutex::new(0.0f64);
     let mut latency = LatencyRecorder::new();
     let mut batches = 0u64;
+    let mut recvs = 0u64;
     let mut batched = 0u64;
+    let mut shed_at_dequeue = 0u64;
     let mut busy = Ns::ZERO;
     let mut stage = StageWall::default();
     let t_start = engine.gpu().now();
-    std::thread::scope(|scope| {
-        let plans = &planned.batches;
+    let (offered, shed_plan) = std::thread::scope(|scope| {
         let prep_secs = &prep_secs;
         let mut gen = gen;
-        scope.spawn(move || {
-            for plan in plans {
+        let prep = scope.spawn(move || {
+            // Rolling transcription of [`MicroBatcher::plan`]: the buffer
+            // holds the current batch's candidates plus at most one
+            // arrival beyond its window, popped from the bounded lane on
+            // demand. Seal rules are identical to the batch-mode planner
+            // (whose property tests pin them).
+            let mut buffer: VecDeque<(u64, Ns)> = VecDeque::new();
+            let mut offered = 0u64;
+            let mut shed = 0u64;
+            let mut open = true;
+            let pull = |buffer: &mut VecDeque<(u64, Ns)>, offered: &mut u64| match queue.pop(wid) {
+                Some(r) => {
+                    *offered += 1;
+                    buffer.push_back((r.seq, r.arrival));
+                    true
+                }
+                None => false,
+            };
+            loop {
+                if buffer.is_empty() && (!open || !pull(&mut buffer, &mut offered)) {
+                    break;
+                }
+                let first = buffer.front().expect("buffer non-empty").1;
+                let seal_by_linger = first + linger;
+                while open
+                    && buffer.len() < max_batch
+                    && buffer.back().expect("buffer non-empty").1 <= seal_by_linger
+                {
+                    open = pull(&mut buffer, &mut offered);
+                }
+                let mut end = 1;
+                while end < buffer.len().min(max_batch) && buffer[end].1 <= seal_by_linger {
+                    end += 1;
+                }
+                // Full batches seal when their last rider arrives; short
+                // ones wait out the full linger.
+                let seal = if end == max_batch {
+                    buffer[end - 1].1
+                } else {
+                    seal_by_linger
+                };
                 let p0 = Instant::now();
-                let batch = gen.next_batch(plan.members.len());
+                let mut members = Vec::with_capacity(end);
+                for &(seq, arr) in buffer.iter().take(end) {
+                    match config.deadline {
+                        Some(dl) if crate::server::misses_deadline(seal, arr, dl) => shed += 1,
+                        _ => members.push((seq, arr)),
+                    }
+                }
+                buffer.drain(..end);
+                if members.is_empty() {
+                    continue;
+                }
+                let batch = gen.next_batch(members.len());
                 let dedup = Deduped::from_batch(&batch);
                 *prep_secs.lock().expect("prep lock poisoned") += p0.elapsed().as_secs_f64();
                 let msg = PreparedBatch {
-                    seal: plan.seal,
-                    members: plan.members.clone(),
+                    seal,
+                    members,
                     batch,
                     dedup,
                 };
@@ -720,9 +774,33 @@ fn pipelined_drive<S: EmbeddingCacheSystem>(
                     break;
                 }
             }
+            (offered, shed)
         });
         while let Ok(p) = rx.recv() {
+            recvs += 1;
             let now = engine.gpu().now();
+            // Dequeue-time deadline re-check: the plan judged waits
+            // against the seal, but by now the executor may be far past
+            // it. Requests already over budget are shed here.
+            let start = now.max(p.seal);
+            let mut live: Vec<Ns> = Vec::with_capacity(p.members.len());
+            match config.deadline {
+                Some(dl) => {
+                    for &(_, arr) in &p.members {
+                        if crate::server::misses_deadline(start, arr, dl) {
+                            shed_at_dequeue += 1;
+                        } else {
+                            live.push(arr);
+                        }
+                    }
+                }
+                None => live.extend(p.members.iter().map(|&(_, arr)| arr)),
+            }
+            if live.is_empty() {
+                // Every rider aged out while queued: skip the device
+                // instead of burning the slot on dead work.
+                continue;
+            }
             if p.seal > now {
                 engine.gpu_mut().elapse_host("idle", p.seal - now);
             }
@@ -732,13 +810,14 @@ fn pipelined_drive<S: EmbeddingCacheSystem>(
             stage.exec_secs += e0.elapsed().as_secs_f64();
             let done = engine.gpu().now();
             busy += done - t0;
-            for &(_, arr) in &p.members {
+            for &arr in &live {
                 latency.record(done - arr);
             }
             batches += 1;
-            batched += p.members.len() as u64;
+            batched += live.len() as u64;
             dwell(config.pace, timing.total, &mut stage);
         }
+        prep.join().expect("prep thread panicked")
     });
     stage.prep_secs = *prep_secs.lock().expect("prep lock poisoned");
     let elapsed = engine.gpu().now() - t_start;
@@ -751,14 +830,15 @@ fn pipelined_drive<S: EmbeddingCacheSystem>(
             offered,
             served: batched,
             shed_queue: 0,
-            shed_deadline,
+            shed_deadline: shed_plan + shed_at_dequeue,
             lifetime: engine.system().lifetime_stats(),
             latency,
         },
         batches,
         stage,
         queue_handoffs: offered,
-        pipeline_handoffs: batches,
+        pipeline_handoffs: recvs,
+        shed_at_dequeue,
     }
 }
 
@@ -887,6 +967,53 @@ mod tests {
         for (x, y) in a.workers.iter().zip(&b.workers) {
             assert_bit_identical(&x.run, &y.run);
             assert!(x.pipeline_handoffs > 0);
+        }
+    }
+
+    #[test]
+    fn pipelined_dequeue_sheds_aged_requests() {
+        // Overload with a deadline the plan-time check cannot violate
+        // (linger < deadline bounds every wait at seal): all shedding
+        // must come from the dequeue-time re-check as the executor falls
+        // behind, and fully-aged batches must not burn a pipeline slot.
+        let mut cfg = ConcurrentConfig::mirror_serial(&serial_config(50_000_000.0), 1);
+        cfg.linger = Some(Ns::from_us(200.0));
+        cfg.deadline = Some(Ns::from_us(300.0));
+        let a = serve_concurrent(build, &cfg);
+        let w = &a.workers[0];
+        assert!(w.shed_at_dequeue > 0, "executor backlog must age requests");
+        assert_eq!(w.run.shed_deadline, w.shed_at_dequeue);
+        assert_eq!(
+            w.run.offered,
+            w.run.served + w.run.shed_deadline,
+            "every request is served or shed exactly once"
+        );
+        assert!(
+            w.batches < w.pipeline_handoffs,
+            "fully-aged batches must skip the device: {} executed of {} received",
+            w.batches,
+            w.pipeline_handoffs
+        );
+        let b = serve_concurrent(build, &cfg);
+        assert_bit_identical(&a.workers[0].run, &b.workers[0].run);
+        assert_eq!(a.workers[0].shed_at_dequeue, b.workers[0].shed_at_dequeue);
+    }
+
+    #[test]
+    fn pipelined_backpressure_survives_tiny_lanes() {
+        // A 4-deep lane forces the feeder to block on the planner, which
+        // blocks on the executor — the run only completes if the bounded
+        // chain drains end to end, and the bound must not change any
+        // simulated result.
+        let mut cfg = ConcurrentConfig::mirror_serial(&serial_config(400_000.0), 2);
+        cfg.linger = Some(Ns::from_us(200.0));
+        let a = serve_concurrent(build, &cfg);
+        cfg.shard_capacity = 4;
+        let b = serve_concurrent(build, &cfg);
+        assert_eq!(b.offered(), 2_000);
+        assert_eq!(b.served(), 2_000);
+        for (x, y) in a.workers.iter().zip(&b.workers) {
+            assert_bit_identical(&x.run, &y.run);
         }
     }
 

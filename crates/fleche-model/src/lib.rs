@@ -18,10 +18,14 @@
 //! * [`concurrent`] — the pipelined multi-worker serving front-end:
 //!   sharded arrival queue, logical-time micro-batcher, prep/execute
 //!   pipelining, and paced device dwell for measured wall-clock scaling.
+//! * [`admission`] — per-tenant weighted admission control: token-bucket
+//!   quotas, over-quota-first shedding, bounded-queue backpressure, and
+//!   an SLO-driven adaptive controller with hysteresis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod concurrent;
 pub mod ctr;
 pub mod dense;
@@ -29,6 +33,10 @@ pub mod engine;
 pub mod latency;
 pub mod server;
 
+pub use admission::{
+    serve_multi_tenant, AdmissionController, ControllerConfig, MultiTenantConfig, MultiTenantRun,
+    OverloadCostSpec, ShedInterval, TenantRun, TenantSpec, TokenBucket,
+};
 pub use concurrent::{
     serve_concurrent, BatchPlan, ConcurrentConfig, ConcurrentRun, MicroBatchPlan, MicroBatcher,
     MicroBatcherConfig, QueuedRequest, ShardedQueue, StageWall, WorkerRun, DEFAULT_PIPELINE_DEPTH,

@@ -119,6 +119,14 @@ pub trait EmbeddingCacheSystem {
         self.query_batch(gpu, batch)
     }
 
+    /// Declares which tenant the following batches belong to, for systems
+    /// that partition cache capacity per tenant. Tenant-unaware systems
+    /// ignore it (the default), so multi-tenant harnesses drive every
+    /// system through one code path.
+    fn set_active_tenant(&mut self, tenant: usize) {
+        let _ = tenant;
+    }
+
     /// Running hit statistics since construction (or last reset).
     fn lifetime_stats(&self) -> LifetimeStats;
 

@@ -1,0 +1,270 @@
+//! Model of the admission token bucket's refill/consume protocol.
+//!
+//! The real bucket (PR 9, `fleche_model::admission::TokenBucket`) is
+//! owned by the admission loop, so every `refill` and `try_consume` is
+//! one atomic read-modify-write on the credit counter. The model checks
+//! the conservation law that ownership buys: at every state, `tokens ==
+//! initial + refilled - consumed` and `tokens <= cap` — credit is
+//! neither minted nor destroyed by any interleaving of a refiller and a
+//! consumer.
+//!
+//! The seeded mutant breaks exactly the ownership assumption: the
+//! refiller's read-modify-write splits into an unlocked read followed by
+//! a later write of `local + amount`. A consume that lands in the window
+//! is overwritten and the conservation check reports the lost-refill
+//! race with the interleaving that produced it.
+
+use crate::explore::{Access, Model, Step};
+
+/// Model configuration.
+#[derive(Clone, Debug)]
+pub struct BucketConfig {
+    /// Credit ceiling.
+    pub cap: u64,
+    /// Credit at the start (≤ `cap`).
+    pub initial: u64,
+    /// Refill operations the refiller performs.
+    pub refills: usize,
+    /// Credit each refill adds (before clamping at `cap`).
+    pub refill_amount: u64,
+    /// Consume probes the consumer performs (each takes one token when
+    /// one is available, else passes).
+    pub consumes: usize,
+    /// Build in the split read/write refill bug.
+    pub mutant_lost_refill: bool,
+}
+
+impl BucketConfig {
+    /// The shipped property configuration: a three-token cap with enough
+    /// refills and consumes that every interleaving of the two threads
+    /// crosses the clamp and the empty bucket at least once.
+    pub fn default_property() -> BucketConfig {
+        BucketConfig {
+            cap: 3,
+            initial: 2,
+            refills: 2,
+            refill_amount: 1,
+            consumes: 3,
+            mutant_lost_refill: false,
+        }
+    }
+}
+
+/// Resource id of the credit counter.
+const TOKENS: u64 = 80;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RefillPc {
+    /// About to perform refill `i` (atomic in the faithful model; the
+    /// unlocked read in the mutant).
+    Start {
+        i: usize,
+    },
+    /// Mutant only: holding `local`, about to write it back plus the
+    /// refill amount.
+    Write {
+        i: usize,
+        local: u64,
+    },
+    Done,
+}
+
+/// The bucket model. Thread 0 is the consumer, thread 1 the refiller.
+#[derive(Clone, Debug)]
+pub struct BucketModel {
+    cfg: BucketConfig,
+    tokens: u64,
+    /// Credit actually added (clamp losses excluded).
+    refilled: u64,
+    consumed: u64,
+    probes: usize,
+    refiller: RefillPc,
+    violation: Option<String>,
+}
+
+impl BucketModel {
+    /// Builds the model.
+    pub fn new(cfg: BucketConfig) -> BucketModel {
+        assert!(cfg.cap > 0 && cfg.initial <= cfg.cap);
+        assert!(cfg.refills > 0 && cfg.consumes > 0 && cfg.refill_amount > 0);
+        BucketModel {
+            tokens: cfg.initial,
+            refilled: 0,
+            consumed: 0,
+            probes: 0,
+            refiller: RefillPc::Start { i: 0 },
+            violation: None,
+            cfg,
+        }
+    }
+
+    fn conserve(&mut self, at: &str) {
+        if self.violation.is_some() {
+            return;
+        }
+        // Checked: once credit is already corrupted, `consumed` can
+        // exceed what was ever minted.
+        let expected = (self.cfg.initial + self.refilled).checked_sub(self.consumed);
+        if expected != Some(self.tokens) {
+            self.violation = Some(format!(
+                "lost refill race at {at}: {} tokens, but initial {} + refilled {} - consumed {} = {}",
+                self.tokens,
+                self.cfg.initial,
+                self.refilled,
+                self.consumed,
+                expected.map_or("underflow".to_string(), |e| e.to_string())
+            ));
+        } else if self.tokens > self.cfg.cap {
+            self.violation = Some(format!(
+                "credit over the cap at {at}: {} tokens > cap {}",
+                self.tokens, self.cfg.cap
+            ));
+        }
+    }
+}
+
+impl Model for BucketModel {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn thread_name(&self, tid: usize) -> String {
+        if tid == 0 { "consumer" } else { "refiller" }.to_string()
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.probes >= self.cfg.consumes
+        } else {
+            self.refiller == RefillPc::Done
+        }
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        !self.done(tid)
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        let mut accesses = Vec::new();
+        let label;
+        if tid == 0 {
+            // One atomic probe: take a token when one is there.
+            accesses.push(Access::read(TOKENS));
+            if self.tokens >= 1 {
+                accesses.push(Access::write(TOKENS));
+                self.tokens -= 1;
+                self.consumed += 1;
+                label = format!("consume: {} tokens left", self.tokens);
+            } else {
+                label = "consume probe: empty bucket".to_string();
+            }
+            self.probes += 1;
+            self.conserve("consume");
+        } else {
+            match self.refiller {
+                RefillPc::Start { i } => {
+                    accesses.push(Access::read(TOKENS));
+                    if self.cfg.mutant_lost_refill {
+                        // The bug: read now, write later, unlocked.
+                        self.refiller = RefillPc::Write {
+                            i,
+                            local: self.tokens,
+                        };
+                        label = format!("refill {i}: unlocked read of {} tokens", self.tokens);
+                    } else {
+                        accesses.push(Access::write(TOKENS));
+                        let added = self.cfg.refill_amount.min(self.cfg.cap - self.tokens);
+                        self.tokens += added;
+                        self.refilled += added;
+                        self.refiller = if i + 1 < self.cfg.refills {
+                            RefillPc::Start { i: i + 1 }
+                        } else {
+                            RefillPc::Done
+                        };
+                        label = format!("refill {i}: +{added} -> {} tokens", self.tokens);
+                        self.conserve("refill");
+                    }
+                }
+                RefillPc::Write { i, local } => {
+                    accesses.push(Access::write(TOKENS));
+                    let added = self.cfg.refill_amount.min(self.cfg.cap - local);
+                    self.tokens = local + added;
+                    self.refilled += added;
+                    self.refiller = if i + 1 < self.cfg.refills {
+                        RefillPc::Start { i: i + 1 }
+                    } else {
+                        RefillPc::Done
+                    };
+                    label = format!("refill {i}: write back {local}+{added} tokens");
+                    self.conserve("refill write-back");
+                }
+                RefillPc::Done => unreachable!("stepping a done refiller"),
+            }
+        }
+        Step { label, accesses }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.violation.clone().map_or(Ok(()), Err)
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let expected = (self.cfg.initial + self.refilled).checked_sub(self.consumed);
+        if expected != Some(self.tokens) {
+            return Err(format!(
+                "quiesced with {} tokens, expected initial {} + refilled {} - consumed {}",
+                self.tokens, self.cfg.initial, self.refilled, self.consumed
+            ));
+        }
+        if self.tokens > self.cfg.cap {
+            return Err(format!(
+                "quiesced over the cap: {} > {}",
+                self.tokens, self.cfg.cap
+            ));
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, out: &mut Vec<u64>) {
+        out.push(self.tokens);
+        out.push(self.refilled);
+        out.push(self.consumed);
+        out.push(self.probes as u64);
+        let (tag, i, local) = match self.refiller {
+            RefillPc::Start { i } => (1, i as u64, 0),
+            RefillPc::Write { i, local } => (2, i as u64, local),
+            RefillPc::Done => (0, 0, 0),
+        };
+        out.push(tag);
+        out.push(i);
+        out.push(local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreConfig};
+
+    #[test]
+    fn owned_bucket_conserves_credit_exhaustively() {
+        let r = explore(
+            &BucketModel::new(BucketConfig::default_property()),
+            &ExploreConfig::default(),
+        );
+        assert!(r.passed(), "{}", r.failure.unwrap().render());
+    }
+
+    #[test]
+    fn split_refill_loses_an_interleaved_consume() {
+        let r = explore(
+            &BucketModel::new(BucketConfig {
+                mutant_lost_refill: true,
+                ..BucketConfig::default_property()
+            }),
+            &ExploreConfig::default(),
+        );
+        let f = r.failure.expect("unlocked refill must lose a consume");
+        assert!(f.reason.contains("lost refill"), "{}", f.reason);
+    }
+}

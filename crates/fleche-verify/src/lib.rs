@@ -9,7 +9,7 @@
 //! reports the first invariant violation with the full schedule that
 //! produced it.
 //!
-//! Four protocols are modeled, one per module:
+//! Five protocols are modeled, one per module:
 //!
 //! * [`queue`] — the per-shard bounded queue behind
 //!   `fleche_model::concurrent::ShardedQueue` (mutex + two condvars).
@@ -18,6 +18,8 @@
 //! * [`batcher`] — the micro-batcher's seal-on-full / linger-timer
 //!   discipline.
 //! * [`version`] — the batch-boundary update-visibility rule.
+//! * [`bucket`] — the admission token bucket's refill/consume
+//!   credit-conservation law.
 //!
 //! Every property ships with at least one deliberately broken *mutant*
 //! — the same model with a seeded protocol bug — and the checker must
@@ -25,6 +27,7 @@
 //! proves nothing; the mutants are its self-test.
 
 pub mod batcher;
+pub mod bucket;
 pub mod explore;
 pub mod queue;
 pub mod ring;
@@ -109,6 +112,17 @@ pub fn properties() -> Vec<Property> {
             run: |c| {
                 explore(
                     &version::VersionModel::new(version::VersionConfig::default_property()),
+                    c,
+                )
+            },
+        },
+        Property {
+            name: "bucket/refill-consume-conservation",
+            describes:
+                "admission token bucket: credit conserved under the cap in every interleaving",
+            run: |c| {
+                explore(
+                    &bucket::BucketModel::new(bucket::BucketConfig::default_property()),
                     c,
                 )
             },
@@ -198,6 +212,20 @@ pub fn mutants() -> Vec<Mutant> {
                     &version::VersionModel::new(version::VersionConfig {
                         mutant: version::VersionMutant::BlindWrite,
                         ..version::VersionConfig::default_property()
+                    }),
+                    c,
+                )
+            },
+        },
+        Mutant {
+            name: "bucket/lost-refill",
+            property: "bucket/refill-consume-conservation",
+            expect: "lost refill",
+            run: |c| {
+                explore(
+                    &bucket::BucketModel::new(bucket::BucketConfig {
+                        mutant_lost_refill: true,
+                        ..bucket::BucketConfig::default_property()
                     }),
                     c,
                 )

@@ -15,6 +15,8 @@
 //!   `criteo_tb`, `synthetic`).
 //! * [`trace`] — deterministic sample/batch generation with optional
 //!   hotspot drift.
+//! * [`dynamics`] — non-stationary overlays (flash-crowd hot-key churn,
+//!   diurnal popularity rotation, cold-start injection).
 //! * [`oracle`] — the paper's "Optimal" frequency oracle and a Belady
 //!   simulator for ablations.
 
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod dynamics;
 pub mod oracle;
 pub mod spec;
 pub mod stats;
@@ -29,6 +32,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use arrivals::{ArrivalGen, BurstWindow};
+pub use dynamics::{ColdStartSpec, DiurnalSpec, HotChurnSpec, TraceDynamics};
 pub use oracle::{analytic_optimal_hit_rate, belady_hit_rate, FrequencyCensus};
 pub use spec::{synthetic, synthetic_default, DatasetSpec, TableSpec};
 pub use stats::WorkloadStats;

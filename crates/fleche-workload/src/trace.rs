@@ -5,10 +5,11 @@
 //! field). The engine consumes traces in batches, mirroring how an
 //! inference server aggregates requests.
 
+use crate::dynamics::TraceDynamics;
 use crate::spec::DatasetSpec;
 use crate::zipf::PowerLaw;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// One inference sample: the IDs drawn from each table.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,6 +77,9 @@ pub struct TraceGenerator {
     produced: u64,
     drift_every: Option<u64>,
     drift_generation: u64,
+    dynamics: TraceDynamics,
+    diurnal_phase: u64,
+    cold_injected: u64,
 }
 
 impl TraceGenerator {
@@ -95,7 +99,31 @@ impl TraceGenerator {
             produced: 0,
             drift_every,
             drift_generation: 0,
+            dynamics: TraceDynamics::none(),
+            diurnal_phase: 0,
+            cold_injected: 0,
         }
+    }
+
+    /// Like [`TraceGenerator::new`] with non-stationary
+    /// [`TraceDynamics`] applied on top of the base popularity. With all
+    /// dynamics off this is byte-identical to [`TraceGenerator::new`]
+    /// (the RNG stream is consumed in the same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dynamics knob is out of range
+    /// (see [`TraceDynamics::validate`]).
+    pub fn with_dynamics(spec: &DatasetSpec, dynamics: TraceDynamics) -> TraceGenerator {
+        dynamics.validate();
+        let mut gen = TraceGenerator::new(spec);
+        gen.dynamics = dynamics;
+        gen
+    }
+
+    /// The dynamics in effect (all-`None` for stationary traces).
+    pub fn dynamics(&self) -> &TraceDynamics {
+        &self.dynamics
     }
 
     fn make_samplers(spec: &DatasetSpec, generation: u64) -> Vec<PowerLaw> {
@@ -133,16 +161,47 @@ impl TraceGenerator {
                 self.samplers = Self::make_samplers(&self.spec, generation);
             }
         }
-        self.produced += 1;
-        Sample {
-            per_table: self
-                .spec
-                .tables
-                .iter()
-                .zip(&self.samplers)
-                .map(|(t, s)| (0..t.multi_hot).map(|_| s.sample(&mut self.rng)).collect())
-                .collect(),
+        if let Some(d) = self.dynamics.diurnal {
+            let phase = d.phase_at(self.produced);
+            if phase != self.diurnal_phase {
+                self.diurnal_phase = phase;
+                // Reuse the drift seeding, so phase 0 is the base
+                // popularity and the cycle genuinely returns to it.
+                self.samplers = Self::make_samplers(&self.spec, phase);
+            }
         }
+        let crowd = self
+            .dynamics
+            .hot_churn
+            .filter(|hc| hc.active_at(self.produced));
+        let cold = self.dynamics.cold_start;
+        self.produced += 1;
+        let mut per_table = Vec::with_capacity(self.spec.tables.len());
+        for (ti, t) in self.spec.tables.iter().enumerate() {
+            let sampler = &self.samplers[ti];
+            let corpus = sampler.corpus();
+            let mut ids = Vec::with_capacity(t.multi_hot as usize);
+            for _ in 0..t.multi_hot {
+                let mut id = sampler.sample(&mut self.rng);
+                if let Some(hc) = &crowd {
+                    if self.rng.gen::<f64>() < hc.crowd_fraction {
+                        let k = self.rng.gen_range(0..hc.crowd_size);
+                        id = hc.crowd_id(ti, k, corpus);
+                    }
+                }
+                if let Some(cs) = &cold {
+                    if self.rng.gen::<f64>() < cs.fraction {
+                        let tail = cs.reserve.min(corpus);
+                        let rank = corpus - 1 - (self.cold_injected % tail);
+                        id = sampler.rank_to_id(rank);
+                        self.cold_injected += 1;
+                    }
+                }
+                ids.push(id);
+            }
+            per_table.push(ids);
+        }
+        Sample { per_table }
     }
 
     /// Generates the next batch of `batch_size` samples.
@@ -226,6 +285,138 @@ mod tests {
         assert!(
             (inter as f64) / (union as f64) < 0.5,
             "hot sets should diverge after drift: {inter}/{union}"
+        );
+    }
+
+    #[test]
+    fn no_dynamics_matches_plain_generator_bitwise() {
+        let ds = spec::criteo_kaggle();
+        let mut plain = TraceGenerator::new(&ds);
+        let mut dynd = TraceGenerator::with_dynamics(&ds, crate::TraceDynamics::none());
+        for _ in 0..200 {
+            assert_eq!(plain.next_sample(), dynd.next_sample());
+        }
+    }
+
+    #[test]
+    fn dynamics_are_deterministic() {
+        let ds = spec::synthetic(4, 50_000, 16, -1.2);
+        let dynamics = crate::TraceDynamics {
+            hot_churn: Some(crate::HotChurnSpec {
+                start: 100,
+                duration: 400,
+                crowd_fraction: 0.6,
+                crowd_size: 12,
+                salt: 9,
+            }),
+            diurnal: Some(crate::DiurnalSpec {
+                period: 250,
+                phases: 4,
+            }),
+            cold_start: Some(crate::ColdStartSpec {
+                fraction: 0.05,
+                reserve: 64,
+            }),
+        };
+        let mut a = TraceGenerator::with_dynamics(&ds, dynamics);
+        let mut b = TraceGenerator::with_dynamics(&ds, dynamics);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+
+    #[test]
+    fn hot_churn_concentrates_draws_on_the_crowd() {
+        let ds = spec::synthetic(1, 100_000, 32, -1.2);
+        let hc = crate::HotChurnSpec {
+            start: 1_000,
+            duration: 2_000,
+            crowd_fraction: 0.8,
+            crowd_size: 8,
+            salt: 3,
+        };
+        let mut gen = TraceGenerator::with_dynamics(
+            &ds,
+            crate::TraceDynamics {
+                hot_churn: Some(hc),
+                ..crate::TraceDynamics::none()
+            },
+        );
+        let crowd: HashSet<u64> = (0..8).map(|k| hc.crowd_id(0, k, 100_000)).collect();
+        let share = |b: &Batch| {
+            let hits = b.table_ids[0]
+                .iter()
+                .filter(|id| crowd.contains(id))
+                .count();
+            hits as f64 / b.table_ids[0].len() as f64
+        };
+        let before = gen.next_batch(1_000);
+        let during = gen.next_batch(2_000);
+        let after = gen.next_batch(1_000);
+        assert!(share(&before) < 0.05, "before: {}", share(&before));
+        assert!(share(&during) > 0.7, "during: {}", share(&during));
+        assert!(share(&after) < 0.05, "after: {}", share(&after));
+    }
+
+    #[test]
+    fn diurnal_rotation_returns_to_phase_zero() {
+        let ds = spec::synthetic(1, 100_000, 32, -1.6);
+        let mk = || {
+            TraceGenerator::with_dynamics(
+                &ds,
+                crate::TraceDynamics {
+                    diurnal: Some(crate::DiurnalSpec {
+                        period: 5_000,
+                        phases: 2,
+                    }),
+                    ..crate::TraceDynamics::none()
+                },
+            )
+        };
+        let mut gen = mk();
+        let hot = |b: &Batch| -> HashSet<u64> { b.table_ids[0].iter().copied().collect() };
+        let p0 = hot(&gen.next_batch(5_000));
+        let p1 = hot(&gen.next_batch(5_000));
+        let p0_again = hot(&gen.next_batch(5_000));
+        let jac = |a: &HashSet<u64>, b: &HashSet<u64>| {
+            a.intersection(b).count() as f64 / a.union(b).count() as f64
+        };
+        assert!(jac(&p0, &p1) < 0.5, "phases differ: {}", jac(&p0, &p1));
+        assert!(
+            jac(&p0, &p0_again) > jac(&p0, &p1),
+            "cycle must return toward phase-0 popularity"
+        );
+    }
+
+    #[test]
+    fn cold_start_surfaces_unseen_ids() {
+        let ds = spec::synthetic(1, 1_000_000, 32, -1.6);
+        let mut plain = TraceGenerator::new(&ds);
+        let seen: HashSet<u64> = plain.next_batch(5_000).table_ids[0]
+            .iter()
+            .copied()
+            .collect();
+        let mut gen = TraceGenerator::with_dynamics(
+            &ds,
+            crate::TraceDynamics {
+                cold_start: Some(crate::ColdStartSpec {
+                    fraction: 0.3,
+                    reserve: 4_096,
+                }),
+                ..crate::TraceDynamics::none()
+            },
+        );
+        let b = gen.next_batch(5_000);
+        let unseen = b.table_ids[0]
+            .iter()
+            .filter(|id| !seen.contains(id))
+            .count();
+        // The stationary head dominates without injection; cold-start must
+        // push a visible stream of fresh IDs through.
+        assert!(
+            unseen as f64 / b.table_ids[0].len() as f64 > 0.2,
+            "unseen fraction {}",
+            unseen as f64 / b.table_ids[0].len() as f64
         );
     }
 

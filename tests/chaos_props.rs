@@ -1,12 +1,17 @@
 //! Property tests for the failure-handling machinery: epoch-based
 //! reclamation must keep decoupled copies safe while eviction and
-//! fault-induced quarantines retire slots underneath them, and the
-//! tiered store's retry/fallback path must never surface garbage bytes.
+//! fault-induced quarantines retire slots underneath them, the tiered
+//! store's retry/fallback path must never surface garbage bytes, and the
+//! breaker/staleness hysteresis state machines must never oscillate on
+//! constant input and must trip monotonically in the failure rate.
 
-use fleche_chaos::{FaultPlan, RetryPolicy};
+use fleche_chaos::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultPlan, RetryPolicy, StalenessConfig,
+    StalenessPolicy,
+};
 use fleche_coding::{FlatKey, FlatKeyCodec, SizeAwareCodec};
 use fleche_core::{CacheAnswer, FlatCache, FlatCacheConfig, FlecheConfig, FlecheSystem};
-use fleche_gpu::{DeviceSpec, DramSpec, Gpu};
+use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
 use fleche_index::EpochGuard;
 use fleche_store::{CpuStore, EmbeddingCacheSystem, RemoteSpec, TieredStore};
 use fleche_workload::{spec, TraceGenerator};
@@ -209,5 +214,169 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Deterministic per-index uniform draw in `[0, 1)` (split-mix hash), so
+/// a higher failure rate fails a strict superset of the indices a lower
+/// rate does — the coupling the monotonicity property relies on.
+fn uniform_at(seed: u64, i: u64) -> f64 {
+    let mut x = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn breaker_config_strategy() -> impl Strategy<Value = BreakerConfig> {
+    (0.1f64..1.0, 2u32..12, 0u32..32, 1u32..5).prop_map(
+        |(failure_threshold, min_samples, extra_window, probes_to_close)| BreakerConfig {
+            failure_threshold,
+            min_samples,
+            window: min_samples + extra_window,
+            cooldown: Ns::from_ms(1.0),
+            probes_to_close,
+        },
+    )
+}
+
+/// Feeds `steps` outcomes where index `i` fails iff `uniform_at(seed, i)
+/// < rate`, returning the index of the breaker's first trip.
+fn first_trip(config: &BreakerConfig, seed: u64, rate: f64, steps: u64) -> Option<u64> {
+    let mut b = CircuitBreaker::new(config.clone());
+    for i in 0..steps {
+        b.record(Ns::from_us(10.0) * i as f64, uniform_at(seed, i) < rate);
+        if b.trips() > 0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A breaker fed only successes never leaves the closed state, no
+    /// matter the tuning: the hysteresis machinery cannot self-trigger.
+    #[test]
+    fn breaker_never_opens_without_failures(
+        config in breaker_config_strategy(),
+        steps in 16u64..400,
+    ) {
+        let mut b = CircuitBreaker::new(config);
+        for i in 0..steps {
+            let now = Ns::from_us(50.0) * i as f64;
+            prop_assert!(b.allow(now), "closed breaker must admit traffic");
+            b.record(now, false);
+        }
+        prop_assert_eq!(b.trips(), 0);
+        let t = b.transitions_at(Ns::from_us(50.0) * steps as f64);
+        prop_assert_eq!((t.opened, t.half_opened, t.closed), (0, 0, 0));
+        prop_assert_eq!(t.time_open, Ns::ZERO);
+    }
+
+    /// A breaker fed only failures trips and never recovers: every
+    /// half-open probe fails and re-opens, so the closed-recovery count
+    /// stays zero — the state machine does not oscillate back through
+    /// closed on a constant failure rate.
+    #[test]
+    fn breaker_never_recloses_under_constant_failure(
+        config in breaker_config_strategy(),
+        steps in 64u64..256,
+        // Gaps straddle the 1ms cooldown so open phases genuinely expire
+        // into half-open probes along the way.
+        gap_us in 200.0f64..2_000.0,
+    ) {
+        let mut b = CircuitBreaker::new(config.clone());
+        for i in 0..steps {
+            let now = Ns::from_us(gap_us) * i as f64;
+            if b.allow(now) {
+                b.record(now, true);
+            }
+        }
+        let t = b.transitions_at(Ns::from_us(gap_us) * steps as f64);
+        prop_assert!(t.opened >= 1, "enough failures must trip the breaker");
+        prop_assert_eq!(t.closed, 0, "probes all fail; the breaker must never re-close");
+        prop_assert_ne!(b.state_at(Ns::from_us(gap_us) * steps as f64), BreakerState::Closed);
+    }
+
+    /// Time-to-first-trip is monotone in the failure rate: on coupled
+    /// outcome streams (a higher rate fails a superset of indices), a
+    /// breaker facing more failures never trips later.
+    #[test]
+    fn breaker_first_trip_is_monotone_in_failure_rate(
+        config in breaker_config_strategy(),
+        seed in any::<u64>(),
+        r1 in 0.0f64..1.0,
+        r2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let steps = 512u64;
+        let at_lo = first_trip(&config, seed, lo, steps);
+        let at_hi = first_trip(&config, seed, hi, steps);
+        if let Some(lo_trip) = at_lo {
+            let hi_trip = at_hi.expect("superset of failures must also trip");
+            prop_assert!(
+                hi_trip <= lo_trip,
+                "rate {hi} tripped at {hi_trip}, after rate {lo} at {lo_trip}"
+            );
+        }
+    }
+
+    /// The staleness policy never oscillates on constant lag: whatever
+    /// the bounds and the lag, an arbitrarily long constant stream causes
+    /// at most one mode transition in total.
+    #[test]
+    fn staleness_policy_constant_lag_transitions_at_most_once(
+        max_lag in 1u64..24,
+        resume_gap in 0u64..24,
+        lag in 0u64..48,
+        steps in 1usize..200,
+    ) {
+        let config = StalenessConfig {
+            max_lag,
+            resume_lag: max_lag.saturating_sub(resume_gap),
+        };
+        let mut p = StalenessPolicy::new(config);
+        for _ in 0..steps {
+            p.observe(lag);
+        }
+        prop_assert!(
+            p.entries() + p.exits() <= 1,
+            "constant lag {lag} oscillated: {} entries, {} exits",
+            p.entries(),
+            p.exits()
+        );
+    }
+
+    /// Inside the hysteresis band (`resume_lag < lag <= max_lag`) the
+    /// mode is frozen: after any warm-up history, in-band observations
+    /// never move the policy in either direction.
+    #[test]
+    fn staleness_policy_holds_state_inside_the_band(
+        max_lag in 2u64..24,
+        resume_gap in 1u64..24,
+        prefix in prop::collection::vec(0u64..48, 0..32),
+        in_band_steps in 1usize..64,
+    ) {
+        let resume_lag = max_lag.saturating_sub(resume_gap);
+        let config = StalenessConfig { max_lag, resume_lag };
+        let mut p = StalenessPolicy::new(config);
+        for lag in prefix {
+            p.observe(lag);
+        }
+        let (entries, exits, degraded) = (p.entries(), p.exits(), p.degraded());
+        // The band is non-empty because resume < max.
+        let band_lag = resume_lag + 1;
+        prop_assert!(band_lag > resume_lag && band_lag <= max_lag);
+        for _ in 0..in_band_steps {
+            prop_assert_eq!(p.observe(band_lag), degraded, "band must not flip the mode");
+        }
+        prop_assert_eq!(p.entries(), entries);
+        prop_assert_eq!(p.exits(), exits);
     }
 }
