@@ -131,6 +131,13 @@ pub fn run(root: &Path, config: &AnalyzerConfig) -> io::Result<Vec<Diagnostic>> 
             Box::new(move |f, l| rules::lock_across_hot_path(f, l, &hot)),
         ));
     }
+    if let Some(r) = config.rule(rules::ids::TARGET_FEATURE_GUARD) {
+        per_file.push((
+            rules::ids::TARGET_FEATURE_GUARD,
+            r,
+            Box::new(rules::target_feature_guard),
+        ));
+    }
     if let Some(r) = config.rule(rules::ids::SLOT_RESOURCE_COVERAGE) {
         let receiver = r
             .settings

@@ -18,6 +18,7 @@
 //! | `condvar-wait-loop` | every `Condvar::wait` must sit inside a `while`/`loop` re-check |
 //! | `lock-across-await-free-hot-path` | no lock guard held across an engine/cache batch call |
 //! | `slot-resource-coverage` | every cache-mutating function declares its slots to the race checker |
+//! | `target-feature-guard` | `#[target_feature]` fns stay file-private and are only called behind `is_x86_feature_detected!` |
 //! | `stale-allow` | every allow entry (inline or config) must still suppress something |
 //!
 //! Rules emit *raw* diagnostics; [`crate::run`] applies inline
@@ -68,6 +69,8 @@ pub mod ids {
     pub const LOCK_ACROSS_HOT_PATH: &str = "lock-across-await-free-hot-path";
     /// Cache-slot mutations must be declared to the race checker.
     pub const SLOT_RESOURCE_COVERAGE: &str = "slot-resource-coverage";
+    /// `#[target_feature]` fns must stay private and guarded.
+    pub const TARGET_FEATURE_GUARD: &str = "target-feature-guard";
     /// Allow entries that no longer suppress anything are themselves
     /// violations.
     pub const STALE_ALLOW: &str = "stale-allow";
@@ -645,6 +648,146 @@ pub fn slot_resource_coverage(
     out
 }
 
+/// `target-feature-guard`: a `#[target_feature(enable = ...)]` function
+/// compiles against an ISA the host may not have, so every call site must
+/// be dominated by a runtime `is_x86_feature_detected!` check — calling
+/// one on a CPU without the feature is immediate undefined behavior, not
+/// a graceful fallback. Token-level analysis is per-file, so the rule
+/// enforces the two properties that keep per-file reasoning sound:
+///
+/// 1. a `#[target_feature]` fn must not be bare-`pub` (restricted forms
+///    like `pub(super)` are fine when the module is file-local): an
+///    exported specialization can be called from files this pass never
+///    correlates with a guard;
+/// 2. any function in the same file that calls a `#[target_feature]` fn
+///    must mention `is_x86_feature_detected` in its body, unless it is
+///    itself a `#[target_feature]` fn (same-ISA calls need no re-check).
+///
+/// Test modules are *not* exempt here — a test calling an AVX2 fn
+/// unguarded SIGILLs the suite on older hardware just as surely.
+pub fn target_feature_guard(file: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    // Pass 1: collect every `#[target_feature]` fn — its name, whether it
+    // is exported, and the token index of its `fn` keyword (so pass 2 can
+    // skip those bodies).
+    let mut tf_names: Vec<String> = Vec::new();
+    let mut tf_fn_tokens: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_attr = tokens[i].text == "target_feature"
+            && i >= 2
+            && tokens[i - 1].text == "["
+            && tokens[i - 2].text == "#";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Walk the rest of the item header (attributes stack) for the
+        // visibility and the `fn` name.
+        let mut is_pub = false;
+        let mut j = i + 1;
+        let mut name_idx: Option<usize> = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "pub" => {
+                    // `pub(super)` / `pub(crate)` keep the fn inside the
+                    // module tree this file defines; bare `pub` does not.
+                    if !tokens.get(j + 1).is_some_and(|n| n.text == "(") {
+                        is_pub = true;
+                    }
+                    j += 1;
+                }
+                "fn" => {
+                    name_idx = Some(j + 1);
+                    break;
+                }
+                "{" | "}" | ";" => break,
+                _ => j += 1,
+            }
+        }
+        let Some(ni) = name_idx else {
+            i += 1;
+            continue;
+        };
+        let name = tokens[ni].text.clone();
+        if is_pub {
+            push(
+                &mut out,
+                ids::TARGET_FEATURE_GUARD,
+                file,
+                tokens[ni].line,
+                format!(
+                    "`#[target_feature]` fn `{name}` is exported as `pub`: callers \
+                     in other files can bypass the CPU-feature guard; keep \
+                     feature-specialized fns file-private behind a detecting \
+                     dispatcher"
+                ),
+            );
+        }
+        tf_names.push(name);
+        tf_fn_tokens.push(ni - 1);
+        i = ni + 1;
+    }
+    if tf_names.is_empty() {
+        return out;
+    }
+    // Pass 2: every other fn body that calls a `#[target_feature]` fn
+    // must consult the runtime feature check somewhere in that body.
+    let mut m = 0usize;
+    while m < tokens.len() {
+        if tokens[m].text != "fn" || tf_fn_tokens.contains(&m) {
+            m += 1;
+            continue;
+        }
+        let mut k = m + 1;
+        while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+            k += 1;
+        }
+        if k >= tokens.len() || tokens[k].text == ";" {
+            m = k + 1;
+            continue;
+        }
+        let close_depth = tokens[k].depth + 1;
+        let mut end = k + 1;
+        let mut guarded = false;
+        let mut calls: Vec<(u32, String)> = Vec::new();
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.text == "}" && t.depth == close_depth {
+                break;
+            }
+            if t.kind == TokenKind::Ident {
+                if t.text == "is_x86_feature_detected" {
+                    guarded = true;
+                } else if tf_names.contains(&t.text)
+                    && tokens.get(end + 1).is_some_and(|n| n.text == "(")
+                {
+                    calls.push((t.line, t.text.clone()));
+                }
+            }
+            end += 1;
+        }
+        if !guarded {
+            for (line, name) in calls {
+                push(
+                    &mut out,
+                    ids::TARGET_FEATURE_GUARD,
+                    file,
+                    line,
+                    format!(
+                        "`{name}(..)` is a `#[target_feature]` fn, but the calling \
+                         function never checks `is_x86_feature_detected!`: on a \
+                         CPU without the feature this call is undefined behavior"
+                    ),
+                );
+            }
+        }
+        m = end + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +980,44 @@ mod tests {
         assert!(
             slot_resource_coverage("x.rs", &lex(other), "cache", &mutators, &markers).is_empty()
         );
+    }
+
+    #[test]
+    fn exported_target_feature_fn_is_flagged() {
+        let src = "#[target_feature(enable = \"avx2\")]\npub fn dot_avx2(a: &[f32]) -> f32 { 0.0 }";
+        let d = target_feature_guard("x.rs", &lex(src));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("dot_avx2"));
+        assert!(d[0].message.contains("pub"));
+        // Restricted visibility keeps the fn inside this file's module
+        // tree, so the dispatcher correlation below still sees every call.
+        let ok = "#[target_feature(enable = \"avx2\")]\npub(super) fn dot_avx2(a: &[f32]) -> f32 { 0.0 }";
+        assert!(target_feature_guard("x.rs", &lex(ok)).is_empty());
+    }
+
+    #[test]
+    fn unguarded_target_feature_call_is_flagged() {
+        let tf = "#[target_feature(enable = \"avx2\")]\nfn dot_avx2(a: &[f32]) -> f32 { 0.0 }\n";
+        // No runtime check anywhere in the calling fn: flagged.
+        let bad = format!("{tf}fn dot(a: &[f32]) -> f32 {{ dot_avx2(a) }}");
+        let d = target_feature_guard("x.rs", &lex(&bad));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("dot_avx2"));
+        assert!(d[0].message.contains("is_x86_feature_detected"));
+        // The dispatcher shape: detected -> specialized, else portable.
+        let ok = format!(
+            "{tf}fn dot(a: &[f32]) -> f32 {{ if std::arch::is_x86_feature_detected!(\"avx2\") {{ return dot_avx2(a); }} 0.0 }}"
+        );
+        assert!(target_feature_guard("x.rs", &lex(&ok)).is_empty());
+        // A target-feature fn calling another needs no re-check: the
+        // caller already only runs once the feature is proven.
+        let tf_to_tf = format!(
+            "{tf}#[target_feature(enable = \"avx2\")]\nfn sum_avx2(a: &[f32]) -> f32 {{ dot_avx2(a) }}"
+        );
+        assert!(target_feature_guard("x.rs", &lex(&tf_to_tf)).is_empty());
+        // Mentioning the name without calling it (e.g. docs) is fine.
+        let mention = format!("{tf}fn dot(a: &[f32]) -> f32 {{ let _ = \"dot_avx2\"; 0.0 }}");
+        assert!(target_feature_guard("x.rs", &lex(&mention)).is_empty());
     }
 
     #[test]

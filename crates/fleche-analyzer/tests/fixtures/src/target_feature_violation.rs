@@ -1,0 +1,33 @@
+//! Seeded `target-feature-guard` violations: one exported specialization
+//! and one unguarded call, plus the three shapes that must stay clean
+//! (guarded dispatch, tf-to-tf call, restricted visibility).
+
+#[target_feature(enable = "avx2")]
+pub fn exported_specialization(a: &[f32]) -> f32 {
+    // VIOLATION: bare `pub` exports the specialization past this file.
+    a[0]
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn dot_avx2(a: &[f32]) -> f32 {
+    a.iter().sum()
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn sum_avx2(a: &[f32]) -> f32 {
+    // Clean: a target-feature fn calling a sibling needs no re-check.
+    dot_avx2(a)
+}
+
+pub fn unguarded(a: &[f32]) -> f32 {
+    // VIOLATION: no runtime feature check dominates this call.
+    dot_avx2(a)
+}
+
+pub fn dispatched(a: &[f32]) -> f32 {
+    // Clean: the call only runs once the feature is proven present.
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return sum_avx2(a);
+    }
+    a.iter().sum()
+}

@@ -98,9 +98,9 @@ impl ReductionCache {
             return e.value.clone();
         }
         self.stats.group_misses += 1;
-        let rows: Vec<Vec<f32>> = ids.iter().map(|&id| store.read(table, id)).collect();
-        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-        let value = self.pooling.reduce(&refs);
+        // Streaming gather: one reused scratch row instead of a Vec per
+        // id (the per-row allocations used to dominate this miss path).
+        let value = store.pooled(table, ids, self.pooling);
         if self.entries.len() >= self.capacity_groups {
             self.evict_coldest();
         }

@@ -17,7 +17,7 @@
 
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use fleche_baseline::ReductionCache;
-use fleche_bench::{print_header, quick_mode, write_bench_json, JsonEmitter};
+use fleche_bench::{emit_host, print_header, quick_mode, write_bench_json, JsonEmitter};
 use fleche_coding::{FixedLenCodec, FlatKeyCodec, SizeAwareCodec};
 use fleche_core::checksum_of;
 use fleche_gpu::DramSpec;
@@ -34,6 +34,35 @@ fn bench_pooled_reduction(c: &mut Criterion) {
     g.bench_function("pooled_64ids_32d", |b| {
         let mut cache = ReductionCache::new(0, Pooling::Sum);
         b.iter(|| black_box(cache.pooled(&store, 0, &ids)));
+    });
+    // The gather pair bench_gate compares: the pre-vectorization shape
+    // (materialize every row via the scalar fill, then a naive element
+    // loop) vs the streaming blocked gather the miss path uses now. The
+    // scalar side uses `embedding_value_portable` so it measures what the
+    // code actually did before this optimization — `store.read` itself
+    // now dispatches the vectorized fill.
+    let dim = store.dim(0) as usize;
+    g.bench_function("gather_scalar_64ids_32d", |b| {
+        b.iter(|| {
+            let rows: Vec<Vec<f32>> = ids
+                .iter()
+                .map(|&id| {
+                    let mut row = vec![0.0f32; dim];
+                    fleche_store::embedding_value_portable(0, id, &mut row);
+                    row
+                })
+                .collect();
+            let mut acc = vec![0.0f32; rows[0].len()];
+            for row in &rows {
+                for (a, &r) in acc.iter_mut().zip(row) {
+                    *a += r;
+                }
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("gather_64ids_32d", |b| {
+        b.iter(|| black_box(store.pooled(0, &ids, Pooling::Sum)));
     });
     g.finish();
 }
@@ -67,6 +96,34 @@ fn bench_checksum(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("write_fused", dim), &value, |b, v| {
             b.iter(|| black_box(pool.write_with_checksum(0, slot, v).expect("live").0));
         });
+        // The batch pair bench_gate compares: 64 slots checksummed one
+        // serial FNV chain at a time vs four interleaved chains
+        // (fleche_index::fnv1a_batch). Per-slot values are identical; only
+        // the instruction-level parallelism differs.
+        let slots: Vec<Vec<f32>> = (0..64u32)
+            .map(|s| {
+                (0..dim)
+                    .map(|i| (s * 31 + i as u32) as f32 * 0.25)
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[f32]> = slots.iter().map(Vec::as_slice).collect();
+        g.bench_with_input(BenchmarkId::new("batch64_scalar", dim), &views, |b, vs| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for v in vs {
+                    acc ^= checksum_of(v);
+                }
+                black_box(acc)
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("batch64_interleaved", dim),
+            &views,
+            |b, vs| {
+                b.iter(|| black_box(fleche_index::fnv1a_batch(vs)));
+            },
+        );
     }
     g.finish();
 }
@@ -124,6 +181,82 @@ fn bench_codec(c: &mut Criterion) {
             black_box(hits)
         });
     });
+    // The batch pairs bench_gate compares: per-key encode (table layout
+    // re-resolved every key) vs encode_batch (resolved once per table),
+    // over the same per-table feature runs the system's grouping loop
+    // produces; and per-key decode vs decode_batch over the same keys.
+    let feats: Vec<Vec<u64>> = (0..4)
+        .map(|t| (0..n / 4).map(|f| (f * 4 + t) % 1_000).collect())
+        .collect();
+    // Both twins materialize the per-table key vectors (the system's
+    // grouping loop does), so the pair isolates what batching changes —
+    // per-key vs hoisted table resolution — not materialization cost.
+    g.bench_function("fixed_encode_scalar", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (t, fs) in feats.iter().enumerate() {
+                let keys: Vec<_> = fs.iter().map(|&f| fixed.encode(t as u16, f)).collect();
+                total += black_box(&keys).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("fixed_encode_batch", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (t, fs) in feats.iter().enumerate() {
+                let keys = fixed.encode_batch(t as u16, fs);
+                total += black_box(&keys).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("size_aware_encode_scalar", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (t, fs) in feats.iter().enumerate() {
+                let keys: Vec<_> = fs.iter().map(|&f| aware.encode(t as u16, f)).collect();
+                total += black_box(&keys).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("size_aware_encode_batch", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (t, fs) in feats.iter().enumerate() {
+                let keys = aware.encode_batch(t as u16, fs);
+                total += black_box(&keys).len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("fixed_decode_batch", |b| {
+        let keys: Vec<_> = (0..n)
+            .map(|f| fixed.encode((f % 4) as u16, f % 1_000))
+            .collect();
+        b.iter(|| {
+            let hits = fixed
+                .decode_batch(&keys)
+                .iter()
+                .filter(|d| d.is_some())
+                .count();
+            black_box(hits)
+        });
+    });
+    g.bench_function("size_aware_decode_batch", |b| {
+        let keys: Vec<_> = (0..n)
+            .map(|f| aware.encode((f % 4) as u16, f % 1_000))
+            .collect();
+        b.iter(|| {
+            let hits = aware
+                .decode_batch(&keys)
+                .iter()
+                .filter(|d| d.is_some())
+                .count();
+            black_box(hits)
+        });
+    });
     g.finish();
 }
 
@@ -171,6 +304,32 @@ fn bench_slab_probe(c: &mut Criterion) {
             black_box(found)
         });
     });
+    // The probe pair bench_gate compares: the per-key walk above vs
+    // lookup_batch, which groups the probes by bucket before walking so
+    // the slab directory is touched in sorted order.
+    g.bench_with_input(BenchmarkId::new("lookup_batch", n), &n, |b, &n| {
+        let mut h = SlabHash::for_capacity(n);
+        for k in 0..n as u64 {
+            h.insert(
+                k + 1,
+                Loc::Hbm {
+                    class: 0,
+                    slot: k as u32,
+                }
+                .pack(),
+                0,
+            );
+        }
+        let keys: Vec<u64> = (1..=n as u64).collect();
+        b.iter(|| {
+            let found = h
+                .lookup_batch(&keys, Some(1))
+                .iter()
+                .filter(|(loc, _)| loc.is_some())
+                .count();
+            black_box(found)
+        });
+    });
     g.finish();
 }
 
@@ -195,6 +354,7 @@ fn main() {
         "wall-clock microbenches; all timings are machine-dependent",
     );
     j.field_bool("quick", quick_mode());
+    emit_host(&mut j);
     j.begin_arr("benches");
     for r in c.results() {
         j.begin_elem();

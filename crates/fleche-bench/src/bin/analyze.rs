@@ -32,7 +32,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fleche_bench::{print_header, quick_mode, write_bench_json, JsonEmitter};
+use fleche_bench::{emit_host, print_header, quick_mode, write_bench_json, JsonEmitter};
 use fleche_core::{FlecheConfig, FlecheSystem};
 use fleche_gpu::{slot_resource, DeviceSpec, DramSpec, Gpu, KernelDesc, KernelWork};
 use fleche_store::api::EmbeddingCacheSystem;
@@ -207,6 +207,7 @@ fn run_verify_phase() -> Result<(), String> {
     let report = fleche_verify::run_all(&config);
 
     let mut j = JsonEmitter::new();
+    emit_host(&mut j);
     j.begin_arr("properties");
     for p in &report.properties {
         let pruned = p.stats.memo_hits + p.stats.sleep_skips;

@@ -25,7 +25,9 @@
 //! conflicting slot accesses is unordered — the determinism scenario
 //! doubles as a race-freedom regression test in CI.
 
-use fleche_bench::{fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
+use fleche_bench::{
+    emit_host, fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable,
+};
 use fleche_chaos::{BreakerConfig, BreakerTransitions, FaultPlan, RetryPolicy};
 use fleche_core::{FlecheConfig, FlecheSystem};
 use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
@@ -369,6 +371,7 @@ fn main() {
     );
     let mut j = JsonEmitter::new();
     j.field_str("bench", "chaos_suite");
+    emit_host(&mut j);
     j.field_bool("quick", quick_mode());
     j.begin_arr("cells");
     for (rate, label, r) in &all_cells {

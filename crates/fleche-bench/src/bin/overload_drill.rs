@@ -38,7 +38,8 @@
 //! the run (exit 1) on any unordered conflicting pair.
 
 use fleche_bench::{
-    concat_dim, fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable,
+    concat_dim, emit_host, fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter,
+    TextTable,
 };
 use fleche_chaos::FlashCrowdSpec;
 use fleche_core::{FlecheConfig, FlecheSystem, TenantCacheStats};
@@ -430,6 +431,7 @@ fn emit_tenant_json(j: &mut JsonEmitter, run: &MultiTenantRun) {
 fn emit_json(a: &FlashCrowdReport, b: &DiurnalReport, c: &OverloadReport) {
     let mut j = JsonEmitter::new();
     j.field_str("bench", "overload_drill");
+    emit_host(&mut j);
     j.field_bool("quick", quick_mode());
 
     j.begin_obj("drill_a");

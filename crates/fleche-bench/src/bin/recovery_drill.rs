@@ -29,7 +29,9 @@
 //! re-warms all declare their slot accesses) and fails the run (exit 1)
 //! if any conflicting pair is unordered.
 
-use fleche_bench::{fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
+use fleche_bench::{
+    emit_host, fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable,
+};
 use fleche_chaos::{DeviceLossSpec, FaultPlan};
 use fleche_core::{CacheSnapshot, FlecheConfig, FlecheSystem, InterconnectSpec, MultiGpuFleche};
 use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
@@ -521,6 +523,7 @@ fn main() {
 
     let mut j = JsonEmitter::new();
     j.field_str("bench", "recovery_drill");
+    emit_host(&mut j);
     j.field_bool("quick", quick_mode());
     j.begin_obj("drill_a");
     j.field_f64("steady_hit_rate", a.steady_hit);

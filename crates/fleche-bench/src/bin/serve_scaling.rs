@@ -22,7 +22,7 @@
 //! prints to stderr only. Run:
 //! `cargo run --release -p fleche-bench --bin serve_scaling [--quick] [--analyze]`
 
-use fleche_bench::{print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
+use fleche_bench::{emit_host, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
 use fleche_chaos::OverloadSpec;
 use fleche_core::{FlecheConfig, FlecheSystem};
 use fleche_gpu::{declare_pipeline_handoffs, DeviceSpec, DramSpec, Gpu, Ns, RaceChecker};
@@ -412,6 +412,7 @@ fn main() {
     print_header("serve_scaling: pipelined multi-worker serving front-end");
     let mut j = JsonEmitter::new();
     j.field_str("experiment", "serve_scaling");
+    emit_host(&mut j);
     j.field_bool("quick", quick_mode());
     j.field_str(
         "note",

@@ -42,7 +42,9 @@
 
 use std::collections::BTreeMap;
 
-use fleche_bench::{fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable};
+use fleche_bench::{
+    emit_host, fmt_ns, print_header, quick_mode, write_bench_json, JsonEmitter, TextTable,
+};
 use fleche_chaos::{DeviceLossSpec, FaultPlan, StalenessConfig, UpdateFaultSpec};
 use fleche_core::{FlecheConfig, FlecheSystem, InterconnectSpec, MultiGpuFleche, StalenessStats};
 use fleche_gpu::{DeviceSpec, DramSpec, Gpu, Ns};
@@ -548,6 +550,7 @@ fn drill_outage(analyze: bool) -> OutageReport {
 fn emit_json(a: &RaceReport, b: &DeltaRewarmReport, c: &OutageReport) {
     let mut j = JsonEmitter::new();
     j.field_str("bench", "update_drill");
+    emit_host(&mut j);
     j.field_bool("quick", quick_mode());
 
     j.begin_obj("drill_a");

@@ -383,6 +383,79 @@ impl JsonEmitter {
     }
 }
 
+/// The host CPU model string, read from `/proc/cpuinfo` (first
+/// `model name` line). Falls back to `"unknown"` off-Linux or when the
+/// file is unreadable.
+pub fn host_cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, v)) = rest.split_once(':') {
+                    return v.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+/// The x86 SIMD feature sets detected at runtime, comma-joined (empty on
+/// other architectures). Only features the hot paths could care about are
+/// probed, so the string stays short and stable.
+pub fn host_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats: Vec<&str> = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            feats.push("sse4.2");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        feats.join(",")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        String::new()
+    }
+}
+
+/// A stable identifier for "the machine these numbers were measured on":
+/// CPU model + detected features + architecture. `bench_gate` only
+/// compares wall-clock rates between reports whose fingerprints match —
+/// cross-machine comparisons are meaningless. Deliberately excludes the
+/// quick-mode flag (quick runs shrink sweeps, not the machine).
+pub fn host_fingerprint() -> String {
+    format!(
+        "{}|{}|{}",
+        host_cpu_model(),
+        host_features(),
+        std::env::consts::ARCH
+    )
+}
+
+/// Stamps the standard `host` block into a report: CPU model, detected
+/// SIMD features, the dispatch level the hot paths actually selected,
+/// architecture, the comparison fingerprint, and whether this was a
+/// `--quick` run. Every `BENCH_*.json` carries this so wall-clock numbers
+/// are never read without knowing the machine behind them.
+pub fn emit_host(j: &mut JsonEmitter) {
+    j.begin_obj("host");
+    j.field_str("cpu", &host_cpu_model());
+    j.field_str("features", &host_features());
+    j.field_str("simd_level", fleche_simd::simd_level());
+    j.field_str("arch", std::env::consts::ARCH);
+    j.field_str("fingerprint", &host_fingerprint());
+    j.field_bool("quick", quick_mode());
+    j.end_obj();
+}
+
 /// Writes a `BENCH_*.json` report into `results/`, creating the directory
 /// when missing, and prints the canonical `wrote <path>` line (which is
 /// part of the drill's determinism-diffed stdout).
@@ -494,6 +567,27 @@ mod tests {
         j.field_u64("x", 1);
         let s = j.finish();
         assert_eq!(s, "{\"note\":\"a \\\"b\\\" \\\\ c\",\"open\":{\"x\":1}}\n");
+    }
+
+    #[test]
+    fn host_block_shape() {
+        let mut j = JsonEmitter::new();
+        emit_host(&mut j);
+        let s = j.finish();
+        for key in [
+            "\"host\":{",
+            "\"cpu\":",
+            "\"features\":",
+            "\"simd_level\":",
+            "\"arch\":",
+            "\"fingerprint\":",
+            "\"quick\":",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+        // The fingerprint is stable within a process and embeds the arch.
+        assert_eq!(host_fingerprint(), host_fingerprint());
+        assert!(host_fingerprint().ends_with(std::env::consts::ARCH));
     }
 
     #[test]

@@ -54,19 +54,38 @@ pub trait FlatKeyCodec {
     /// Encodes a feature of a table into a flat key. Lossy when the
     /// table's feature space is smaller than its corpus.
     fn encode(&self, table: u16, feature: u64) -> FlatKey {
+        encode_with(self.table_code(table), feature)
+    }
+
+    /// Encodes many features of one table, resolving the [`TableCode`]
+    /// once instead of per key. `out[i]` is identical to
+    /// `self.encode(table, features[i])` (both go through the same
+    /// [`encode_with`] kernel).
+    fn encode_batch(&self, table: u16, features: &[u64]) -> Vec<FlatKey> {
         let tc = self.table_code(table);
-        let slot = if tc.lossless {
-            debug_assert!(feature < tc.feature_space);
-            feature
-        } else {
-            // Multiplicative hash into the available range.
-            let h = feature
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .rotate_left(31)
-                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            h % tc.feature_space.max(1)
-        };
-        FlatKey((tc.prefix << tc.feature_bits) + tc.offset + slot)
+        features.iter().map(|&f| encode_with(tc, f)).collect()
+    }
+
+    /// Encodes a mixed-table `(table, feature)` stream, memoizing the
+    /// last table's [`TableCode`] — the fill path feeds this runs of
+    /// same-table keys, so most lookups hit the memo. Identical output
+    /// to encoding each pair individually.
+    fn encode_pairs(&self, pairs: &[(u16, u64)]) -> Vec<FlatKey> {
+        let mut memo: Option<(u16, TableCode)> = None;
+        pairs
+            .iter()
+            .map(|&(t, f)| {
+                let tc = match memo {
+                    Some((mt, tc)) if mt == t => tc,
+                    _ => {
+                        let tc = self.table_code(t);
+                        memo = Some((t, tc));
+                        tc
+                    }
+                };
+                encode_with(tc, f)
+            })
+            .collect()
     }
 
     /// Recovers `(table, feature)` from a flat key, when unambiguous: the
@@ -89,6 +108,33 @@ pub trait FlatKeyCodec {
         None
     }
 
+    /// Decodes many keys, resolving every table's range `[base, base +
+    /// feature_space)` once up front instead of per key. `out[i]` is
+    /// identical to `self.decode(keys[i])` — same first-matching-table
+    /// scan order, same lossless/lossy outcomes.
+    fn decode_batch(&self, keys: &[FlatKey]) -> Vec<Option<(u16, u64)>> {
+        let ranges: Vec<(u64, u64, bool)> = (0..self.table_count() as u16)
+            .map(|t| {
+                let tc = self.table_code(t);
+                let base = (tc.prefix << tc.feature_bits) + tc.offset;
+                (base, tc.feature_space, tc.lossless)
+            })
+            .collect();
+        keys.iter()
+            .map(|&key| {
+                for (t, &(base, space, lossless)) in ranges.iter().enumerate() {
+                    if key.0 >= base && key.0 < base + space {
+                        if lossless {
+                            return Some((t as u16, key.0 - base));
+                        }
+                        return None;
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+
     /// Expected fraction of this table's features that share a flat key
     /// with another feature of the same table (birthday estimate; exact 0
     /// for lossless tables).
@@ -102,6 +148,25 @@ pub trait FlatKeyCodec {
         // P(another of the c-1 features hashes to my slot).
         1.0 - (1.0 - 1.0 / s).powf(c - 1.0)
     }
+}
+
+/// The shared encode kernel: one [`TableCode`] resolution's worth of
+/// work. Both the per-key [`FlatKeyCodec::encode`] and the batch entry
+/// points call this, so batching can never change a key.
+#[inline]
+pub fn encode_with(tc: TableCode, feature: u64) -> FlatKey {
+    let slot = if tc.lossless {
+        debug_assert!(feature < tc.feature_space);
+        feature
+    } else {
+        // Multiplicative hash into the available range.
+        let h = feature
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h % tc.feature_space.max(1)
+    };
+    FlatKey((tc.prefix << tc.feature_bits) + tc.offset + slot)
 }
 
 /// The fixed-length baseline: `table_bits` high bits of table ID, the rest

@@ -22,5 +22,5 @@ pub mod codec;
 pub mod size_aware;
 
 pub use analysis::{measure_collisions, CollisionReport};
-pub use codec::{FixedLenCodec, FlatKey, FlatKeyCodec, TableCode};
+pub use codec::{encode_with, FixedLenCodec, FlatKey, FlatKeyCodec, TableCode};
 pub use size_aware::SizeAwareCodec;

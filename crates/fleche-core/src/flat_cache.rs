@@ -401,6 +401,37 @@ impl FlatCache {
             .unwrap_or(false)
     }
 
+    /// Batch form of [`FlatCache::verify_hit`]: gathers every slot's
+    /// readable payload first, then checksums them all in one
+    /// [`fleche_index::fnv1a_batch`] pass (four interleaved FNV-1a
+    /// chains). `out[i]` is identical to `verify_hit(slots[i])` — same
+    /// per-slot hash, same missing-record/unreadable-slot outcomes.
+    pub fn verify_hits(&self, slots: &[(u16, u32)]) -> Vec<bool> {
+        let Some(map) = &self.checksums else {
+            return vec![true; slots.len()];
+        };
+        let mut out = vec![true; slots.len()];
+        let mut views: Vec<&[f32]> = Vec::with_capacity(slots.len());
+        let mut pending: Vec<(usize, u32)> = Vec::with_capacity(slots.len());
+        for (i, &(class, slot)) in slots.iter().enumerate() {
+            let Some(&expected) = map.get(&(class, slot)) else {
+                continue; // no record: passes, as in verify_hit
+            };
+            match self.pool.read_during_grace(class, slot) {
+                Ok(v) => {
+                    views.push(v);
+                    pending.push((i, expected));
+                }
+                Err(_) => out[i] = false,
+            }
+        }
+        let sums = fleche_index::fnv1a_batch(&views);
+        for (&(i, expected), got) in pending.iter().zip(sums) {
+            out[i] = got == expected;
+        }
+        out
+    }
+
     /// Quarantines a corrupt entry: removes it from the index and retires
     /// its slot so the bad bytes are never served again. The caller
     /// refetches the key from the miss backend.
@@ -512,6 +543,26 @@ impl FlatCache {
             None => CacheAnswer::Miss,
         };
         (answer, stats)
+    }
+
+    /// Looks up a batch of flat keys via the index's batched probe walk
+    /// (bucket-grouped for locality on the slab-hash backend). Answers
+    /// and per-key [`ProbeStats`] come back in input order, identical to
+    /// calling [`FlatCache::lookup`] per key.
+    pub fn lookup_batch(&mut self, keys: &[FlatKey], stamp: u32) -> Vec<(CacheAnswer, ProbeStats)> {
+        let raw: Vec<u64> = keys.iter().map(|k| k.0).collect();
+        self.index
+            .lookup_batch(&raw, Some(stamp))
+            .into_iter()
+            .map(|(found, stats)| {
+                let answer = match found.map(PackedLoc::unpack) {
+                    Some(Loc::Hbm { class, slot }) => CacheAnswer::Hit { class, slot },
+                    Some(Loc::Dram { .. }) => CacheAnswer::UnifiedHit,
+                    None => CacheAnswer::Miss,
+                };
+                (answer, stats)
+            })
+            .collect()
     }
 
     /// Reads the embedding behind a [`CacheAnswer::Hit`]. Valid during the

@@ -868,9 +868,13 @@ impl FlecheSystem {
         let mut answers = vec![CacheAnswer::Miss; total];
         let mut per_table = Vec::with_capacity(groups.len());
         for (_, group) in groups {
+            // One batched probe walk per table group (bucket-grouped in
+            // the slab-hash backend); per-key answers and stats are
+            // identical to looking keys up one at a time.
+            let keys: Vec<FlatKey> = group.iter().map(|&(_, key)| key).collect();
+            let results = self.cache.lookup_batch(&keys, self.clock);
             let mut stats = ProbeStats::new();
-            for &(pos, key) in group {
-                let (ans, s) = self.cache.lookup(key, self.clock);
+            for (&(pos, _), (ans, s)) in group.iter().zip(results) {
                 stats.merge(&s);
                 answers[pos] = ans;
             }
@@ -958,16 +962,21 @@ impl FlecheSystem {
             Ns(unique.len() as f64 * ENCODE_NS_PER_KEY + self.n_tables as f64 * 50.0),
         );
         // Group unique keys by table, remembering each key's position in
-        // the unique list.
+        // the unique list; each table's run is encoded in one batch so the
+        // codec resolves its layout once per table rather than per key.
         let mut groups: Vec<(u16, Vec<(usize, FlatKey)>)> = Vec::new();
         {
-            let mut by_table: Vec<Vec<(usize, FlatKey)>> = vec![Vec::new(); self.n_tables];
+            let mut by_table: Vec<(Vec<usize>, Vec<u64>)> =
+                vec![(Vec::new(), Vec::new()); self.n_tables];
             for (pos, &(t, f)) in unique.iter().enumerate() {
-                by_table[t as usize].push((pos, self.codec.encode(t, f)));
+                let (positions, feats) = &mut by_table[t as usize];
+                positions.push(pos);
+                feats.push(f);
             }
-            for (t, g) in by_table.into_iter().enumerate() {
-                if !g.is_empty() {
-                    groups.push((t as u16, g));
+            for (t, (positions, feats)) in by_table.into_iter().enumerate() {
+                if !positions.is_empty() {
+                    let keys = self.codec.encode_batch(t as u16, &feats);
+                    groups.push((t as u16, positions.into_iter().zip(keys).collect()));
                 }
             }
         }
@@ -979,14 +988,24 @@ impl FlecheSystem {
         // to misses so the DRAM refill below serves clean bytes instead.
         let mut corrupt_detected = 0u64;
         if self.config.checksums {
-            for (pos, ans) in answers.iter_mut().enumerate() {
-                if let CacheAnswer::Hit { class, slot } = *ans {
-                    if !self.cache.verify_hit(class, slot) {
-                        let (t, f) = unique[pos];
-                        self.cache.quarantine(self.codec.encode(t, f), class, slot);
-                        corrupt_detected += 1;
-                        *ans = CacheAnswer::Miss;
-                    }
+            // Verify every HBM hit in one batched pass (interleaved FNV
+            // streams); quarantine order matches the old per-hit loop.
+            let hits: Vec<(usize, u16, u32)> = answers
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, ans)| match *ans {
+                    CacheAnswer::Hit { class, slot } => Some((pos, class, slot)),
+                    _ => None,
+                })
+                .collect();
+            let slots: Vec<(u16, u32)> = hits.iter().map(|&(_, c, s)| (c, s)).collect();
+            let verdicts = self.cache.verify_hits(&slots);
+            for (&(pos, class, slot), ok) in hits.iter().zip(verdicts) {
+                if !ok {
+                    let (t, f) = unique[pos];
+                    self.cache.quarantine(self.codec.encode(t, f), class, slot);
+                    corrupt_detected += 1;
+                    answers[pos] = CacheAnswer::Miss;
                 }
             }
         }
@@ -1248,6 +1267,15 @@ impl FlecheSystem {
         let mut insert_stats = ProbeStats::new();
         let mut admitted: u64 = 0;
         let mut admitted_slots: Vec<(u16, u32)> = Vec::new();
+        // Encode every fill key up front; the list arrives grouped by
+        // table, so the pair encoder's table-code memo hits on almost
+        // every key.
+        let fill_pairs: Vec<(u16, u64)> = full_miss_keys
+            .iter()
+            .chain(&unified_keys)
+            .copied()
+            .collect();
+        let fill_keys = self.codec.encode_pairs(&fill_pairs);
         for (i, (&(t, f), row)) in full_miss_keys
             .iter()
             .zip(&miss_rows)
@@ -1257,7 +1285,7 @@ impl FlecheSystem {
             if i < full_miss_keys.len() && unfetched.binary_search(&i).is_ok() {
                 continue;
             }
-            let key = self.codec.encode(t, f);
+            let key = fill_keys[i];
             if self.cache.admit() {
                 let (loc, s) = self.cache.insert_value(t, key, row, self.clock);
                 insert_stats.merge(&s);

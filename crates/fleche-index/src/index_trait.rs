@@ -38,6 +38,19 @@ pub trait GpuIndex: Send + std::fmt::Debug {
     /// Looks up `key`; bumps its timestamp to `touch` on a hit.
     fn lookup(&mut self, key: u64, touch: Option<u32>) -> (Option<PackedLoc>, ProbeStats);
 
+    /// Looks up a batch of keys, returning results and per-key
+    /// [`ProbeStats`] in input order. Must be observably identical to
+    /// calling [`GpuIndex::lookup`] once per key in input order — the
+    /// default does exactly that; implementations may override with a
+    /// locality-aware walk (see `SlabHash::lookup_batch`).
+    fn lookup_batch(
+        &mut self,
+        keys: &[u64],
+        touch: Option<u32>,
+    ) -> Vec<(Option<PackedLoc>, ProbeStats)> {
+        keys.iter().map(|&k| self.lookup(k, touch)).collect()
+    }
+
     /// Read-only lookup without instrumentation or timestamp updates.
     fn peek(&self, key: u64) -> Option<PackedLoc>;
 

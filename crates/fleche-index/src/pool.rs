@@ -24,6 +24,14 @@ pub fn fnv1a_of(value: &[f32]) -> u32 {
     h
 }
 
+/// Checksums many slots per pass. `out[i]` is bit-identical to
+/// `fnv1a_of(values[i])`; the win is batch-level — FNV-1a is a serial
+/// multiply chain per slot, so the kernel streams four interleaved slot
+/// chains to keep the multiplier busy (see fleche-simd's crate docs).
+pub fn fnv1a_batch(values: &[&[f32]]) -> Vec<u32> {
+    fleche_simd::checksum_batch(values)
+}
+
 /// Error type for pool operations.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PoolError {

@@ -144,16 +144,21 @@ impl DenseModel {
     ///
     /// Panics if `input.len() != input_dim`.
     pub fn forward(&self, input: &[f32]) -> f32 {
+        // Every dot product below uses `fleche_simd::dot` — the
+        // canonical blocked reduction order (8 accumulator lanes + fixed
+        // combine tree), bit-identical across SIMD dispatch paths. The
+        // weight row is materialized into one reused scratch buffer so
+        // the GEMV inner loop streams two dense slices.
         assert_eq!(input.len(), self.input_dim as usize, "input width mismatch");
+        let mut wrow = vec![0.0f32; input.len()];
         // Cross layers: x_{k+1} = x0 * (w_k . x_k) + b_k + x_k
         let x0 = input.to_vec();
         let mut x = input.to_vec();
         for l in 0..self.cross_layers {
-            let wx: f32 = x
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| v * self.weight(l, 0, i as u32))
-                .sum();
+            for (i, w) in wrow.iter_mut().enumerate() {
+                *w = self.weight(l, 0, i as u32);
+            }
+            let wx = fleche_simd::dot(&x, &wrow);
             let b = self.weight(l, 1, 0);
             for i in 0..x.len() {
                 x[i] += x0[i] * wx + b;
@@ -164,21 +169,21 @@ impl DenseModel {
         let mut cur = x;
         for &h in &self.hidden {
             let mut next = vec![0.0f32; h as usize];
+            wrow.resize(cur.len(), 0.0);
             for (j, n) in next.iter_mut().enumerate() {
-                let mut acc = 0.0f32;
-                for (i, &v) in cur.iter().enumerate() {
-                    acc += v * self.weight(layer_idx, j as u32, i as u32);
+                for (i, w) in wrow.iter_mut().enumerate() {
+                    *w = self.weight(layer_idx, j as u32, i as u32);
                 }
-                *n = acc.max(0.0);
+                *n = fleche_simd::dot(&cur, &wrow).max(0.0);
             }
             cur = next;
             layer_idx += 1;
         }
-        let logit: f32 = cur
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v * self.weight(layer_idx, 0, i as u32))
-            .sum();
+        wrow.resize(cur.len(), 0.0);
+        for (i, w) in wrow.iter_mut().enumerate() {
+            *w = self.weight(layer_idx, 0, i as u32);
+        }
+        let logit = fleche_simd::dot(&cur, &wrow);
         1.0 / (1.0 + (-logit).exp())
     }
 }

@@ -1,0 +1,554 @@
+//! fleche-simd: blocked, runtime-dispatched kernels for the host hot paths.
+//!
+//! The paper's flat cache wins by minimizing per-lookup work on the
+//! device; this crate does the host-side equivalent for the four loops
+//! the `hotpath` bench measures — pooled gather/reduction, FNV-1a slot
+//! checksums, slab key matching, the procedural embedding fill behind
+//! the CPU store ([`unit_fill`]), and (indirectly, via the batch APIs
+//! built on top) codec encode/decode.
+//!
+//! # Determinism contract
+//!
+//! Every primitive here has one *kernel* — a plain, `#[inline(always)]`
+//! Rust loop written in the canonical blocked form — and up to two entry
+//! points into it: the portable path (the kernel compiled under the
+//! crate's baseline feature set) and, on `x86_64`, an
+//! `#[target_feature(enable = "avx2")]` wrapper around the *same* kernel
+//! source. Because both paths execute the identical sequence of `f32`
+//! operations, results are bit-identical regardless of which path the
+//! runtime `is_x86_feature_detected!` dispatch picks; the wrappers only
+//! change what code the compiler is allowed to emit (YMM registers, FMA
+//! stays off — we never enable `fma`, which *would* change results).
+//! `tests/simd_props.rs` pins this: dispatched vs portable, across
+//! non-multiple-of-lane sizes, NaN payloads, and unaligned slices.
+//!
+//! # Canonical blocked reduction order
+//!
+//! Dot products use [`LANES`] = 8 independent accumulators —
+//! `lanes[i % 8] += a[i] * b[i]` — combined by a fixed tree
+//! (`lanes[j] + lanes[j+4]`, then `+2`, then `+1`). This order is the
+//! repo-wide canonical reduction order: oracles, tests, and both
+//! dispatch paths all use it, so "vectorized" never means "different
+//! answer". Element-wise pooling accumulation is order-free per element
+//! and needs no blocking.
+//!
+//! FNV-1a is a serial dependency chain *per slot* (each step multiplies
+//! the previous hash), so a single checksum cannot be vectorized without
+//! changing its value. [`checksum_batch`] instead interleaves four
+//! independent slots per pass — four dependency chains in flight — and
+//! keeps every per-slot value bit-compatible with the scalar
+//! [`fnv1a`].
+//!
+//! # Safety policy
+//!
+//! The workspace forbids `unsafe` everywhere else. Calling a
+//! `#[target_feature]` fn from ordinary code requires `unsafe` (the
+//! caller asserts the CPU really has the feature), so this crate holds
+//! the only `unsafe` blocks in the repo: one per dispatcher, each
+//! directly behind its `is_x86_feature_detected!` check, under
+//! `#![deny(unsafe_code)]` with a narrow, commented `allow`. The
+//! `target-feature-guard` lint in fleche-analyzer enforces exactly this
+//! shape (and that no `#[target_feature]` fn is `pub`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of independent accumulator lanes in the canonical blocked
+/// reduction order (one AVX2 `f32x8` register's worth).
+pub const LANES: usize = 8;
+
+/// FNV-1a offset basis (must match `fleche_index::pool::fnv1a_of`).
+pub const FNV_BASIS: u32 = 0x811C_9DC5;
+/// FNV-1a prime.
+pub const FNV_PRIME: u32 = 0x0100_0193;
+
+// ---------------------------------------------------------------------
+// Kernels: one definition per primitive, `#[inline(always)]` so every
+// dispatch wrapper compiles its own copy under its own feature set.
+// ---------------------------------------------------------------------
+
+#[inline(always)]
+fn add_assign_kernel(acc: &mut [f32], row: &[f32]) {
+    for (a, &r) in acc.iter_mut().zip(row.iter()) {
+        *a += r;
+    }
+}
+
+#[inline(always)]
+fn max_assign_kernel(acc: &mut [f32], row: &[f32]) {
+    for (a, &r) in acc.iter_mut().zip(row.iter()) {
+        *a = a.max(r);
+    }
+}
+
+#[inline(always)]
+fn dot_kernel(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut i = 0usize;
+    while i + LANES <= n {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[i + j] * b[i + j];
+        }
+        i += LANES;
+    }
+    for (j, lane) in lanes.iter_mut().enumerate().take(n - i) {
+        *lane += a[i + j] * b[i + j];
+    }
+    // Fixed combine tree — part of the canonical order.
+    let m = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    (m[0] + m[2]) + (m[1] + m[3])
+}
+
+#[inline(always)]
+fn fnv1a_step(mut h: u32, v: f32) -> u32 {
+    for b in v.to_bits().to_le_bytes() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[inline(always)]
+fn fnv1a_kernel(value: &[f32]) -> u32 {
+    let mut h = FNV_BASIS;
+    for &v in value {
+        h = fnv1a_step(h, v);
+    }
+    h
+}
+
+#[inline(always)]
+fn checksum4_kernel(group: [&[f32]; 4]) -> [u32; 4] {
+    let n = group.iter().map(|g| g.len()).min().unwrap_or(0);
+    let (a, b, c, d) = (
+        &group[0][..n],
+        &group[1][..n],
+        &group[2][..n],
+        &group[3][..n],
+    );
+    let mut h = [FNV_BASIS; 4];
+    // Four independent hash chains advanced in lockstep: identical
+    // per-slot byte order to the serial form, but the CPU overlaps the
+    // four multiply chains instead of stalling on one. The indexed loop
+    // (not a zip-of-zips) is what lets the compiler keep the four chains
+    // in independent registers — measured ~3x over the serial walk.
+    for i in 0..n {
+        h[0] = fnv1a_step(h[0], a[i]);
+        h[1] = fnv1a_step(h[1], b[i]);
+        h[2] = fnv1a_step(h[2], c[i]);
+        h[3] = fnv1a_step(h[3], d[i]);
+    }
+    // Ragged tails (slots of unequal dimension) finish serially.
+    for (hj, g) in h.iter_mut().zip(group) {
+        for &v in &g[n..] {
+            *hj = fnv1a_step(*hj, v);
+        }
+    }
+    h
+}
+
+#[inline(always)]
+fn checksum_batch_kernel(values: &[&[f32]], out: &mut Vec<u32>) {
+    let mut chunks = values.chunks_exact(4);
+    for ch in chunks.by_ref() {
+        out.extend_from_slice(&checksum4_kernel([ch[0], ch[1], ch[2], ch[3]]));
+    }
+    for v in chunks.remainder() {
+        out.push(fnv1a_kernel(v));
+    }
+}
+
+#[inline(always)]
+fn unit_fill_kernel(base: u64, out: &mut [f32]) {
+    // SplitMix64 finalizer per component, mapped into [-1, 1). Every
+    // element is an independent fixed op sequence (integer mix, exact
+    // u64→f64 convert, division by 2^53 — exact, it is a power of two —
+    // then `* 2.0 - 1.0`), so vectorizing *across* elements cannot
+    // change any element's bits: dispatch paths agree by construction.
+    for (j, v) in out.iter_mut().enumerate() {
+        let mut x = base.wrapping_add((j as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        *v = ((x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32;
+    }
+}
+
+#[inline(always)]
+fn match_mask_kernel(keys: &[u64], needle: u64) -> u32 {
+    let mut mask = 0u32;
+    for (i, &k) in keys.iter().take(32).enumerate() {
+        mask |= u32::from(k == needle) << i;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------
+// AVX2 specializations: the same kernels, monomorphized with AVX2
+// codegen. Safe `#[target_feature]` fns — callers must prove the
+// feature at runtime, which only the dispatchers below do. Kept private
+// so every call site is in this file (enforced by the
+// `target-feature-guard` lint).
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn add_assign_avx2(acc: &mut [f32], row: &[f32]) {
+        add_assign_kernel(acc, row);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn max_assign_avx2(acc: &mut [f32], row: &[f32]) {
+        max_assign_kernel(acc, row);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        dot_kernel(a, b)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn match_mask_avx2(keys: &[u64], needle: u64) -> u32 {
+        match_mask_kernel(keys, needle)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) fn unit_fill_avx2(base: u64, out: &mut [f32]) {
+        unit_fill_kernel(base, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public dispatchers + portable twins.
+// ---------------------------------------------------------------------
+
+/// Which dispatch path the kernels take on this host (feeds the bench
+/// host fingerprint).
+pub fn simd_level() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+    }
+    "portable"
+}
+
+/// Element-wise `acc[i] += row[i]` over the common prefix of the two
+/// slices. Bit-identical across dispatch paths.
+#[inline]
+pub fn add_assign(acc: &mut [f32], row: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: reached only when the CPU reports AVX2 at runtime,
+            // which is the exact contract `#[target_feature]` requires.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::add_assign_avx2(acc, row)
+            };
+            return;
+        }
+    }
+    add_assign_portable(acc, row);
+}
+
+/// Portable path of [`add_assign`] (public so tests can pin the
+/// dispatched path against it).
+#[inline]
+pub fn add_assign_portable(acc: &mut [f32], row: &[f32]) {
+    add_assign_kernel(acc, row);
+}
+
+/// Element-wise `acc[i] = acc[i].max(row[i])` (Rust `f32::max` NaN
+/// semantics, same as the scalar pooling loop always used).
+#[inline]
+pub fn max_assign(acc: &mut [f32], row: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 check directly above.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::max_assign_avx2(acc, row)
+            };
+            return;
+        }
+    }
+    max_assign_portable(acc, row);
+}
+
+/// Portable path of [`max_assign`].
+#[inline]
+pub fn max_assign_portable(acc: &mut [f32], row: &[f32]) {
+    max_assign_kernel(acc, row);
+}
+
+/// Element-wise `acc[i] /= divisor` (Avg pooling finish; trivially
+/// vectorized at the baseline feature set, so no dispatch).
+#[inline]
+pub fn div_assign(acc: &mut [f32], divisor: f32) {
+    for a in acc {
+        *a /= divisor;
+    }
+}
+
+/// Dot product in the canonical blocked reduction order (see crate
+/// docs). Reduces over the common prefix of the two slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 check directly above.
+            #[allow(unsafe_code)]
+            return unsafe { avx2::dot_avx2(a, b) };
+        }
+    }
+    dot_portable(a, b)
+}
+
+/// Portable path of [`dot`] — same blocked order, same result bits.
+#[inline]
+pub fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
+    dot_kernel(a, b)
+}
+
+/// FNV-1a over the `f32` bit patterns of `value`, little-endian byte
+/// order — the workspace's slot checksum. Serial by construction; use
+/// [`checksum_batch`] when hashing many slots.
+#[inline]
+pub fn fnv1a(value: &[f32]) -> u32 {
+    fnv1a_kernel(value)
+}
+
+/// Checksums many slots per pass, streaming four interleaved FNV-1a
+/// chains. `out[i]` is bit-identical to `fnv1a(values[i])`.
+///
+/// Deliberately *not* under runtime dispatch: the win here is
+/// instruction-level parallelism across four scalar multiply chains,
+/// which general-purpose registers already deliver. Compiling the same
+/// kernel under AVX2 invites LLVM to SLP-vectorize the four chains into
+/// one vector-multiply dependency chain — measured ~2x *slower* than
+/// the scalar interleave in this workspace's thin-LTO release build.
+#[inline]
+pub fn checksum_batch(values: &[&[f32]]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(values.len());
+    checksum_batch_kernel(values, &mut out);
+    out
+}
+
+/// Same as [`checksum_batch`] — kept as the explicitly-portable name so
+/// batch entry points uniformly expose a `_portable` twin for the
+/// bit-identity proptests, even though this one never dispatches.
+#[inline]
+pub fn checksum_batch_portable(values: &[&[f32]]) -> Vec<u32> {
+    checksum_batch(values)
+}
+
+/// Fills `out` with the deterministic unit stream of `base`: component
+/// `j` is the SplitMix64 finalizer of `base + j·0x94D0_49BB_1331_11EB`,
+/// mapped into `[-1, 1)` — the procedural embedding payload
+/// (`fleche_store::embedding_value` derives `base` from `(table, id)`
+/// and delegates here). Bit-identical across dispatch paths: each
+/// element is an independent exact op sequence, so the AVX2 path only
+/// changes how many elements are in flight, never their bits.
+#[inline]
+pub fn unit_fill(base: u64, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 check directly above.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::unit_fill_avx2(base, out)
+            };
+            return;
+        }
+    }
+    unit_fill_portable(base, out);
+}
+
+/// Portable path of [`unit_fill`].
+#[inline]
+pub fn unit_fill_portable(base: u64, out: &mut [f32]) {
+    unit_fill_kernel(base, out);
+}
+
+/// Bit `i` of the result is set iff `keys[i] == needle`, over the first
+/// 32 keys — the whole-slab compare behind mask-based probing
+/// (`occupied & match_mask` then `trailing_zeros`).
+#[inline]
+pub fn match_mask(keys: &[u64], needle: u64) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by the runtime AVX2 check directly above.
+            #[allow(unsafe_code)]
+            return unsafe { avx2::match_mask_avx2(keys, needle) };
+        }
+    }
+    match_mask_portable(keys, needle)
+}
+
+/// Portable path of [`match_mask`].
+#[inline]
+pub fn match_mask_portable(keys: &[u64], needle: u64) -> u32 {
+    match_mask_kernel(keys, needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random f32s, including negative and tiny
+    /// values (SplitMix64-style, same family the stores use).
+    fn prf_f32(seed: u64, i: u64) -> f32 {
+        let mut z = seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z as u32 as f64 / u32::MAX as f64) as f32 - 0.5) * 4.0
+    }
+
+    fn vecs(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n).map(|i| prf_f32(seed, i as u64)).collect();
+        let b: Vec<f32> = (0..n).map(|i| prf_f32(seed ^ 0xABCD, i as u64)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dispatched_paths_match_portable_bitwise() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 127] {
+            let (a, b) = vecs(n as u64, n);
+            let mut acc1 = a.clone();
+            let mut acc2 = a.clone();
+            add_assign(&mut acc1, &b);
+            add_assign_portable(&mut acc2, &b);
+            assert_eq!(bits(&acc1), bits(&acc2), "add n={n}");
+            let mut m1 = a.clone();
+            let mut m2 = a.clone();
+            max_assign(&mut m1, &b);
+            max_assign_portable(&mut m2, &b);
+            assert_eq!(bits(&m1), bits(&m2), "max n={n}");
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_portable(&a, &b).to_bits(),
+                "dot n={n}"
+            );
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn dot_uses_the_canonical_blocked_order() {
+        // Re-derive the canonical order by hand for n = 11 and require an
+        // exact bit match — this is the order the crate docs promise.
+        let (a, b) = vecs(7, 11);
+        let mut lanes = [0.0f32; LANES];
+        for i in 0..11 {
+            lanes[i % LANES] += a[i] * b[i];
+        }
+        let m = [
+            lanes[0] + lanes[4],
+            lanes[1] + lanes[5],
+            lanes[2] + lanes[6],
+            lanes[3] + lanes[7],
+        ];
+        let want = (m[0] + m[2]) + (m[1] + m[3]);
+        assert_eq!(dot(&a, &b).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn checksum_batch_matches_serial_per_slot() {
+        // Batch sizes that exercise the 4-way body and every remainder,
+        // with ragged dims so the lockstep prefix + tail path runs.
+        let slots: Vec<Vec<f32>> = (0..11)
+            .map(|s| {
+                (0..(13 + 7 * s) % 40)
+                    .map(|i| prf_f32(s, i))
+                    .collect()
+            })
+            .collect();
+        for take in 0..slots.len() {
+            let refs: Vec<&[f32]> = slots[..take].iter().map(|v| v.as_slice()).collect();
+            let batch = checksum_batch(&refs);
+            let serial: Vec<u32> = refs.iter().map(|v| fnv1a(v)).collect();
+            assert_eq!(batch, serial, "take={take}");
+            assert_eq!(
+                checksum_batch_portable(&refs),
+                serial,
+                "portable take={take}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_distinguishes_nan_payloads() {
+        let q1 = f32::from_bits(0x7FC0_0001);
+        let q2 = f32::from_bits(0x7FC0_0002);
+        assert_ne!(fnv1a(&[q1]), fnv1a(&[q2]));
+        assert_eq!(
+            checksum_batch(&[&[q1], &[q2]]),
+            vec![fnv1a(&[q1]), fnv1a(&[q2])]
+        );
+    }
+
+    #[test]
+    fn match_mask_agrees_with_bit_scan() {
+        let keys: Vec<u64> = (0..32).map(|i| (i as u64 * 7) % 13).collect();
+        for needle in 0..14u64 {
+            let mut want = 0u32;
+            for (i, &k) in keys.iter().enumerate() {
+                if k == needle {
+                    want |= 1 << i;
+                }
+            }
+            assert_eq!(match_mask(&keys, needle), want);
+            assert_eq!(match_mask_portable(&keys, needle), want);
+        }
+        // Shorter-than-slab inputs only cover the bits they have.
+        assert_eq!(match_mask(&[5, 9, 5], 5), 0b101);
+    }
+
+    #[test]
+    fn unit_fill_paths_match_and_stay_in_range() {
+        for n in [0usize, 1, 3, 7, 8, 9, 31, 32, 33, 127] {
+            let mut a = vec![0.0f32; n];
+            let mut b = vec![0.0f32; n];
+            unit_fill(0xDEAD_BEEF ^ n as u64, &mut a);
+            unit_fill_portable(0xDEAD_BEEF ^ n as u64, &mut b);
+            assert_eq!(bits(&a), bits(&b), "n={n}");
+            assert!(a.iter().all(|v| (-1.0..1.0).contains(v)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn div_assign_matches_scalar_division() {
+        let (a, _) = vecs(3, 9);
+        let mut out = a.clone();
+        div_assign(&mut out, 3.0);
+        for (o, x) in out.iter().zip(&a) {
+            assert_eq!(o.to_bits(), (x / 3.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_level_names_a_known_path() {
+        assert!(["avx2", "portable"].contains(&simd_level()));
+    }
+}

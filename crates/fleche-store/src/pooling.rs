@@ -18,6 +18,44 @@ pub enum Pooling {
 }
 
 impl Pooling {
+    /// The accumulator initial value for this reduction.
+    pub fn identity(self) -> f32 {
+        match self {
+            Pooling::Max => f32::NEG_INFINITY,
+            _ => 0.0,
+        }
+    }
+
+    /// Accumulates one row into `acc` element-wise — the streaming
+    /// building block behind [`Pooling::reduce`] and the allocation-free
+    /// gather paths. Backed by the runtime-dispatched fleche-simd
+    /// kernels; per-element semantics (`+=` / `f32::max`) are exactly
+    /// the scalar loop's, so results are bit-identical to reducing the
+    /// materialized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn accumulate(self, acc: &mut [f32], row: &[f32]) {
+        assert_eq!(
+            acc.len(),
+            row.len(),
+            "pooled vectors must share a dimension"
+        );
+        match self {
+            Pooling::Sum | Pooling::Avg => fleche_simd::add_assign(acc, row),
+            Pooling::Max => fleche_simd::max_assign(acc, row),
+        }
+    }
+
+    /// Finalizes an accumulator built from `count` rows (divides for
+    /// `Avg`; no-op otherwise).
+    pub fn finish(self, acc: &mut [f32], count: usize) {
+        if self == Pooling::Avg {
+            fleche_simd::div_assign(acc, count as f32);
+        }
+    }
+
     /// Reduces `vectors` (each of equal length) into one vector.
     ///
     /// # Panics
@@ -26,30 +64,11 @@ impl Pooling {
     pub fn reduce(self, vectors: &[&[f32]]) -> Vec<f32> {
         assert!(!vectors.is_empty(), "pooling needs at least one vector");
         let dim = vectors[0].len();
+        let mut out = vec![self.identity(); dim];
         for v in vectors {
-            assert_eq!(v.len(), dim, "pooled vectors must share a dimension");
+            self.accumulate(&mut out, v);
         }
-        let mut out = vec![
-            match self {
-                Pooling::Max => f32::NEG_INFINITY,
-                _ => 0.0,
-            };
-            dim
-        ];
-        for v in vectors {
-            for (o, &x) in out.iter_mut().zip(*v) {
-                match self {
-                    Pooling::Sum | Pooling::Avg => *o += x,
-                    Pooling::Max => *o = o.max(x),
-                }
-            }
-        }
-        if self == Pooling::Avg {
-            let n = vectors.len() as f32;
-            for o in &mut out {
-                *o /= n;
-            }
-        }
+        self.finish(&mut out, vectors.len());
         out
     }
 

@@ -22,18 +22,32 @@ pub const DRAM_INDEX_BYTES: u64 = 64;
 ///
 /// Values are in `[-1, 1)`, derived from a SplitMix64 stream keyed by
 /// `(table, id, component)`. This *is* the stored value of the embedding:
-/// the function plays the role of the DRAM hash table's payload.
+/// the function plays the role of the DRAM hash table's payload. The
+/// per-component stream lives in `fleche_simd::unit_fill` (the fill is
+/// the gather path's bottleneck, so it runs under runtime SIMD
+/// dispatch); every component is an independent exact op sequence, so
+/// the values are bit-identical to the original scalar loop on every
+/// dispatch path.
 pub fn embedding_value(table: u16, id: u64, out: &mut [f32]) {
-    let base = (table as u64 + 1)
+    fleche_simd::unit_fill(stream_base(table, id), out);
+}
+
+/// Portable twin of [`embedding_value`]: same bits, but always the
+/// scalar fill loop regardless of what the host supports. This is the
+/// pre-vectorization reference shape; `benches/hotpath.rs` uses it as
+/// the scalar side of the gather family so the measured speedup reflects
+/// the whole optimization (streaming + vectorized fill), and the
+/// bit-identity proptests pin it against the dispatched path.
+pub fn embedding_value_portable(table: u16, id: u64, out: &mut [f32]) {
+    fleche_simd::unit_fill_portable(stream_base(table, id), out);
+}
+
+/// SplitMix64 stream base for `(table, id)` — both fill paths key the
+/// same per-component stream off this value.
+fn stream_base(table: u16, id: u64) -> u64 {
+    (table as u64 + 1)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(id.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-    for (j, v) in out.iter_mut().enumerate() {
-        let mut x = base.wrapping_add((j as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        *v = ((x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32;
-    }
+        .wrapping_add(id.wrapping_mul(0xBF58_476D_1CE4_E5B9))
 }
 
 /// The CPU-DRAM layer: all embedding tables of a dataset, plus the cost
@@ -103,6 +117,28 @@ impl CpuStore {
         let mut v = vec![0.0; self.dims[table as usize] as usize];
         self.read_into(table, id, &mut v);
         v
+    }
+
+    /// Gathers `ids` from `table` and reduces them with `pooling`,
+    /// streaming each row through one reused scratch buffer instead of
+    /// materializing a `Vec` per row. Bit-identical to reducing the rows
+    /// returned by [`CpuStore::read`] (same per-element accumulation
+    /// order), which `tests/simd_props.rs` pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or any id is outside the corpus.
+    pub fn pooled(&self, table: u16, ids: &[u64], pooling: crate::Pooling) -> Vec<f32> {
+        assert!(!ids.is_empty(), "pooling needs at least one vector");
+        let dim = self.dims[table as usize] as usize;
+        let mut out = vec![pooling.identity(); dim];
+        let mut row = vec![0.0f32; dim];
+        for &id in ids {
+            self.read_into(table, id, &mut row);
+            pooling.accumulate(&mut out, &row);
+        }
+        pooling.finish(&mut out, ids.len());
+        out
     }
 
     /// Queries a batch of `(table, id)` keys: returns the embeddings and

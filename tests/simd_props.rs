@@ -1,0 +1,205 @@
+//! Property-based bit-identity tests for the vectorized host hot paths:
+//! whatever the runtime SIMD dispatch picks, every batch/blocked entry
+//! point must produce exactly the bits its scalar reference produces —
+//! across non-multiple-of-lane dims, slice offsets, NaN payloads, ragged
+//! batch shapes, and duplicate keys.
+
+use fleche_coding::{FixedLenCodec, FlatKeyCodec, SizeAwareCodec};
+use fleche_gpu::DramSpec;
+use fleche_index::{Loc, SlabHash};
+use fleche_store::{CpuStore, Pooling};
+use fleche_workload::spec;
+use proptest::prelude::*;
+
+/// Arbitrary f32s by bit pattern — includes negatives, subnormals,
+/// infinities, and NaNs with distinct payloads. Bit-identity claims must
+/// hold for all of them.
+fn any_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+fn f32_vec(len: impl Into<prop::collection::SizeRange>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(any_f32(), len)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dispatched elementwise/blocked primitives equal their portable
+    /// twins bit for bit, including when the slices start at an arbitrary
+    /// offset (alignment must not matter).
+    #[test]
+    fn dispatch_paths_are_bit_identical(
+        a in f32_vec(0..70usize),
+        b in f32_vec(0..70usize),
+        offset in 0usize..8,
+    ) {
+        let a = &a[offset.min(a.len())..];
+        let b = &b[offset.min(b.len())..];
+        let mut d = a.to_vec();
+        let mut p = a.to_vec();
+        fleche_simd::add_assign(&mut d, b);
+        fleche_simd::add_assign_portable(&mut p, b);
+        prop_assert_eq!(bits(&d), bits(&p));
+        let mut d = a.to_vec();
+        let mut p = a.to_vec();
+        fleche_simd::max_assign(&mut d, b);
+        fleche_simd::max_assign_portable(&mut p, b);
+        prop_assert_eq!(bits(&d), bits(&p));
+        prop_assert_eq!(
+            fleche_simd::dot(a, b).to_bits(),
+            fleche_simd::dot_portable(a, b).to_bits()
+        );
+    }
+
+    /// The procedural embedding fill (the gather path's bottleneck) is
+    /// bit-identical across dispatch paths for any stream base and any
+    /// dim, and stays in the documented [-1, 1) range.
+    #[test]
+    fn unit_fill_is_bit_identical(base in any::<u64>(), dim in 0usize..70) {
+        let mut d = vec![0.0f32; dim];
+        let mut p = vec![0.0f32; dim];
+        fleche_simd::unit_fill(base, &mut d);
+        fleche_simd::unit_fill_portable(base, &mut p);
+        prop_assert_eq!(bits(&d), bits(&p));
+        prop_assert!(d.iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    /// `dot` follows the documented canonical blocked order exactly: 8
+    /// round-robin lanes, fixed combine tree.
+    #[test]
+    fn dot_is_the_canonical_blocked_order(a in f32_vec(0..70usize), b in f32_vec(0..70usize)) {
+        let n = a.len().min(b.len());
+        let mut lanes = [0.0f32; fleche_simd::LANES];
+        for i in 0..n {
+            lanes[i % fleche_simd::LANES] += a[i] * b[i];
+        }
+        let m = [
+            lanes[0] + lanes[4],
+            lanes[1] + lanes[5],
+            lanes[2] + lanes[6],
+            lanes[3] + lanes[7],
+        ];
+        let want = (m[0] + m[2]) + (m[1] + m[3]);
+        prop_assert_eq!(fleche_simd::dot(&a, &b).to_bits(), want.to_bits());
+    }
+
+    /// The interleaved batch checksum equals the serial per-slot FNV-1a
+    /// for every slot, for ragged dims and every batch-length remainder
+    /// mod 4 — and so does the pool's exported batch entry point.
+    #[test]
+    fn batch_checksum_is_per_slot_identical(
+        slots in prop::collection::vec(f32_vec(0..40usize), 0..11),
+    ) {
+        let views: Vec<&[f32]> = slots.iter().map(Vec::as_slice).collect();
+        let serial: Vec<u32> = views.iter().map(|v| fleche_simd::fnv1a(v)).collect();
+        prop_assert_eq!(&fleche_simd::checksum_batch(&views), &serial);
+        prop_assert_eq!(&fleche_simd::checksum_batch_portable(&views), &serial);
+        prop_assert_eq!(&fleche_index::fnv1a_batch(&views), &serial);
+    }
+
+    /// Pooling through the vectorized accumulate/finish path equals a
+    /// naive scalar reduction, bitwise, for all three modes — and the
+    /// store's streaming gather equals reducing materialized rows.
+    #[test]
+    fn pooled_gather_matches_scalar_reduce(
+        n_ids in 1usize..24,
+        table in 0u16..4,
+        seed in any::<u64>(),
+        mode in prop::sample::select(vec![Pooling::Sum, Pooling::Avg, Pooling::Max]),
+    ) {
+        let ds = spec::synthetic(4, 500, 8, -1.2);
+        let store = CpuStore::new(&ds, DramSpec::xeon_6252());
+        let ids: Vec<u64> = (0..n_ids as u64)
+            .map(|i| (seed.wrapping_add(i.wrapping_mul(97))) % 500)
+            .collect();
+        // Scalar reference: naive per-element accumulation over
+        // materialized rows (the pre-vectorization shape).
+        let rows: Vec<Vec<f32>> = ids.iter().map(|&id| store.read(table, id)).collect();
+        let mut want = vec![
+            match mode {
+                Pooling::Max => f32::NEG_INFINITY,
+                _ => 0.0,
+            };
+            rows[0].len()
+        ];
+        for row in &rows {
+            for (w, &r) in want.iter_mut().zip(row) {
+                match mode {
+                    Pooling::Max => *w = w.max(r),
+                    _ => *w += r,
+                }
+            }
+        }
+        if mode == Pooling::Avg {
+            for w in &mut want {
+                *w /= ids.len() as f32;
+            }
+        }
+        prop_assert_eq!(bits(&store.pooled(table, &ids, mode)), bits(&want));
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(bits(&mode.reduce(&refs)), bits(&want));
+    }
+
+    /// Mask-based batch probing returns exactly what sequential per-key
+    /// lookups return — locations AND per-key probe statistics — for
+    /// arbitrary hit/miss mixes including duplicate keys.
+    #[test]
+    fn slab_lookup_batch_matches_sequential(
+        inserts in prop::collection::vec(1u64..400, 0..200),
+        probes in prop::collection::vec(1u64..500, 0..120),
+        seed in any::<u64>(),
+    ) {
+        let mut batch_h = SlabHash::with_seed(8, seed);
+        let mut seq_h = SlabHash::with_seed(8, seed);
+        for (i, &k) in inserts.iter().enumerate() {
+            let loc = Loc::Hbm { class: 0, slot: i as u32 }.pack();
+            batch_h.insert(k, loc, 0);
+            seq_h.insert(k, loc, 0);
+        }
+        let batch = batch_h.lookup_batch(&probes, Some(3));
+        let seq: Vec<_> = probes.iter().map(|&k| seq_h.lookup(k, Some(3))).collect();
+        prop_assert_eq!(batch, seq);
+    }
+
+    /// Every codec batch entry point equals its per-key form, key for
+    /// key, for both codecs.
+    #[test]
+    fn codec_batches_match_per_key(
+        corpora in prop::collection::vec(1u64..100_000, 1..8),
+        pairs in prop::collection::vec((0u16..8, any::<u64>()), 0..120),
+    ) {
+        let n_tables = corpora.len() as u16;
+        let fixed = FixedLenCodec::new(24, 4, corpora.clone());
+        let aware = SizeAwareCodec::new(24, &corpora);
+        // Lossless tables contract: feature < corpus (the system only
+        // encodes in-corpus features), so clamp the raw u64 down.
+        let pairs: Vec<(u16, u64)> = pairs
+            .into_iter()
+            .map(|(t, f)| {
+                let t = t % n_tables;
+                (t, f % corpora[t as usize])
+            })
+            .collect();
+        for codec in [&fixed as &dyn FlatKeyCodec, &aware] {
+            let per_key: Vec<_> = pairs.iter().map(|&(t, f)| codec.encode(t, f)).collect();
+            prop_assert_eq!(&codec.encode_pairs(&pairs), &per_key);
+            for t in 0..n_tables {
+                let feats: Vec<u64> = pairs
+                    .iter()
+                    .filter(|&&(pt, _)| pt == t)
+                    .map(|&(_, f)| f)
+                    .collect();
+                let batch = codec.encode_batch(t, &feats);
+                let singles: Vec<_> = feats.iter().map(|&f| codec.encode(t, f)).collect();
+                prop_assert_eq!(batch, singles);
+            }
+            let decoded: Vec<_> = per_key.iter().map(|&k| codec.decode(k)).collect();
+            prop_assert_eq!(codec.decode_batch(&per_key), decoded);
+        }
+    }
+}
